@@ -1,0 +1,340 @@
+package ultrascalar
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its artifact through internal/exp and reports the
+// headline quantity as custom benchmark metrics, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation. The
+// rendered reports are printed once under -v via the cmd/ tools; here the
+// numbers are attached to the benchmark output.
+
+import (
+	"testing"
+
+	"ultrascalar/internal/exp"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+	"ultrascalar/internal/workload"
+)
+
+// BenchmarkFigure3Timing regenerates the paper's Figure 3 timing diagram
+// (the 8-instruction sequence; 12 cycles end to end).
+func BenchmarkFigure3Timing(b *testing.B) {
+	var last int64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[3].Done // the final instruction ends at cycle 12
+	}
+	b.ReportMetric(float64(last), "total-cycles")
+}
+
+// BenchmarkFigure11Table regenerates the paper's Figure 11 complexity
+// table: the measured area exponents of the four datapaths in the
+// low-bandwidth regime are attached as metrics.
+func BenchmarkFigure11Table(b *testing.B) {
+	var cells []exp.Figure11Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = exp.Figure11(32, 32, 64, 4096, vlsi.Tech035())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		if c.Regime == "M(n)=O(n^1/2-e)" && c.Quantity == "area" {
+			switch c.Arch {
+			case exp.ArchUltra1:
+				b.ReportMetric(c.Fit.Exponent, "ultra1-area-exp")
+			case exp.ArchUltra2Linear:
+				b.ReportMetric(c.Fit.Exponent, "ultra2-area-exp")
+			case exp.ArchHybrid:
+				b.ReportMetric(c.Fit.Exponent, "hybrid-area-exp")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure12Layout regenerates the paper's Figure 12 empirical
+// layout comparison (the ~11.5x density ratio).
+func BenchmarkFigure12Layout(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Figure12(vlsi.Tech035())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.DensityRatio
+	}
+	b.ReportMetric(ratio, "density-ratio")
+}
+
+// BenchmarkUltra1Recurrence regenerates the Section 3 / Figure 6 X(n)
+// recurrence comparison (E4).
+func BenchmarkUltra1Recurrence(b *testing.B) {
+	var rows []exp.RecurrenceRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.UltraIRecurrence(32, 32, 64, 4096, vlsi.Tech035())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ModelExp, "case1-side-exp")
+	b.ReportMetric(rows[3].ModelExp, "linearM-side-exp")
+}
+
+// BenchmarkUltra2Scaling regenerates the Figures 7-8 / Section 5
+// comparison of the three Ultrascalar II implementations (E5).
+func BenchmarkUltra2Scaling(b *testing.B) {
+	var rows []exp.Ultra2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Ultra2Scaling(32, 32, 64, 1024, vlsi.Tech035())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.GateLin), "gates-linear")
+	b.ReportMetric(float64(last.GateLog), "gates-log")
+	b.ReportMetric(last.SideLog/last.SideLin, "side-log-factor")
+}
+
+// BenchmarkHybridClusterSweep regenerates the Section 6 / Figure 10
+// cluster-size optimum (E6): the minimum must land at C = Θ(L).
+func BenchmarkHybridClusterSweep(b *testing.B) {
+	var best int
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, best, err = exp.ClusterSweep(4096, 32, 32, vlsi.Tech035())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(best), "optimal-C(L=32)")
+}
+
+// BenchmarkThreeDimensional regenerates the Section 7 3D packaging
+// comparison (E7).
+func BenchmarkThreeDimensional(b *testing.B) {
+	var h vlsi.Volume3D
+	for i := 0; i < b.N; i++ {
+		h = vlsi.Hybrid3D(4096, 32, memory.MConst(1))
+	}
+	b.ReportMetric(float64(h.Cluster), "optimal-3d-C(L=32)")
+	b.ReportMetric(h.Volume, "hybrid-3d-volume")
+}
+
+// BenchmarkProcessorIPC regenerates the architectural comparison (E8):
+// IPC of the three processors over the kernel suite.
+func BenchmarkProcessorIPC(b *testing.B) {
+	var rows []exp.IPCRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.IPC(16, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var u1, hy, u2 float64
+	for _, r := range rows {
+		u1 += r.IPCU1
+		hy += r.IPCHy
+		u2 += r.IPCU2
+	}
+	n := float64(len(rows))
+	b.ReportMetric(u1/n, "mean-IPC-ultra1")
+	b.ReportMetric(hy/n, "mean-IPC-hybrid")
+	b.ReportMetric(u2/n, "mean-IPC-ultra2")
+}
+
+// BenchmarkLocalCommunication regenerates the Section 7 self-timed
+// locality estimate (E9): the fraction of operands produced by the
+// immediately preceding instruction.
+func BenchmarkLocalCommunication(b *testing.B) {
+	var rows []exp.LocalityRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Locality(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var prev float64
+	for _, r := range rows {
+		prev += r.FromPrevious
+	}
+	b.ReportMetric(prev/float64(len(rows)), "mean-frac-dist1")
+}
+
+// BenchmarkCircuitDepths regenerates the netlist depth measurements (E10)
+// behind the paper's gate-delay claims.
+func BenchmarkCircuitDepths(b *testing.B) {
+	var rows []exp.CircuitDepthRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.CircuitDepths(8, 8, 64)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.RingDepth), "ring-depth-64")
+	b.ReportMetric(float64(last.TreeDepth), "tree-depth-64")
+}
+
+// BenchmarkEndToEnd regenerates the combined architecture+VLSI runtime
+// comparison (E11).
+func BenchmarkEndToEnd(b *testing.B) {
+	var rows []exp.EndToEndRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.EndToEnd(32, 32, []int{256}, vlsi.Tech035())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Arch {
+		case "Ultrascalar I":
+			b.ReportMetric(r.TimeUs, "ultra1-us")
+		case "Hybrid Ultrascalar":
+			b.ReportMetric(r.TimeUs, "hybrid-us")
+		}
+	}
+}
+
+// BenchmarkSharedALUs regenerates the Section 7 shared-ALU ablation
+// (E12): a window-128 hybrid with a pool of 16 ALUs.
+func BenchmarkSharedALUs(b *testing.B) {
+	var rows []exp.SharedALURow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.SharedALUs(128, []int{16, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].IPC, "IPC-16alus")
+	b.ReportMetric(rows[1].IPC, "IPC-128alus")
+}
+
+// BenchmarkSelfTimed regenerates the Section 7 self-timed estimate (E13).
+func BenchmarkSelfTimed(b *testing.B) {
+	var rows []exp.SelfTimedRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.SelfTimed(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worst float64
+	for _, r := range rows {
+		if r.Slowdown > worst {
+			worst = r.Slowdown
+		}
+	}
+	b.ReportMetric(worst, "worst-cycle-ratio")
+}
+
+// BenchmarkMemoryRenaming regenerates the Section 7 memory-renaming
+// ablation (E14).
+func BenchmarkMemoryRenaming(b *testing.B) {
+	var rows []exp.RenamingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.MemRenaming(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rows[0] // M(n)=1
+	b.ReportMetric(float64(r.BaseCycles)/float64(r.RenamedCycles), "speedup-at-M1")
+	b.ReportMetric(float64(r.ForwardedLoads), "forwarded-loads")
+}
+
+// BenchmarkFetchModels regenerates the fetch-mechanism comparison (E15).
+func BenchmarkFetchModels(b *testing.B) {
+	var rows []exp.FetchRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.FetchModels(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Workload == "jumpy" {
+			b.ReportMetric(float64(r.Block)/float64(r.TraceCycles), "trace-speedup-vs-block")
+		}
+	}
+}
+
+// BenchmarkLargeL regenerates the large-register-file comparison (E16).
+func BenchmarkLargeL(b *testing.B) {
+	var rows []exp.LargeLRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.LargeL(vlsi.Tech035())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].AreaRatio, "64x64-area-ratio")
+}
+
+// BenchmarkClusterCaches regenerates the distributed cluster-cache
+// ablation (E17).
+func BenchmarkClusterCaches(b *testing.B) {
+	var rows []exp.ClusterCacheRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.ClusterCaches(16, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rows[0]
+	b.ReportMetric(float64(r.BaseCycles)/float64(r.CacheCycles), "rescan-speedup")
+}
+
+// BenchmarkGateLevelValidation regenerates E18: the kernel suite through
+// the actual CSPP and grid netlists.
+func BenchmarkGateLevelValidation(b *testing.B) {
+	var rows []exp.GateLevelRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.GateLevel(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	matches := 0
+	for _, r := range rows {
+		if r.Match {
+			matches++
+		}
+	}
+	b.ReportMetric(float64(matches), "kernels-matching")
+	b.ReportMetric(float64(len(rows)), "kernels-total")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per second) of the cycle engine on the kernel suite.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	ws := workload.Kernels()
+	p, err := New(Hybrid, 64, WithClusterSize(32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := ws[i%len(ws)]
+		res, err := p.Run(w.Prog, w.Mem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Stats.Retired
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-inst/s")
+}

@@ -1,0 +1,38 @@
+// Command usablate regenerates the extension/ablation experiments the
+// paper sketches in Section 7: shared ALUs, self-timed forwarding, memory
+// renaming, fetch mechanisms, the large-register-file regime, and
+// distributed cluster caches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ultrascalar/internal/exp"
+	"ultrascalar/internal/vlsi"
+)
+
+func main() {
+	window := flag.Int("n", 128, "window size for the shared-ALU sweep")
+	flag.Parse()
+
+	emit := func(rep string, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "usablate:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+	emit(exp.SharedALUsReport(*window))
+	emit(exp.SelfTimedReport(32))
+	emit(exp.MemRenamingReport(16))
+	emit(exp.FetchModelsReport(64))
+	emit(exp.LargeLReport(vlsi.Tech035()))
+	emit(exp.ClusterCachesReport(16, 4))
+	emit(exp.IPCReport(16, 4))
+	emit(exp.LocalityReport(64))
+	emit(exp.EndToEndReport(32, 32, []int{64, 256, 1024}, vlsi.Tech035()))
+	emit(exp.GateLevelReport(4))
+	emit(exp.ReturnStackReport(32))
+}

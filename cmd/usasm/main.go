@@ -1,0 +1,94 @@
+// Command usasm assembles Ultrascalar assembly to encoded 32-bit words,
+// or disassembles encoded words back to source.
+//
+// Usage:
+//
+//	usasm prog.s            # assemble, print hex words
+//	usasm -d words.hex      # disassemble hex words (one per line)
+//	usasm -run prog.s       # assemble and run on the reference interpreter
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ultrascalar"
+	"ultrascalar/internal/isa"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble hex words instead of assembling")
+	run := flag.Bool("run", false, "run the assembled program on the reference interpreter")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: usasm [-d|-run] file (or - for stdin)")
+		os.Exit(2)
+	}
+	data, err := readAll(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dis {
+		var words []isa.Word
+		sc := bufio.NewScanner(strings.NewReader(data))
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, "0x"), 16, 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad word %q: %v", line, err))
+			}
+			words = append(words, isa.Word(v))
+		}
+		prog, err := isa.DecodeProgram(words)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ultrascalar.Disassemble(prog))
+		return
+	}
+
+	prog, err := ultrascalar.Assemble(data)
+	if err != nil {
+		fatal(err)
+	}
+	if *run {
+		mem := ultrascalar.NewMemory()
+		prog.InitMem(mem)
+		regs, err := ultrascalar.Reference(prog.Insts, mem)
+		if err != nil {
+			fatal(err)
+		}
+		for r, v := range regs {
+			if v != 0 {
+				fmt.Printf("r%-2d = %d (0x%x)\n", r, v, v)
+			}
+		}
+		return
+	}
+	for _, w := range isa.EncodeProgram(prog.Insts) {
+		fmt.Printf("%08x\n", w)
+	}
+}
+
+func readAll(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "usasm:", err)
+	os.Exit(1)
+}

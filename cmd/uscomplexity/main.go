@@ -1,0 +1,50 @@
+// Command uscomplexity regenerates the paper's complexity results: the
+// Figure 11 comparison table, the Section 3 X(n) recurrence cases, the
+// Section 5 Ultrascalar II implementation comparison, the Section 6
+// cluster-size optimum, and the Section 7 three-dimensional bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ultrascalar/internal/circuit"
+	"ultrascalar/internal/exp"
+	"ultrascalar/internal/vlsi"
+)
+
+func main() {
+	l := flag.Int("L", 32, "logical registers")
+	w := flag.Int("W", 32, "register width (bits)")
+	nMin := flag.Int("nmin", 64, "smallest station count (power of 4)")
+	nMax := flag.Int("nmax", 4096, "largest station count (power of 4)")
+	verilog := flag.String("verilog", "", "write the 8-station register-CSPP netlist as Verilog to this file and exit")
+	flag.Parse()
+	t := vlsi.Tech035()
+
+	if *verilog != "" {
+		c := circuit.RegisterCSPP(8, *w+1, true)
+		if err := os.WriteFile(*verilog, []byte(c.Verilog("cspp_register_8")), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "uscomplexity:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d gates, depth %d)\n", *verilog, c.NumGates(), c.Depth())
+		return
+	}
+
+	emit := func(rep string, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uscomplexity:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+
+	emit(exp.Figure11Report(*l, *w, *nMin, *nMax, t))
+	emit(exp.UltraIRecurrenceReport(*l, *w, *nMin, *nMax, t))
+	emit(exp.Ultra2ScalingReport(*l, *w, 64, 1024, t))
+	emit(exp.ClusterSweepReport(4096, *w, t))
+	emit(exp.CircuitDepthsReport(8, 8, 128), nil)
+	emit(exp.ThreeDReport(*l, []int{256, 1024, 4096, 16384}), nil)
+}

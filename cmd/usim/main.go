@@ -1,0 +1,117 @@
+// Command usim assembles and runs a program on one of the three
+// Ultrascalar processors, printing the final architectural state and run
+// statistics.
+//
+// Usage:
+//
+//	usim -arch hybrid -n 64 -c 32 prog.s
+//	echo 'li r1, 42
+//	halt' | usim -arch ultra1 -n 16 -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ultrascalar"
+	"ultrascalar/internal/exp"
+)
+
+func main() {
+	arch := flag.String("arch", "hybrid", "processor: ultra1, ultra2, hybrid")
+	n := flag.Int("n", 64, "window size / issue width")
+	c := flag.Int("c", 0, "hybrid cluster size (default min(32, n))")
+	regs := flag.Int("regs", 32, "logical registers L")
+	memTiming := flag.Bool("memtiming", false, "enable the fat-tree memory timing model")
+	timeline := flag.Bool("timeline", false, "print the per-instruction timeline")
+	gantt := flag.Bool("gantt", false, "print a Figure 3 style Gantt chart of the run")
+	showRegs := flag.Bool("showregs", true, "print nonzero final registers")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: usim [flags] prog.s   (or - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ultrascalar.Assemble(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	var a ultrascalar.Arch
+	switch *arch {
+	case "ultra1":
+		a = ultrascalar.UltraI
+	case "ultra2":
+		a = ultrascalar.UltraII
+	case "hybrid":
+		a = ultrascalar.Hybrid
+	default:
+		fatal(fmt.Errorf("unknown architecture %q", *arch))
+	}
+	opts := []ultrascalar.Option{ultrascalar.WithRegisters(*regs)}
+	if *c > 0 {
+		opts = append(opts, ultrascalar.WithClusterSize(*c))
+	}
+	if *memTiming {
+		opts = append(opts, ultrascalar.WithMemoryTiming())
+	}
+	if *timeline || *gantt {
+		opts = append(opts, ultrascalar.WithTimeline())
+	}
+	p, err := ultrascalar.New(a, *n, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	mem := ultrascalar.NewMemory()
+	prog.InitMem(mem) // apply .data/.word directives
+	res, err := p.Run(prog.Insts, mem)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("%s  n=%d C=%d\n", a, p.Window(), p.ClusterSize())
+	fmt.Printf("cycles=%d retired=%d IPC=%.3f fetched=%d squashed=%d mispredicts=%d\n",
+		s.Cycles, s.Retired, s.IPC(), s.Fetched, s.Squashed, s.Mispredicts)
+	if *showRegs {
+		for r, v := range res.Regs {
+			if v != 0 {
+				fmt.Printf("  r%-2d = %d (0x%x)\n", r, v, v)
+			}
+		}
+	}
+	if *timeline {
+		recs := res.Timeline
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+		fmt.Println("\nseq  pc   slot issue done  inst")
+		for _, r := range recs {
+			fmt.Printf("%-4d %-4d %-4d %-5d %-5d %s\n", r.Seq, r.PC, r.Slot, r.Issue, r.Done, r.Inst)
+		}
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(exp.TimelineArt(res.Timeline, 64))
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "usim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command uslayout regenerates the paper's Figure 12 empirical layout
+// comparison and prints physical summaries of user-chosen configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ultrascalar"
+	"ultrascalar/internal/exp"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+func main() {
+	n := flag.Int("n", 64, "window size for the custom summary")
+	l := flag.Int("L", 32, "logical registers")
+	svgPath := flag.String("svg", "", "write an SVG floorplan of the Ultrascalar I to this file")
+	svgHybrid := flag.String("svghybrid", "", "write an SVG floorplan of the hybrid (C=min(L,n)) to this file")
+	flag.Parse()
+	tech := ultrascalar.DefaultTech()
+
+	if *svgPath != "" {
+		md, err := vlsi.UltraIModel(*n, *l, 32, memory.MConst(1), tech,
+			vlsi.UltraIOptions{EmitBlocks: true})
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*svgPath, []byte(vlsi.RenderSVG(md, tech)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d blocks)\n", *svgPath, len(md.Blocks))
+	}
+	if *svgHybrid != "" {
+		c := *l
+		if c > *n {
+			c = *n
+		}
+		md, err := vlsi.HybridModelBlocks(*n, c, *l, 32, memory.MConst(1), tech, vlsi.Ultra2Linear)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*svgHybrid, []byte(vlsi.RenderSVG(md, tech)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d blocks)\n", *svgHybrid, len(md.Blocks))
+	}
+
+	rep, err := exp.Figure12Report(tech)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+
+	fmt.Printf("custom configuration summaries (n=%d, L=%d):\n\n", *n, *l)
+	for _, tc := range []struct {
+		arch ultrascalar.Arch
+		opts []ultrascalar.Option
+	}{
+		{ultrascalar.UltraI, nil},
+		{ultrascalar.UltraII, nil},
+		{ultrascalar.UltraII, []ultrascalar.Option{ultrascalar.WithUltra2Mode(2)}},
+		{ultrascalar.Hybrid, nil},
+	} {
+		opts := append(tc.opts, ultrascalar.WithRegisters(*l))
+		p, err := ultrascalar.New(tc.arch, *n, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		md, err := p.Physical(tech)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-28s %6.2f x %-6.2f cm  wire %6.2f cm  %5d gate delays  clock %6.2f ns\n",
+			md.Name, tech.CM(md.WidthL), tech.CM(md.HeightL),
+			tech.CM(md.MaxWireL), md.GateDelay, md.ClockPs(tech)/1000)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uslayout:", err)
+	os.Exit(1)
+}

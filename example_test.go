@@ -1,0 +1,76 @@
+package ultrascalar_test
+
+import (
+	"fmt"
+
+	"ultrascalar"
+)
+
+// The basic flow: assemble, run, inspect.
+func Example() {
+	prog, err := ultrascalar.Assemble(`
+		li r1, 6
+		li r2, 7
+		mul r3, r1, r2
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	p, err := ultrascalar.New(ultrascalar.UltraI, 8)
+	if err != nil {
+		panic(err)
+	}
+	res, err := p.Run(prog.Insts, ultrascalar.NewMemory())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Regs[3])
+	// Output: 42
+}
+
+// All three architectures compute identical results; they differ in how
+// stations refill and in physical complexity.
+func ExampleNew() {
+	prog, _ := ultrascalar.Assemble(`
+		li r1, 100
+		li r2, 23
+		sub r3, r1, r2
+		halt
+	`)
+	for _, arch := range []ultrascalar.Arch{
+		ultrascalar.UltraI, ultrascalar.UltraII, ultrascalar.Hybrid,
+	} {
+		p, _ := ultrascalar.New(arch, 16)
+		res, _ := p.Run(prog.Insts, ultrascalar.NewMemory())
+		fmt.Println(arch, res.Regs[3])
+	}
+	// Output:
+	// Ultrascalar I 77
+	// Ultrascalar II 77
+	// Hybrid Ultrascalar 77
+}
+
+// Physical models expose the paper's complexity quantities.
+func ExampleProcessor_Physical() {
+	p, _ := ultrascalar.New(ultrascalar.Hybrid, 128, ultrascalar.WithClusterSize(32))
+	tech := ultrascalar.DefaultTech()
+	md, _ := p.Physical(tech)
+	fmt.Printf("stations=%d gate-delays>0: %v area>0: %v\n",
+		md.N, md.GateDelay > 0, md.AreaL2() > 0)
+	// Output: stations=128 gate-delays>0: true area>0: true
+}
+
+// The reference interpreter is the architectural oracle.
+func ExampleReference() {
+	prog, _ := ultrascalar.Assemble(`
+		li r1, 5
+		li r2, 4
+		mul r3, r1, r2
+		addi r3, r3, 2
+		halt
+	`)
+	regs, _ := ultrascalar.Reference(prog.Insts, ultrascalar.NewMemory())
+	fmt.Println(regs[3])
+	// Output: 22
+}

@@ -1,0 +1,72 @@
+// Extensions: exercises the paper's Section 7 design extensions through
+// the public API — a window-128 hybrid with 16 shared ALUs ("should fit
+// easily within a chip 1 cm on a side"), memory renaming, a trace-cache
+// fetch unit, and the self-timed forwarding model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ultrascalar"
+	"ultrascalar/internal/workload"
+)
+
+func main() {
+	w := workload.DotProduct(100)
+
+	configs := []struct {
+		name string
+		opts []ultrascalar.Option
+	}{
+		{"baseline (128 ALUs)", nil},
+		{"16 shared ALUs", []ultrascalar.Option{ultrascalar.WithSharedALUs(16)}},
+		{"4 shared ALUs", []ultrascalar.Option{ultrascalar.WithSharedALUs(4)}},
+		{"+ memory renaming", []ultrascalar.Option{
+			ultrascalar.WithSharedALUs(16), ultrascalar.WithMemoryRenaming()}},
+		{"+ trace-cache fetch", []ultrascalar.Option{
+			ultrascalar.WithSharedALUs(16), ultrascalar.WithMemoryRenaming(),
+			ultrascalar.WithFetchModel(ultrascalar.FetchTrace)}},
+		{"self-timed forwarding", []ultrascalar.Option{
+			ultrascalar.WithSelfTimedForwarding(nil)}},
+	}
+
+	fmt.Println("Section 7 extensions on a window-128 hybrid (C=32), dot product:")
+	fmt.Printf("%-24s %-8s %-8s %s\n", "configuration", "cycles", "IPC", "notes")
+	for _, cfg := range configs {
+		opts := append([]ultrascalar.Option{ultrascalar.WithClusterSize(32)}, cfg.opts...)
+		p, err := ultrascalar.New(ultrascalar.Hybrid, 128, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Run(w.Prog, w.Mem())
+		if err != nil {
+			log.Fatal(err)
+		}
+		notes := ""
+		if res.Stats.LoadsForwarded > 0 {
+			notes = fmt.Sprintf("%d loads forwarded", res.Stats.LoadsForwarded)
+		}
+		if res.Stats.ALUStarved > 0 {
+			notes += fmt.Sprintf(" %d ALU-starved cycles", res.Stats.ALUStarved)
+		}
+		fmt.Printf("%-24s %-8d %-8.2f %s\n", cfg.name, res.Stats.Cycles, res.Stats.IPC(), notes)
+	}
+
+	// The paper's closing estimate: a window-128, 16-shared-ALU hybrid in
+	// 0.1 µm "should fit easily within a chip 1 cm on a side". Scale the
+	// 0.35 µm technology to 0.1 µm (λ = 0.05 µm) and check.
+	tech := ultrascalar.DefaultTech()
+	tech.LambdaMicrons = 0.05
+	p, err := ultrascalar.New(ultrascalar.Hybrid, 128, ultrascalar.WithClusterSize(32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	md, err := p.Physical(tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwindow-128 hybrid at 0.1um: %.2f x %.2f cm (paper: 'within 1 cm on a side',\n",
+		tech.CM(md.WidthL), tech.CM(md.HeightL))
+	fmt.Println("with 16 shared ALUs instead of 128 replicated ones shrinking it further)")
+}

@@ -1,0 +1,78 @@
+// ILP study: how much instruction-level parallelism each processor
+// extracts as the window grows, on workloads with controlled dependence
+// structure — the architectural side of the paper's scalability argument
+// ("processors that scale well with the issue width [and] the window
+// size").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ultrascalar"
+	"ultrascalar/internal/workload"
+)
+
+func main() {
+	workloads := []workload.Workload{
+		workload.Chain(400),              // serial: ILP 1
+		workload.MixedILP(400, 16, 4, 1), // short dependences
+		workload.MixedILP(400, 16, 64, 1),
+		workload.Parallel(400, 32), // fully independent
+	}
+	fmt.Println("IPC by window size (Ultrascalar I semantics, per-station refill)")
+	fmt.Printf("%-22s", "workload")
+	windows := []int{4, 8, 16, 32, 64}
+	for _, n := range windows {
+		fmt.Printf("  n=%-4d", n)
+	}
+	fmt.Println()
+	for _, w := range workloads {
+		fmt.Printf("%-22s", w.Description[:min(22, len(w.Description))])
+		for _, n := range windows {
+			p, err := ultrascalar.New(ultrascalar.UltraI, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := p.Run(w.Prog, w.Mem())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6.2f", res.Stats.IPC())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nBatch-refill penalty (n=32): cycles on each architecture")
+	fmt.Printf("%-22s %-10s %-10s %-10s\n", "workload", "UltraI", "Hybrid C=8", "UltraII")
+	for _, w := range workloads {
+		var cycles []int64
+		for _, cfg := range []struct {
+			arch ultrascalar.Arch
+			opts []ultrascalar.Option
+		}{
+			{ultrascalar.UltraI, nil},
+			{ultrascalar.Hybrid, []ultrascalar.Option{ultrascalar.WithClusterSize(8)}},
+			{ultrascalar.UltraII, nil},
+		} {
+			p, err := ultrascalar.New(cfg.arch, 32, cfg.opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := p.Run(w.Prog, w.Mem())
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles = append(cycles, res.Stats.Cycles)
+		}
+		fmt.Printf("%-22s %-10d %-10d %-10d\n",
+			w.Description[:min(22, len(w.Description))], cycles[0], cycles[1], cycles[2])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

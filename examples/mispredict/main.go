@@ -1,0 +1,75 @@
+// Mispredict: demonstrates branch speculation and the Ultrascalar's
+// single-cycle misprediction recovery ("Nothing needs to be done to
+// recover from misprediction except to fetch new instructions from the
+// correct program path"), comparing predictable and unpredictable branch
+// behaviour under different predictors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ultrascalar"
+	"ultrascalar/internal/workload"
+)
+
+func main() {
+	fmt.Println("Branchy workloads on a 32-station Ultrascalar I:")
+	fmt.Printf("%-22s %-18s %-8s %-10s %-11s %-8s\n",
+		"workload", "predictor", "cycles", "branches", "mispredicts", "squashed")
+	for _, w := range []workload.Workload{
+		workload.Branchy(500, true),
+		workload.Branchy(500, false),
+	} {
+		for _, pred := range []ultrascalar.Predictor{
+			ultrascalar.StaticPredictor(true),
+			ultrascalar.Bimodal(10),
+			ultrascalar.GShare(10, 8),
+		} {
+			p, err := ultrascalar.New(ultrascalar.UltraI, 32,
+				ultrascalar.WithPredictor(pred))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := p.Run(w.Prog, w.Mem())
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := res.Stats
+			fmt.Printf("%-22s %-18s %-8d %-10d %-11d %-8d\n",
+				w.Name, pred.Name(), s.Cycles, s.Branches, s.Mispredicts, s.Squashed)
+		}
+	}
+
+	// Show the one-cycle recovery on a timeline: a mispredicted branch
+	// squashes the wrong path; the correct path issues the next cycle.
+	prog, err := ultrascalar.Assemble(`
+		li r1, 1
+		li r2, 2
+		blt r1, r2, taken   ; taken, but a not-taken predictor guesses wrong
+		add r3, r3, r3      ; wrong path
+		halt
+	taken:
+		addi r4, r1, 10
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := ultrascalar.New(ultrascalar.UltraI, 8,
+		ultrascalar.WithPredictor(ultrascalar.StaticPredictor(false)),
+		ultrascalar.WithTimeline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(prog.Insts, ultrascalar.NewMemory())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecovery demo: r4=%d, mispredicts=%d, squashed=%d\n",
+		res.Regs[4], res.Stats.Mispredicts, res.Stats.Squashed)
+	fmt.Println("retired timeline (seq, pc, [issue,done)):")
+	for _, r := range res.Timeline {
+		fmt.Printf("  seq %-3d pc %-3d [%d,%d)  %s\n", r.Seq, r.PC, r.Issue, r.Done, r.Inst)
+	}
+}

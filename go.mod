@@ -1,0 +1,3 @@
+module ultrascalar
+
+go 1.22

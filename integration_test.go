@@ -1,0 +1,71 @@
+package ultrascalar
+
+// Integration matrix: every architecture × option combination over the
+// extended workload suite, cross-checked against the reference
+// interpreter through the public API only.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIntegrationMatrix(t *testing.T) {
+	type variant struct {
+		name string
+		opts []Option
+	}
+	variants := []variant{
+		{"plain", nil},
+		{"shared-alus", []Option{WithSharedALUs(4)}},
+		{"renaming", []Option{WithMemoryRenaming()}},
+		{"trace-fetch", []Option{WithFetchModel(FetchTrace)}},
+		{"block-fetch", []Option{WithFetchModel(FetchBlock)}},
+		{"self-timed", []Option{WithSelfTimedForwarding(nil)}},
+		{"mem-timing", []Option{WithMemoryTiming()}},
+		{"butterfly", []Option{WithButterflyMemory()}},
+		{"gshare", []Option{WithPredictor(GShare(10, 8))}},
+		{"return-stack", []Option{WithReturnStack(16)}},
+		{"everything", []Option{
+			WithSharedALUs(8), WithMemoryRenaming(), WithReturnStack(16),
+			WithFetchModel(FetchTrace), WithPredictor(GShare(10, 8)),
+		}},
+	}
+	archs := []struct {
+		arch Arch
+		opts []Option
+	}{
+		{UltraI, nil},
+		{UltraII, nil},
+		{UltraII, []Option{WithUltra2WrapAround()}},
+		{Hybrid, []Option{WithClusterSize(8)}},
+	}
+	suite := ExtendedKernels()
+	if testing.Short() {
+		suite = suite[:6]
+	}
+	for _, w := range suite {
+		want, err := Reference(w.Prog, w.Mem())
+		if err != nil {
+			t.Fatalf("%s: reference: %v", w.Name, err)
+		}
+		for _, a := range archs {
+			for _, v := range variants {
+				name := fmt.Sprintf("%s/%s/%s", w.Name, a.arch, v.name)
+				opts := append(append([]Option{}, a.opts...), v.opts...)
+				p, err := New(a.arch, 32, opts...)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				res, err := p.Run(w.Prog, w.Mem())
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for r := range want {
+					if res.Regs[r] != want[r] {
+						t.Fatalf("%s: r%d = %d, want %d", name, r, res.Regs[r], want[r])
+					}
+				}
+			}
+		}
+	}
+}

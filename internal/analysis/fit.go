@@ -1,0 +1,127 @@
+// Package analysis provides the statistical and reporting machinery for
+// the paper's evaluation: power-law exponent fitting on log-log data (to
+// compare measured scaling against the paper's Θ bounds) and aligned text
+// tables in the style of the paper's Figure 11.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PowerFit is the result of fitting y = c·x^p by least squares in log-log
+// space.
+type PowerFit struct {
+	Exponent float64 // p
+	Coeff    float64 // c
+	R2       float64 // goodness of fit in log space
+}
+
+// FitPower fits y = c·x^p. All values must be positive; at least two
+// points are required.
+func FitPower(xs, ys []float64) (PowerFit, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return PowerFit{}, fmt.Errorf("analysis: need >= 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerFit{}, fmt.Errorf("analysis: non-positive data point (%g, %g)", xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return PowerFit{}, fmt.Errorf("analysis: degenerate x values")
+	}
+	p := (n*sxy - sx*sy) / den
+	b := (sy - p*sx) / n
+	// R² in log space.
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range lx {
+		pred := b + p*lx[i]
+		ssRes += (ly[i] - pred) * (ly[i] - pred)
+		ssTot += (ly[i] - meanY) * (ly[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return PowerFit{Exponent: p, Coeff: math.Exp(b), R2: r2}, nil
+}
+
+// Table renders aligned text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(width) {
+				b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitPowerExact(t *testing.T) {
+	// y = 3·x^1.5 exactly.
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 1.5))
+	}
+	f, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Exponent-1.5) > 1e-9 || math.Abs(f.Coeff-3) > 1e-9 {
+		t.Errorf("fit %+v, want p=1.5 c=3", f)
+	}
+	if f.R2 < 0.999999 {
+		t.Errorf("R2 = %f for exact data", f.R2)
+	}
+}
+
+func TestFitPowerNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for x := 4.0; x <= 4096; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 7*math.Pow(x, 0.5)*(1+0.05*rng.Float64()))
+	}
+	f, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Exponent-0.5) > 0.05 {
+		t.Errorf("exponent %f, want about 0.5", f.Exponent)
+	}
+}
+
+// TestFitPowerQuick: for random positive power laws, the fit recovers the
+// exponent.
+func TestFitPowerQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Float64()*3 - 1 // exponent in [-1, 2]
+		c := rng.Float64()*9 + 1
+		var xs, ys []float64
+		for x := 2.0; x <= 1024; x *= 2 {
+			xs = append(xs, x)
+			ys = append(ys, c*math.Pow(x, p))
+		}
+		fit, err := FitPower(xs, ys)
+		return err == nil && math.Abs(fit.Exponent-p) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPowerErrors(t *testing.T) {
+	if _, err := FitPower([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := FitPower([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FitPower([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Error("negative x should fail")
+	}
+	if _, err := FitPower([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+	if _, err := FitPower([]float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("zero y should fail")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("arch", "n", "area")
+	tab.Row("ultra1", 64, 3.14159)
+	tab.Row("hybrid", 128, "1.2e9")
+	s := tab.String()
+	if !strings.Contains(s, "arch") || !strings.Contains(s, "ultra1") {
+		t.Errorf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Errorf("table has %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(s, "3.142") {
+		t.Errorf("float formatting wrong:\n%s", s)
+	}
+	// Columns align: header and first row start identically padded.
+	if len(lines[0]) == 0 || len(lines[2]) == 0 {
+		t.Error("empty lines")
+	}
+}

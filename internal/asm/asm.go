@@ -1,0 +1,567 @@
+// Package asm implements a two-pass assembler and a disassembler for the
+// ISA in internal/isa.
+//
+// Syntax, one instruction or directive per line:
+//
+//	; comment, or # comment, or // comment
+//	label:            ; labels may share a line with an instruction
+//	    add  r1, r2, r3
+//	    addi r1, r2, -4
+//	    lw   r1, 8(r2)
+//	    sw   r1, 8(r2)
+//	    li   r1, 1000      ; 21-bit signed immediate
+//	    li32 r1, 0xDEADBEEF ; pseudo: expands to li+lui or lui sequence
+//	    beq  r1, r2, label
+//	    j    label          ; pseudo: beq r0, r0, label (always taken)
+//	    jal  r31, label
+//	    mov  r1, r2         ; pseudo: addi r1, r2, 0
+//	    nop
+//	    halt
+//
+// Numbers are decimal or 0x-prefixed hex, optionally negative. Registers
+// are r0..r31.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ultrascalar/internal/isa"
+)
+
+// Program is an assembled program: the instruction list plus the symbol
+// table (label -> instruction index) and any initial data-memory image
+// declared with .data/.word directives.
+type Program struct {
+	Insts  []isa.Inst
+	Labels map[string]int
+	// Source holds, for each instruction, the 1-based source line it came
+	// from, for diagnostics.
+	Source []int
+	// Data holds the initial data-memory image: word address -> value,
+	// built by the .data (set the fill address) and .word (emit values)
+	// directives.
+	Data map[isa.Word]isa.Word
+}
+
+// InitMem copies the program's data image into mem.
+func (p *Program) InitMem(mem interface{ Store(addr, val isa.Word) }) {
+	for a, v := range p.Data {
+		mem.Store(a, v)
+	}
+}
+
+// Error describes an assembly error with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// item is an unresolved instruction from pass one.
+type item struct {
+	line  int
+	inst  isa.Inst
+	label string // pending label for the immediate field, if any
+	pcRel bool   // label resolves PC-relative (branches, jal) vs absolute
+	pc    int
+}
+
+// Assemble translates assembler source into a Program.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: make(map[string]int), Data: make(map[isa.Word]isa.Word)}
+	var items []item
+	dataPtr := isa.Word(0)
+	dataSet := false
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		// Peel off any leading "label:" prefixes.
+		for {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" {
+				line = ""
+				break
+			}
+			colon := strings.Index(trimmed, ":")
+			if colon < 0 {
+				line = trimmed
+				break
+			}
+			head := strings.TrimSpace(trimmed[:colon])
+			if !isIdent(head) {
+				line = trimmed
+				break
+			}
+			if _, dup := p.Labels[head]; dup {
+				return nil, errf(lineNo+1, "duplicate label %q", head)
+			}
+			p.Labels[head] = len(items)
+			line = trimmed[colon+1:]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			var err error
+			dataPtr, dataSet, err = directive(lineNo+1, line, p, dataPtr, dataSet)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		its, err := parseLine(lineNo+1, line, len(items))
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, its...)
+	}
+
+	// Pass two: resolve labels.
+	for _, it := range items {
+		in := it.inst
+		if it.label != "" {
+			target, ok := p.Labels[it.label]
+			if !ok {
+				return nil, errf(it.line, "undefined label %q", it.label)
+			}
+			if it.pcRel {
+				in.Imm = int32(target - it.pc - 1)
+			} else {
+				in.Imm = int32(target)
+			}
+		}
+		if err := in.Validate(); err != nil {
+			return nil, errf(it.line, "%v", err)
+		}
+		p.Insts = append(p.Insts, in)
+		p.Source = append(p.Source, it.line)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and builtin
+// kernels whose sources are compile-time constants.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic("asm: " + err.Error())
+	}
+	return p
+}
+
+// directive processes one dot-directive line:
+//
+//	.data <addr>         set the data fill pointer
+//	.word <v> [, <v>...] emit words at the fill pointer
+//	.zero <count>        advance the fill pointer over zeroed words
+func directive(line int, text string, p *Program, ptr isa.Word, set bool) (isa.Word, bool, error) {
+	name, rest, _ := strings.Cut(text, " ")
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return ptr, set, errf(line, "%v", err)
+	}
+	switch name {
+	case ".data":
+		if len(ops) != 1 {
+			return ptr, set, errf(line, ".data needs one address")
+		}
+		v, err := parseImm(ops[0])
+		if err != nil {
+			return ptr, set, errf(line, "%v", err)
+		}
+		return isa.Word(v), true, nil
+	case ".word":
+		if !set {
+			return ptr, set, errf(line, ".word before .data")
+		}
+		if len(ops) == 0 {
+			return ptr, set, errf(line, ".word needs at least one value")
+		}
+		for _, op := range ops {
+			v, err := parseImm(op)
+			if err != nil {
+				return ptr, set, errf(line, "%v", err)
+			}
+			p.Data[ptr] = isa.Word(v)
+			ptr++
+		}
+		return ptr, set, nil
+	case ".zero":
+		if !set {
+			return ptr, set, errf(line, ".zero before .data")
+		}
+		if len(ops) != 1 {
+			return ptr, set, errf(line, ".zero needs a count")
+		}
+		v, err := parseImm(ops[0])
+		if err != nil || v < 0 {
+			return ptr, set, errf(line, "bad count %q", ops[0])
+		}
+		return ptr + isa.Word(v), set, nil
+	default:
+		return ptr, set, errf(line, "unknown directive %q", name)
+	}
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+var mnemonics = map[string]isa.Op{}
+
+func init() {
+	for o := isa.Op(0); o.Valid(); o++ {
+		mnemonics[o.String()] = o
+	}
+}
+
+// parseLine parses one instruction (possibly expanding a pseudo-op into
+// several) at instruction address pc.
+func parseLine(line int, text string, pc int) ([]item, error) {
+	mn, rest, _ := strings.Cut(text, " ")
+	mn = strings.ToLower(strings.TrimSpace(mn))
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return nil, errf(line, "%v", err)
+	}
+
+	switch mn {
+	case "mov": // addi rd, rs, 0
+		if len(ops) != 2 {
+			return nil, errf(line, "mov needs 2 operands")
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, errf(line, "mov: bad register")
+		}
+		return []item{{line: line, pc: pc, inst: isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs}}}, nil
+	case "inc", "dec": // addi rd, rd, ±1
+		if len(ops) != 1 {
+			return nil, errf(line, "%s needs 1 operand", mn)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		imm := int32(1)
+		if mn == "dec" {
+			imm = -1
+		}
+		return []item{{line: line, pc: pc, inst: isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rd, Imm: imm}}}, nil
+	case "not": // xori rd, rs, -1
+		if len(ops) != 2 {
+			return nil, errf(line, "not needs 2 operands")
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, errf(line, "not: bad register")
+		}
+		return []item{{line: line, pc: pc, inst: isa.Inst{Op: isa.OpXori, Rd: rd, Rs1: rs, Imm: -1}}}, nil
+	case "neg": // sub rd, r0-free form: rd = 0 - rs needs a zero... use sub rd, rX? No zero reg:
+		// neg rd, rs expands to: not rd, rs; inc rd (two's complement).
+		if len(ops) != 2 {
+			return nil, errf(line, "neg needs 2 operands")
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, errf(line, "neg: bad register")
+		}
+		return []item{
+			{line: line, pc: pc, inst: isa.Inst{Op: isa.OpXori, Rd: rd, Rs1: rs, Imm: -1}},
+			{line: line, pc: pc + 1, inst: isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rd, Imm: 1}},
+		}, nil
+	case "ble", "bgt": // swap operands of bge/blt
+		if len(ops) != 3 {
+			return nil, errf(line, "%s needs 3 operands", mn)
+		}
+		r1, err1 := parseReg(ops[0])
+		r2, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, errf(line, "%s: bad register", mn)
+		}
+		op := isa.OpBge
+		if mn == "bgt" {
+			op = isa.OpBlt
+		}
+		it := item{line: line, pc: pc, inst: isa.Inst{Op: op, Rs1: r2, Rs2: r1}}
+		if err := setTarget(&it, ops[2], true); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []item{it}, nil
+	case "call": // jal r31, target
+		if len(ops) != 1 {
+			return nil, errf(line, "call needs 1 operand")
+		}
+		it := item{line: line, pc: pc, inst: isa.Inst{Op: isa.OpJal, Rd: 31}}
+		if err := setTarget(&it, ops[0], true); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []item{it}, nil
+	case "ret": // jalr r30, r31, 0
+		// JALR must write a link register (every jump writes one); r0 is
+		// NOT hardwired to zero in this ISA, so the discard target is the
+		// designated scratch register r30, keeping r0 usable as a
+		// software zero.
+		if len(ops) != 0 {
+			return nil, errf(line, "ret takes no operands")
+		}
+		return []item{{line: line, pc: pc, inst: isa.Inst{Op: isa.OpJalr, Rd: 30, Rs1: 31}}}, nil
+	case "j": // beq r0, r0, label (always taken: r0 == r0)
+		if len(ops) != 1 {
+			return nil, errf(line, "j needs 1 operand")
+		}
+		it := item{line: line, pc: pc, inst: isa.Inst{Op: isa.OpBeq}}
+		if err := setTarget(&it, ops[0], true); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []item{it}, nil
+	case "li32": // materialize a full 32-bit constant
+		if len(ops) != 2 {
+			return nil, errf(line, "li32 needs 2 operands")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		v, err := parseImm(ops[1])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		w := uint32(v)
+		lo := int32(w & 0xFFFF)
+		// The high half is stored in the signed 16-bit immediate field;
+		// sign extension is harmless because LUI shifts it left by 16.
+		hi := int32(int16(w >> 16))
+		// li sign-extends 21 bits; emit li of the low half zero-extended
+		// (fits in 21 bits since < 2^16), then patch the high half.
+		return []item{
+			{line: line, pc: pc, inst: isa.Inst{Op: isa.OpLi, Rd: rd, Imm: lo}},
+			{line: line, pc: pc + 1, inst: isa.Inst{Op: isa.OpLui, Rd: rd, Rs1: rd, Imm: hi}},
+		}, nil
+	}
+
+	op, ok := mnemonics[mn]
+	if !ok {
+		return nil, errf(line, "unknown mnemonic %q", mn)
+	}
+	it := item{line: line, pc: pc, inst: isa.Inst{Op: op}}
+	in := &it.inst
+
+	switch isa.FormatOf(op) {
+	case isa.FormatR:
+		if len(ops) != 3 {
+			return nil, errf(line, "%s needs 3 register operands", mn)
+		}
+		var errs [3]error
+		in.Rd, errs[0] = parseReg(ops[0])
+		in.Rs1, errs[1] = parseReg(ops[1])
+		in.Rs2, errs[2] = parseReg(ops[2])
+		for _, e := range errs {
+			if e != nil {
+				return nil, errf(line, "%v", e)
+			}
+		}
+	case isa.FormatI:
+		if op == isa.OpLw {
+			if len(ops) != 2 {
+				return nil, errf(line, "lw needs 2 operands")
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			imm, rs, err := parseMemOperand(ops[1])
+			if err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			in.Rd, in.Rs1, in.Imm = rd, rs, imm
+			break
+		}
+		if op == isa.OpJalr {
+			if len(ops) != 3 && len(ops) != 2 {
+				return nil, errf(line, "jalr needs rd, rs1[, imm]")
+			}
+			var err error
+			if in.Rd, err = parseReg(ops[0]); err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			if in.Rs1, err = parseReg(ops[1]); err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			if len(ops) == 3 {
+				if in.Imm, err = parseImm(ops[2]); err != nil {
+					return nil, errf(line, "%v", err)
+				}
+			}
+			break
+		}
+		if len(ops) != 3 {
+			return nil, errf(line, "%s needs 3 operands", mn)
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		if in.Rs1, err = parseReg(ops[1]); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		if in.Imm, err = parseImm(ops[2]); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+	case isa.FormatB:
+		if op == isa.OpSw {
+			if len(ops) != 2 {
+				return nil, errf(line, "sw needs 2 operands")
+			}
+			rs2, err := parseReg(ops[0])
+			if err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			imm, rs1, err := parseMemOperand(ops[1])
+			if err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			in.Rs1, in.Rs2, in.Imm = rs1, rs2, imm
+			break
+		}
+		if len(ops) != 3 {
+			return nil, errf(line, "%s needs 3 operands", mn)
+		}
+		var err error
+		if in.Rs1, err = parseReg(ops[0]); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		if in.Rs2, err = parseReg(ops[1]); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		if err := setTarget(&it, ops[2], true); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+	case isa.FormatJ:
+		if len(ops) != 2 {
+			return nil, errf(line, "%s needs 2 operands", mn)
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		if err := setTarget(&it, ops[1], op == isa.OpJal); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+	case isa.FormatS:
+		if len(ops) != 0 {
+			return nil, errf(line, "%s takes no operands", mn)
+		}
+	}
+	return []item{it}, nil
+}
+
+// setTarget records an immediate operand that may be a label.
+func setTarget(it *item, s string, pcRel bool) error {
+	if v, err := parseImm(s); err == nil {
+		it.inst.Imm = v
+		return nil
+	}
+	if !isIdent(s) {
+		return fmt.Errorf("bad target %q", s)
+	}
+	it.label = s
+	it.pcRel = pcRel
+	return nil
+}
+
+func splitOperands(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, fmt.Errorf("empty operand")
+		}
+	}
+	return parts, nil
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.MaxRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > 1<<32-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(v), nil
+}
+
+// parseMemOperand parses "imm(rN)" or "(rN)".
+func parseMemOperand(s string) (imm int32, reg uint8, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if open > 0 {
+		if imm, err = parseImm(s[:open]); err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err = parseReg(s[open+1 : len(s)-1])
+	return imm, reg, err
+}
+
+// Disassemble renders a program as assembler source, one instruction per
+// line, with label comments for branch targets.
+func Disassemble(prog []isa.Inst) string {
+	var b strings.Builder
+	for pc, in := range prog {
+		fmt.Fprintf(&b, "%4d: %s", pc, in)
+		if in.IsBranch() || in.Op == isa.OpJal {
+			fmt.Fprintf(&b, "    ; -> %d", pc+1+int(in.Imm))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,353 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"ultrascalar/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; the paper's Figure 1 instruction sequence
+		div r3, r1, r2
+		add r0, r0, r3
+		add r1, r5, r6
+		add r1, r0, r1
+		mul r2, r5, r6
+		add r2, r2, r4
+		sub r0, r5, r6
+		add r4, r0, r7
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 9 {
+		t.Fatalf("got %d instructions, want 9", len(p.Insts))
+	}
+	want := isa.Inst{Op: isa.OpDiv, Rd: 3, Rs1: 1, Rs2: 2}
+	if p.Insts[0] != want {
+		t.Errorf("inst 0 = %v, want %v", p.Insts[0], want)
+	}
+	if p.Insts[8].Op != isa.OpHalt {
+		t.Errorf("inst 8 = %v, want halt", p.Insts[8])
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p, err := Assemble(`
+		li r1, 10
+		li r2, 0
+	loop:
+		add r2, r2, r1
+		addi r1, r1, -1
+		bne r1, r0, loop
+		j done
+		add r2, r2, r2  ; skipped
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["loop"] != 2 {
+		t.Errorf("loop label = %d, want 2", p.Labels["loop"])
+	}
+	bne := p.Insts[4]
+	if bne.Op != isa.OpBne || int(bne.Imm) != 2-4-1 {
+		t.Errorf("bne = %v, want imm %d", bne, 2-4-1)
+	}
+	j := p.Insts[5]
+	if j.Op != isa.OpBeq || j.Rs1 != 0 || j.Rs2 != 0 || int(j.Imm) != 7-5-1 {
+		t.Errorf("j = %v", j)
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	p, err := Assemble(`
+		lw r1, 8(r2)
+		lw r3, (r4)
+		sw r5, -4(r6)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.Insts[0]; in.Op != isa.OpLw || in.Rd != 1 || in.Rs1 != 2 || in.Imm != 8 {
+		t.Errorf("lw = %v", in)
+	}
+	if in := p.Insts[1]; in.Imm != 0 || in.Rs1 != 4 {
+		t.Errorf("lw no-offset = %v", in)
+	}
+	if in := p.Insts[2]; in.Op != isa.OpSw || in.Rs2 != 5 || in.Rs1 != 6 || in.Imm != -4 {
+		t.Errorf("sw = %v", in)
+	}
+}
+
+func TestAssembleLi32(t *testing.T) {
+	p, err := Assemble("li32 r7, 0xDEADBEEF\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 3 {
+		t.Fatalf("li32 should expand to 2 instructions, got %d", len(p.Insts)-1)
+	}
+	// Execute the two instructions through ALUOp to check the value.
+	v := isa.ALUOp(p.Insts[0], 0, 0)
+	v = isa.ALUOp(p.Insts[1], v, 0)
+	if v != 0xDEADBEEF {
+		t.Errorf("li32 materialized %#x, want 0xDEADBEEF", v)
+	}
+}
+
+func TestAssemblePseudoMov(t *testing.T) {
+	p, err := Assemble("mov r1, r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := isa.Inst{Op: isa.OpAddi, Rd: 1, Rs1: 2, Imm: 0}
+	if p.Insts[0] != want {
+		t.Errorf("mov = %v, want %v", p.Insts[0], want)
+	}
+}
+
+func TestAssembleJalJalr(t *testing.T) {
+	p, err := Assemble(`
+		jal r31, func
+		halt
+	func:
+		jalr r0, r31, 0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.Insts[0]; in.Op != isa.OpJal || in.Rd != 31 || in.Imm != 1 {
+		t.Errorf("jal = %v", in)
+	}
+	if in := p.Insts[2]; in.Op != isa.OpJalr || in.Rs1 != 31 {
+		t.Errorf("jalr = %v", in)
+	}
+	// jalr with explicit 2-operand form
+	p2, err := Assemble("jalr r0, r5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p2.Insts[0]; in.Rs1 != 5 || in.Imm != 0 {
+		t.Errorf("jalr 2-op = %v", in)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	srcs := []string{
+		"add r1, r2, r3 ; semicolon",
+		"add r1, r2, r3 # hash",
+		"add r1, r2, r3 // slashes",
+	}
+	for _, src := range srcs {
+		p, err := Assemble(src)
+		if err != nil || len(p.Insts) != 1 {
+			t.Errorf("comment form %q failed: %v", src, err)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2, r3",
+		"add r1, r2",
+		"add r1, r2, r99",
+		"addi r1, r2, 99999",
+		"beq r1, r2, nowhere",
+		"lw r1, 8[r2]",
+		"halt r1",
+		"dup:\ndup:\nhalt",
+		"li r1, 9999999",
+		"j",
+		"mov r1",
+		"li32 r1",
+		"add r1, r2, ",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+	// Errors carry line numbers.
+	_, err := Assemble("nop\nnop\nbogus x")
+	var ae *Error
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q should mention line 3", err)
+	}
+	_ = ae
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestDisassemble(t *testing.T) {
+	p := MustAssemble(`
+	loop:
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt
+	`)
+	text := Disassemble(p.Insts)
+	if !strings.Contains(text, "addi r1, r1, -1") {
+		t.Errorf("disassembly missing addi: %s", text)
+	}
+	if !strings.Contains(text, "-> 0") {
+		t.Errorf("disassembly missing branch target: %s", text)
+	}
+}
+
+// TestRoundTripThroughEncoding assembles, encodes to words, decodes, and
+// checks instruction-level equality.
+func TestRoundTripThroughEncoding(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 100
+		li32 r2, 0x12345678
+	loop:
+		sub r1, r1, r2
+		blt r0, r1, loop
+		sw r1, 4(r2)
+		lw r3, (r1)
+		jal r31, loop
+		halt
+	`)
+	words := isa.EncodeProgram(p.Insts)
+	back, err := isa.DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Insts {
+		if back[i] != p.Insts[i] {
+			t.Errorf("inst %d: %v != %v", i, back[i], p.Insts[i])
+		}
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	p, err := Assemble(`
+		inc r1
+		dec r2
+		not r3, r4
+		neg r5, r6
+		ble r1, r2, out
+		bgt r1, r2, out
+		call out
+	out:
+		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Inst{
+		{Op: isa.OpAddi, Rd: 1, Rs1: 1, Imm: 1},
+		{Op: isa.OpAddi, Rd: 2, Rs1: 2, Imm: -1},
+		{Op: isa.OpXori, Rd: 3, Rs1: 4, Imm: -1},
+		{Op: isa.OpXori, Rd: 5, Rs1: 6, Imm: -1},
+		{Op: isa.OpAddi, Rd: 5, Rs1: 5, Imm: 1},
+		{Op: isa.OpBge, Rs1: 2, Rs2: 1, Imm: 2}, // ble swaps
+		{Op: isa.OpBlt, Rs1: 2, Rs2: 1, Imm: 1}, // bgt swaps
+		{Op: isa.OpJal, Rd: 31, Imm: 0},
+		{Op: isa.OpJalr, Rd: 30, Rs1: 31}, // ret discards the link into scratch r30
+	}
+	if len(p.Insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d: %v", len(p.Insts), len(want), p.Insts)
+	}
+	for i := range want {
+		if p.Insts[i] != want[i] {
+			t.Errorf("inst %d = %v, want %v", i, p.Insts[i], want[i])
+		}
+	}
+	// neg semantics: two's complement.
+	v := isa.ALUOp(want[3], 10, 0)
+	v = isa.ALUOp(want[4], v, 0)
+	if int32(v) != -10 {
+		t.Errorf("neg computed %d, want -10", int32(v))
+	}
+	for _, bad := range []string{"inc", "dec r1, r2", "not r1", "neg r1",
+		"ble r1, r2", "call", "ret r1", "call 1, 2"} {
+		if _, err := Assemble(bad); err == nil {
+			t.Errorf("Assemble(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p, err := Assemble(`
+		.data 100
+		.word 7, 8, 9
+		.zero 2
+		.word 0x2A
+		lw r1, 0(r0)   ; program part
+		halt
+		.data 500
+		.word -1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[isa.Word]isa.Word{100: 7, 101: 8, 102: 9, 105: 0x2A, 500: ^isa.Word(0)}
+	if len(p.Data) != len(want) {
+		t.Fatalf("data image %v, want %v", p.Data, want)
+	}
+	for a, v := range want {
+		if p.Data[a] != v {
+			t.Errorf("data[%d] = %d, want %d", a, p.Data[a], v)
+		}
+	}
+	if len(p.Insts) != 2 {
+		t.Errorf("got %d instructions, want 2", len(p.Insts))
+	}
+}
+
+func TestDataDirectiveErrors(t *testing.T) {
+	cases := []string{
+		".word 5",           // .word before .data
+		".zero 5",           // .zero before .data
+		".data",             // missing address
+		".data 1, 2",        // too many
+		".data 10\n.word",   // missing value
+		".data 10\n.word x", // bad value
+		".data 10\n.zero -1",
+		".bogus 1",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestInitMem(t *testing.T) {
+	p := MustAssemble(".data 10\n.word 1, 2\nhalt")
+	store := map[isa.Word]isa.Word{}
+	p.InitMem(storeFunc(func(a, v isa.Word) { store[a] = v }))
+	if store[10] != 1 || store[11] != 2 {
+		t.Errorf("InitMem wrote %v", store)
+	}
+}
+
+type storeFunc func(a, v isa.Word)
+
+func (f storeFunc) Store(a, v isa.Word) { f(a, v) }
+
+func TestLabelOnSameLine(t *testing.T) {
+	p, err := Assemble("start: nop\nj start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["start"] != 0 || len(p.Insts) != 2 {
+		t.Errorf("labels %v insts %d", p.Labels, len(p.Insts))
+	}
+}

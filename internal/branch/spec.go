@@ -1,0 +1,50 @@
+package branch
+
+// Speculative global history. Predictors that fold a global history
+// register into their index (gshare) mispredict badly under deep
+// speculation if the history is only updated at resolution: dozens of
+// branches are fetched before earlier ones resolve, so the history seen
+// at prediction time differs from the history the table was trained with.
+// The standard fix is to shift the *predicted* direction into the history
+// at fetch and rewind on misprediction; SpecPredictor exposes that
+// protocol and the execution engine drives it.
+
+// SpecPredictor is a Predictor with speculative-history management.
+type SpecPredictor interface {
+	Predictor
+	// PredictSpec predicts the branch at pc, speculatively shifts the
+	// predicted direction into the global history, and returns a snapshot
+	// of the history as it was at prediction time.
+	PredictSpec(pc int) (taken bool, snapshot int)
+	// Resolve trains the predictor for a branch predicted under snapshot.
+	// If the branch was mispredicted, the speculative history is rewound
+	// to the snapshot and the actual outcome is shifted in (squashing all
+	// younger speculative bits, whose branches are squashed too).
+	Resolve(pc, snapshot int, taken, mispredicted bool)
+}
+
+// PredictSpec implements SpecPredictor for gshare.
+func (g *gshare) PredictSpec(pc int) (bool, int) {
+	snap := g.history
+	taken := g.table[g.idx(pc)].taken()
+	g.history = g.push(snap, taken)
+	return taken, snap
+}
+
+// Resolve implements SpecPredictor for gshare: the table is trained at
+// the fetch-time index.
+func (g *gshare) Resolve(pc, snapshot int, taken, mispredicted bool) {
+	i := (pc ^ snapshot) & g.mask
+	g.table[i] = g.table[i].update(taken)
+	if mispredicted {
+		g.history = g.push(snapshot, taken)
+	}
+}
+
+func (g *gshare) push(hist int, taken bool) int {
+	h := (hist << 1) & g.hmask
+	if taken {
+		h |= 1
+	}
+	return h
+}

@@ -1,0 +1,84 @@
+package branch
+
+import "testing"
+
+func TestGShareImplementsSpec(t *testing.T) {
+	var p Predictor = GShare(8, 4)
+	if _, ok := p.(SpecPredictor); !ok {
+		t.Fatal("gshare should implement SpecPredictor")
+	}
+	// Static and bimodal intentionally do not (no global history).
+	if _, ok := Static(true).(SpecPredictor); ok {
+		t.Error("static must not implement SpecPredictor")
+	}
+	if _, ok := Bimodal(4).(SpecPredictor); ok {
+		t.Error("bimodal must not implement SpecPredictor")
+	}
+}
+
+// TestSpecAlternatingDeep simulates deep speculation: predict 8 branches
+// ahead before resolving any, on an alternating pattern. With speculative
+// history the predictor learns it; resolve-time-only history cannot.
+func TestSpecAlternatingDeep(t *testing.T) {
+	g := GShare(10, 8).(SpecPredictor)
+	pc := 7
+	misses := 0
+	type pending struct {
+		snap      bool
+		snapshot  int
+		predicted bool
+	}
+	iter := 0
+	for round := 0; round < 50; round++ {
+		var window []pending
+		for k := 0; k < 8; k++ {
+			taken, snap := g.PredictSpec(pc)
+			window = append(window, pending{snapshot: snap, predicted: taken})
+		}
+		for _, p := range window {
+			actual := iter%2 == 0
+			iter++
+			mis := p.predicted != actual
+			if round >= 20 && mis {
+				misses++
+			}
+			g.Resolve(pc, p.snapshot, actual, mis)
+			if mis {
+				// A real engine squashes the younger speculative branches;
+				// emulate by re-predicting the rest of the window.
+				break
+			}
+		}
+	}
+	if misses > 12 {
+		t.Errorf("speculative gshare missed %d times after warmup on alternating pattern", misses)
+	}
+}
+
+// TestSpecRewind: a misprediction rewinds the history to the snapshot plus
+// the actual outcome, discarding younger speculative bits.
+func TestSpecRewind(t *testing.T) {
+	g := GShare(6, 6).(*gshare)
+	g.history = 0b1010
+	_, snap := g.PredictSpec(3)
+	if snap != 0b1010 {
+		t.Fatalf("snapshot %b, want 1010", snap)
+	}
+	g.PredictSpec(4) // younger speculative bit
+	g.Resolve(3, snap, true, true)
+	want := (0b1010<<1 | 1) & g.hmask
+	if g.history != want {
+		t.Errorf("history after rewind %b, want %b", g.history, want)
+	}
+	// Correct prediction leaves speculative history untouched.
+	before := g.history
+	_, snap2 := g.PredictSpec(5)
+	after := g.history
+	g.Resolve(5, snap2, g.table[(5^snap2)&g.mask].taken(), false)
+	if g.history != after || after == before && g.hmask > 1 {
+		// history advanced by exactly the speculative push
+		if g.history != after {
+			t.Errorf("correct resolve must not rewind: %b vs %b", g.history, after)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package branch
+
+// tournament combines two component predictors with a table of 2-bit
+// chooser counters (McFarling-style): the chooser learns, per branch,
+// which component to trust.
+type tournament struct {
+	a, b    Predictor
+	chooser []counter // low: use a, high: use b
+	mask    int
+}
+
+// Tournament returns a chooser-based combination of two predictors with
+// 2^bits chooser entries. If both components implement SpecPredictor the
+// combination does too (see spec.go); with the plain constructor the
+// combination trains through Update only.
+func Tournament(a, b Predictor, bits int) Predictor {
+	n := 1 << bits
+	t := &tournament{a: a, b: b, chooser: make([]counter, n), mask: n - 1}
+	for i := range t.chooser {
+		t.chooser[i] = 1 // weakly prefer a
+	}
+	return t
+}
+
+func (t *tournament) useB(pc int) bool { return t.chooser[pc&t.mask].taken() }
+
+// Predict consults the chosen component.
+func (t *tournament) Predict(pc int) bool {
+	if t.useB(pc) {
+		return t.b.Predict(pc)
+	}
+	return t.a.Predict(pc)
+}
+
+// Update trains both components and moves the chooser toward whichever
+// component was right.
+func (t *tournament) Update(pc int, taken bool) {
+	pa := t.a.Predict(pc)
+	pb := t.b.Predict(pc)
+	t.train(pc, pa == taken, pb == taken)
+	t.a.Update(pc, taken)
+	t.b.Update(pc, taken)
+}
+
+// train moves the chooser when exactly one component was correct.
+func (t *tournament) train(pc int, aRight, bRight bool) {
+	if aRight == bRight {
+		return
+	}
+	i := pc & t.mask
+	t.chooser[i] = t.chooser[i].update(bRight)
+}
+
+// Name identifies the combination.
+func (t *tournament) Name() string {
+	return "tournament(" + t.a.Name() + "," + t.b.Name() + ")"
+}

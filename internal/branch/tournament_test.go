@@ -1,0 +1,64 @@
+package branch
+
+import "testing"
+
+func TestTournamentPicksBetterComponent(t *testing.T) {
+	// Alternating pattern: the gshare component learns it, bimodal
+	// cannot; the tournament must converge to gshare's accuracy (in the
+	// shallow, Update-driven regime where gshare's resolve-time history
+	// is consistent).
+	p := Tournament(Bimodal(8), GShare(10, 8), 8)
+	pc := 5
+	misses := 0
+	for iter := 0; iter < 600; iter++ {
+		taken := iter%2 == 0
+		if iter >= 300 && p.Predict(pc) != taken {
+			misses++
+		}
+		p.Update(pc, taken)
+	}
+	if misses > 30 {
+		t.Errorf("tournament missed %d/300 on an alternating pattern", misses)
+	}
+}
+
+func TestTournamentPrefersStableComponent(t *testing.T) {
+	// Constant-taken branch: both are fine; the tournament must be
+	// essentially perfect after warmup.
+	p := Tournament(Bimodal(8), GShare(10, 8), 8)
+	pc := 9
+	misses := 0
+	for iter := 0; iter < 200; iter++ {
+		if iter >= 20 && !p.Predict(pc) {
+			misses++
+		}
+		p.Update(pc, true)
+	}
+	if misses > 0 {
+		t.Errorf("tournament missed %d on a constant branch", misses)
+	}
+}
+
+func TestTournamentName(t *testing.T) {
+	p := Tournament(Static(true), Bimodal(2), 4)
+	want := "tournament(static-taken,bimodal-4)"
+	if p.Name() != want {
+		t.Errorf("name %q, want %q", p.Name(), want)
+	}
+}
+
+func TestTournamentChooserMoves(t *testing.T) {
+	// Component a always right, b always wrong: the chooser must move
+	// toward a and stay there.
+	p := Tournament(Static(true), Static(false), 2).(*tournament)
+	pc := 1
+	for i := 0; i < 10; i++ {
+		p.Update(pc, true) // a right, b wrong
+	}
+	if p.useB(pc) {
+		t.Error("chooser should prefer component a")
+	}
+	if !p.Predict(pc) {
+		t.Error("prediction should come from a (taken)")
+	}
+}

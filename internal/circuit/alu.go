@@ -1,0 +1,204 @@
+package circuit
+
+// Gate-level ALU datapath. The paper's execution stations each contain "a
+// simple integer ALU" (Section 7); these generators produce the actual
+// netlists so the station's contribution to the clock path is measured,
+// not assumed. The adder comes in two variants mirroring the paper's
+// linear-versus-logarithmic theme: a ripple-carry chain (Θ(W) depth) and
+// a parallel-prefix carry tree (Θ(log W) depth) built on the same scan
+// network as the register CSPPs — carry propagation is itself a parallel
+// prefix over (generate, propagate) pairs.
+
+// gpScanOp combines carry (generate, propagate) pairs:
+// (g, p) = (g2 ∨ (p2 ∧ g1), p1 ∧ p2).
+type gpScanOp struct{}
+
+func (gpScanOp) Width() int { return 2 }
+
+func (gpScanOp) Combine(c *Circuit, a, b Bus) Bus {
+	g := c.Or(b[0], c.And(b[1], a[0]))
+	p := c.And(a[1], b[1])
+	return Bus{g, p}
+}
+
+func (gpScanOp) Identity(c *Circuit) Bus {
+	return Bus{c.Const(false), c.Const(true)} // no generate, propagate
+}
+
+// RippleAdder emits a ripple-carry adder: sum = a + b + cin, with the
+// carry out. Depth Θ(w).
+func RippleAdder(c *Circuit, a, b Bus, cin int) (sum Bus, cout int) {
+	if len(a) != len(b) {
+		panic("circuit: adder width mismatch")
+	}
+	sum = make(Bus, len(a))
+	carry := cin
+	for i := range a {
+		axb := c.Xor(a[i], b[i])
+		sum[i] = c.Xor(axb, carry)
+		carry = c.Or(c.And(a[i], b[i]), c.And(axb, carry))
+	}
+	return sum, carry
+}
+
+// PrefixAdder emits a parallel-prefix (carry-lookahead) adder with Θ(log
+// w) depth, using the segmented-scan network with all segment bits low
+// (an ordinary inclusive scan).
+func PrefixAdder(c *Circuit, a, b Bus, cin int) (sum Bus, cout int) {
+	if len(a) != len(b) {
+		panic("circuit: adder width mismatch")
+	}
+	w := len(a)
+	zero := c.Const(false)
+	items := make([]ScanItem, w)
+	for i := 0; i < w; i++ {
+		g := c.And(a[i], b[i])
+		p := c.Xor(a[i], b[i])
+		if i == 0 {
+			// Fold the carry-in into bit 0's generate.
+			g = c.Or(g, c.And(p, cin))
+		}
+		items[i] = ScanItem{Seg: zero, Val: Bus{g, p}}
+	}
+	res := scanTree(c, items, gpScanOp{})
+	sum = make(Bus, w)
+	for i := 0; i < w; i++ {
+		p := c.Xor(a[i], b[i])
+		carryIn := cin
+		if i > 0 {
+			carryIn = res.incl[i-1][0]
+		}
+		sum[i] = c.Xor(p, carryIn)
+	}
+	return sum, res.incl[w-1][0]
+}
+
+// BarrelShifter emits a logarithmic shifter. dir low shifts left; arith
+// selects sign extension for right shifts. The shift amount bus is
+// log2(w) bits (the ISA masks amounts to the word width).
+func BarrelShifter(c *Circuit, a Bus, amount Bus, dir, arith int) Bus {
+	w := len(a)
+	cur := append(Bus{}, a...)
+	fill := c.And(arith, a[w-1]) // sign bit for arithmetic right shifts
+	zero := c.Const(false)
+	for stage := 0; stage < len(amount); stage++ {
+		k := 1 << stage
+		if k >= w {
+			break
+		}
+		next := make(Bus, w)
+		for i := 0; i < w; i++ {
+			// Left-shift source: bit i-k (or 0); right-shift source:
+			// bit i+k (or fill).
+			var left, right int
+			if i-k >= 0 {
+				left = cur[i-k]
+			} else {
+				left = zero
+			}
+			if i+k < w {
+				right = cur[i+k]
+			} else {
+				right = fill
+			}
+			shifted := c.Mux(dir, left, right)
+			next[i] = c.Mux(amount[stage], cur[i], shifted)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// ALUFn encodes the combinational ALU functions. Multi-cycle operations
+// (MUL, DIV, REM) use dedicated sequential units in the paper's stations
+// and are not part of the single-cycle ALU netlist.
+type ALUFn uint8
+
+// The ALU functions.
+const (
+	FnAdd ALUFn = iota
+	FnSub
+	FnAnd
+	FnOr
+	FnXor
+	FnSll
+	FnSrl
+	FnSra
+	FnSlt
+	FnSltu
+	NumALUFns
+)
+
+// ALU emits a complete w-bit single-cycle ALU. Inputs, in order: a (w
+// bits), b (w bits), fn (4 bits, an ALUFn). Output: the w-bit result.
+// prefix selects the parallel-prefix adder over the ripple-carry one.
+func ALU(w int, prefix bool) *Circuit {
+	c := New()
+	a := c.NewInputBus(w)
+	b := c.NewInputBus(w)
+	fn := c.NewInputBus(4)
+
+	// Adder/subtractor: subtract = a + ~b + 1. isSub covers SUB, SLT,
+	// SLTU (and comparisons read the subtraction).
+	isSub := decodeAny(c, fn, FnSub, FnSlt, FnSltu)
+	bEff := make(Bus, w)
+	for i := range b {
+		bEff[i] = c.Mux(isSub, b[i], c.Not(b[i]))
+	}
+	var sum Bus
+	var cout int
+	if prefix {
+		sum, cout = PrefixAdder(c, a, bEff, isSub)
+	} else {
+		sum, cout = RippleAdder(c, a, bEff, isSub)
+	}
+
+	// Logic unit.
+	andB, orB, xorB := make(Bus, w), make(Bus, w), make(Bus, w)
+	for i := 0; i < w; i++ {
+		andB[i] = c.And(a[i], b[i])
+		orB[i] = c.Or(a[i], b[i])
+		xorB[i] = c.Xor(a[i], b[i])
+	}
+
+	// Shifter: amount = low log2(w) bits of b.
+	amtBits := 0
+	for 1<<amtBits < w {
+		amtBits++
+	}
+	isRight := decodeAny(c, fn, FnSrl, FnSra)
+	isArith := decodeAny(c, fn, FnSra)
+	shifted := BarrelShifter(c, a, b[:amtBits], isRight, isArith)
+
+	// Comparisons. Signed, in the standard overflow-safe form:
+	// slt = (sign(a) ≠ sign(b)) ? sign(a) : sign(a-b).
+	sa, sb := a[w-1], b[w-1]
+	saNE := c.Xor(sa, sb)
+	slt := c.Or(c.And(saNE, sa), c.And(c.Not(saNE), sum[w-1]))
+	// Unsigned: a < b  ⇔  no carry out of a + ~b + 1.
+	sltu := c.Not(cout)
+	zeroBus := c.ConstBus(0, w)
+	sltBus := append(Bus{slt}, zeroBus[1:]...)
+	sltuBus := append(Bus{sltu}, zeroBus[1:]...)
+
+	// Result select tree.
+	out := sum // FnAdd and FnSub both read the adder
+	out = c.MuxBus(decodeAny(c, fn, FnAnd), out, andB)
+	out = c.MuxBus(decodeAny(c, fn, FnOr), out, orB)
+	out = c.MuxBus(decodeAny(c, fn, FnXor), out, xorB)
+	out = c.MuxBus(decodeAny(c, fn, FnSll, FnSrl, FnSra), out, shifted)
+	out = c.MuxBus(decodeAny(c, fn, FnSlt), out, sltBus)
+	out = c.MuxBus(decodeAny(c, fn, FnSltu), out, sltuBus)
+	c.OutputBus(out)
+	return c
+}
+
+// decodeAny returns a net that is high when fn equals any of the given
+// function codes.
+func decodeAny(c *Circuit, fn Bus, fns ...ALUFn) int {
+	matches := make([]int, len(fns))
+	for i, f := range fns {
+		matches[i] = c.Eq(fn, c.ConstBus(uint64(f), len(fn)))
+	}
+	return c.OrN(matches)
+}

@@ -1,0 +1,162 @@
+package circuit
+
+// Fat-tree memory arbitration netlists — the "M" nodes of the paper's
+// Figure 6 floorplan, which route memory accesses from the execution
+// stations toward the interleaved cache with "bandwidth increasing along
+// each link on the way to the root" (Leiserson fat-trees). Each node
+// admits at most its link capacity of the oldest outstanding requests;
+// requests surviving every level reach the cache. The timing model in
+// internal/memory implements the same policy functionally; these
+// circuits make it gates.
+
+// PopCount emits a population-count adder tree over the given nets,
+// returning a ceil(log2(n+1))-bit bus. Depth Θ(log n · log log n).
+func PopCount(c *Circuit, xs []int) Bus {
+	if len(xs) == 0 {
+		return c.ConstBus(0, 1)
+	}
+	if len(xs) == 1 {
+		return Bus{xs[0]}
+	}
+	mid := len(xs) / 2
+	left := PopCount(c, xs[:mid])
+	right := PopCount(c, xs[mid:])
+	w := maxLen(left, right) + 1
+	sum, cout := RippleAdder(c, padBus(c, left, w-1), padBus(c, right, w-1), c.Const(false))
+	return append(sum, cout)
+}
+
+func maxLen(a, b Bus) int {
+	if len(a) > len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+func padBus(c *Circuit, b Bus, w int) Bus {
+	for len(b) < w {
+		b = append(b, c.Const(false))
+	}
+	return b[:w]
+}
+
+// KOldestByTag emits the age-tag arbitration for one fat-tree node: among
+// the requesting inputs, grant the k with the smallest age tags. Tags are
+// tagW-bit and must be distinct for requesters (the engine's sequence
+// numbers modulo 2^tagW with a window smaller than 2^tagW guarantee it).
+// grant[i] = req[i] AND |{j : req[j] AND tag[j] < tag[i]}| < k.
+func KOldestByTag(c *Circuit, reqs []int, tags []Bus, k int) []int {
+	n := len(reqs)
+	if len(tags) != n {
+		panic("circuit: KOldestByTag length mismatch")
+	}
+	grants := make([]int, n)
+	for i := 0; i < n; i++ {
+		if k >= n {
+			grants[i] = c.Buf(reqs[i])
+			continue
+		}
+		older := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			older = append(older, c.And(reqs[j], lessThan(c, tags[j], tags[i])))
+		}
+		count := PopCount(c, older)
+		kBus := c.ConstBus(uint64(k), len(count))
+		grants[i] = c.And(reqs[i], lessThan(c, count, kBus))
+	}
+	return grants
+}
+
+// FatTreeArbiterLayout documents the I/O ordering of the arbiter netlist.
+//
+// Inputs, per station (leaf) in index order: the request bit, then tagW
+// age-tag bits (smaller = older). Outputs: one grant bit per station:
+// whether the request is admitted through every tree level up to and
+// including the root.
+type FatTreeArbiterLayout struct {
+	N, TagW int
+	Caps    []int // Caps[h-1] is the capacity of links at height h
+}
+
+// FatTreeArbiter builds the full arbitration netlist for n = 2^levels
+// stations with per-height link capacities caps (caps[0] = links one
+// level above the leaves). A request must be within the capacity of the
+// oldest survivors at every node on its root path.
+func FatTreeArbiter(n, tagW int, caps []int) (*Circuit, FatTreeArbiterLayout) {
+	if n&(n-1) != 0 || n < 1 {
+		panic("circuit: FatTreeArbiter needs a power-of-two station count")
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	if len(caps) != levels {
+		panic("circuit: FatTreeArbiter needs one capacity per level")
+	}
+	c := New()
+	alive := make([]int, n)
+	tags := make([]Bus, n)
+	for i := 0; i < n; i++ {
+		alive[i] = c.NewInput()
+		tags[i] = c.NewInputBus(tagW)
+	}
+	for h := 1; h <= levels; h++ {
+		size := 1 << h
+		next := make([]int, n)
+		for node := 0; node < n/size; node++ {
+			lo := node * size
+			sub := KOldestByTag(c, alive[lo:lo+size], tags[lo:lo+size], caps[h-1])
+			copy(next[lo:lo+size], sub)
+		}
+		alive = next
+	}
+	for i := 0; i < n; i++ {
+		c.Output(alive[i])
+	}
+	return c, FatTreeArbiterLayout{N: n, TagW: tagW, Caps: caps}
+}
+
+// FatTreeArbiterRef is the functional reference: admit requests oldest
+// first subject to every level's link capacities (the policy
+// memory.System applies, without its bank conflicts).
+func FatTreeArbiterRef(reqs []bool, ages []int, caps []int) []bool {
+	n := len(reqs)
+	type item struct{ idx, age int }
+	var order []item
+	for i := 0; i < n; i++ {
+		if reqs[i] {
+			order = append(order, item{i, ages[i]})
+		}
+	}
+	// Insertion sort by age (n is small).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].age < order[j-1].age; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	grants := make([]bool, n)
+	use := make([]map[int]int, len(caps)+1)
+	for h := range use {
+		use[h] = map[int]int{}
+	}
+	for _, it := range order {
+		ok := true
+		for h := 1; h <= len(caps); h++ {
+			if use[h][it.idx>>h] >= caps[h-1] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for h := 1; h <= len(caps); h++ {
+			use[h][it.idx>>h]++
+		}
+		grants[it.idx] = true
+	}
+	return grants
+}

@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ultrascalar/internal/cspp"
+)
+
+// satAddFunc mirrors satAddOp functionally for cross-validation of the
+// generic circuit scan against the generic functional scan.
+type satAddFunc struct{ w int }
+
+func (o satAddFunc) Combine(a, b uint64) uint64 {
+	max := uint64(1)<<uint(o.w) - 1
+	s := a + b
+	if s > max {
+		return max
+	}
+	return s
+}
+func (o satAddFunc) Identity() uint64 { return 0 }
+
+// TestGenericScanCircuitVsFunctional drives BuildCSPPTree with the
+// saturating-add operator against cspp.RingExclusive with the matching
+// functional operator — the two generic scan frameworks must agree for
+// any associative operator, not just the two the datapaths use.
+func TestGenericScanCircuitVsFunctional(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	const w = 3
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		c := New()
+		items := make([]ScanItem, n)
+		for i := range items {
+			items[i] = ScanItem{Seg: c.NewInput(), Val: c.NewInputBus(w)}
+		}
+		outs := BuildCSPPTree(c, items, satAddOp{countW: w})
+		for _, o := range outs {
+			c.OutputBus(o)
+		}
+		for trial := 0; trial < 40; trial++ {
+			segs := make([]bool, n)
+			vals := make([]uint64, n)
+			segs[rng.Intn(n)] = true // the datapath guarantees one segment
+			for i := range vals {
+				if rng.Intn(4) == 0 {
+					segs[i] = true
+				}
+				vals[i] = uint64(rng.Intn(1 << w))
+			}
+			in := make([]bool, 0, n*(1+w))
+			felems := make([]cspp.Elem[uint64], n)
+			for i := 0; i < n; i++ {
+				in = append(in, segs[i])
+				for b := 0; b < w; b++ {
+					in = append(in, vals[i]>>uint(b)&1 == 1)
+				}
+				felems[i] = cspp.Elem[uint64]{Seg: segs[i], Val: vals[i]}
+			}
+			raw := c.Eval(in)
+			want := cspp.RingExclusive[uint64](felems, satAddFunc{w: w})
+			for i := 0; i < n; i++ {
+				var got uint64
+				for b := 0; b < w; b++ {
+					if raw[i*w+b] {
+						got |= 1 << uint(b)
+					}
+				}
+				if got != want[i] {
+					t.Fatalf("n=%d trial=%d pos=%d: circuit %d, functional %d (segs=%v vals=%v)",
+						n, trial, i, got, want[i], segs, vals)
+				}
+			}
+		}
+	}
+}
+
+// TestRingVsTreeCircuitQuick: the two circuit implementations (Figure 1
+// ring, Figure 4 tree) compute the same function, property-checked.
+func TestRingVsTreeCircuitQuick(t *testing.T) {
+	const n, w = 6, 4
+	ring := RegisterCSPP(n, w, false)
+	tree := RegisterCSPP(n, w, true)
+	f := func(segBits uint8, rawVals [n]uint8) bool {
+		in := make([]bool, 0, n*(1+w))
+		anySeg := false
+		for i := 0; i < n; i++ {
+			seg := segBits>>uint(i)&1 == 1
+			anySeg = anySeg || seg
+			in = append(in, seg)
+			for b := 0; b < w; b++ {
+				in = append(in, rawVals[i]>>uint(b)&1 == 1)
+			}
+		}
+		if !anySeg {
+			return true // datapath precludes the no-segment case
+		}
+		a := ring.Eval(in)
+		b := tree.Eval(in)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

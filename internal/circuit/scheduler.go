@@ -1,0 +1,93 @@
+package circuit
+
+// Prioritized ALU scheduler (Henry & Kuszmaul, "An efficient, prioritized
+// scheduler using cyclic prefix", Ultrascalar Memo 2 — reference [6] of
+// the paper). Given one request bit per station and a pool of K shared
+// ALUs, the scheduler grants the K oldest requesters: grant[i] is high
+// iff station i requests and fewer than K stations between the oldest and
+// i (exclusive) request. The counting is a cyclic segmented parallel
+// prefix over saturating adders, so the circuit has Θ(log n · log K)
+// gate delay — within the CSPP bounds the paper assumes for its shared-
+// ALU remark in Section 7.
+
+// satAddOp is a saturating-add scan operator over countW-bit counters:
+// values accumulate and clamp at 2^countW - 1.
+type satAddOp struct{ countW int }
+
+func (o satAddOp) Width() int { return o.countW }
+
+func (o satAddOp) Combine(c *Circuit, a, b Bus) Bus {
+	sum, cout := RippleAdder(c, a, b, c.Const(false))
+	// Saturate: if the add overflowed, clamp to all ones.
+	out := make(Bus, o.countW)
+	for i := range out {
+		out[i] = c.Or(sum[i], cout)
+	}
+	return out
+}
+
+func (o satAddOp) Identity(c *Circuit) Bus { return c.ConstBus(0, o.countW) }
+
+// Scheduler builds the K-of-n prioritized scheduler netlist. Inputs, per
+// station: the oldest marker (segment bit), then the request bit.
+// Outputs: one grant bit per station. Exactly min(K, requests) grants are
+// issued, to the oldest requesters.
+func Scheduler(n, k int) *Circuit {
+	c := New()
+	if k < 1 {
+		panic("circuit: scheduler needs k >= 1")
+	}
+	countW := log2ceil(k + 1)
+	items := make([]ScanItem, n)
+	reqs := make([]int, n)
+	segs := make([]int, n)
+	zero := c.ConstBus(0, countW)
+	for i := 0; i < n; i++ {
+		segs[i] = c.NewInput()
+		reqs[i] = c.NewInput()
+		// The station contributes 1 to the count when it requests.
+		val := append(Bus{reqs[i]}, zero[1:]...)
+		items[i] = ScanItem{Seg: segs[i], Val: val}
+	}
+	counts := BuildCSPPTree(c, items, satAddOp{countW: countW})
+	kBus := c.ConstBus(uint64(k), countW)
+	for i := 0; i < n; i++ {
+		// grant = request AND (earlier-requests < K). The counter width
+		// countW admits counts up to 2^countW-1 >= k, and saturation
+		// preserves "count >= K" exactly. The oldest station has no
+		// earlier requesters (its wrap output is the full-ring count), so
+		// its segment bit overrides the comparison.
+		lt := c.Or(segs[i], lessThan(c, counts[i], kBus))
+		c.Output(c.And(reqs[i], lt))
+	}
+	return c
+}
+
+// lessThan emits an unsigned comparator a < b via a borrow chain.
+func lessThan(c *Circuit, a, b Bus) int {
+	if len(a) != len(b) {
+		panic("circuit: lessThan width mismatch")
+	}
+	// a < b  ⇔  no carry out of a + ~b + 1.
+	nb := make(Bus, len(b))
+	for i := range b {
+		nb[i] = c.Not(b[i])
+	}
+	_, cout := RippleAdder(c, a, nb, c.Const(true))
+	return c.Not(cout)
+}
+
+// ScheduleRef is the functional reference of the scheduler: grants the k
+// oldest requesters starting from station `oldest`, cyclically.
+func ScheduleRef(requests []bool, oldest, k int) []bool {
+	n := len(requests)
+	grants := make([]bool, n)
+	for i := 0; i < n && k > 0; i++ {
+		p := (oldest + i) % n
+		if requests[p] {
+			grants[p] = true
+			k--
+		}
+	}
+	return grants
+}

@@ -1,0 +1,121 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func driveScheduler(c *Circuit, n int, requests []bool, oldest int) []bool {
+	in := make([]bool, 0, 2*n)
+	for i := 0; i < n; i++ {
+		in = append(in, i == oldest, requests[i])
+	}
+	return c.Eval(in)
+}
+
+func TestSchedulerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		for _, k := range []int{1, 2, 3, 8} {
+			c := Scheduler(n, k)
+			for trial := 0; trial < 40; trial++ {
+				reqs := make([]bool, n)
+				for i := range reqs {
+					reqs[i] = rng.Intn(2) == 0
+				}
+				oldest := rng.Intn(n)
+				want := ScheduleRef(reqs, oldest, k)
+				got := driveScheduler(c, n, reqs, oldest)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d k=%d oldest=%d reqs=%v: station %d got %v want %v (full: %v vs %v)",
+							n, k, oldest, reqs, i, got[i], want[i], got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerQuick property-tests grant counts and priority: never more
+// than k grants, all grants are requests, and granted stations precede
+// denied requesters in age order.
+func TestSchedulerQuick(t *testing.T) {
+	n, k := 12, 3
+	c := Scheduler(n, k)
+	f := func(reqBits uint16, oldestRaw uint8) bool {
+		oldest := int(oldestRaw) % n
+		reqs := make([]bool, n)
+		for i := range reqs {
+			reqs[i] = reqBits>>uint(i)&1 == 1
+		}
+		grants := driveScheduler(c, n, reqs, oldest)
+		count := 0
+		deniedSeen := false
+		for i := 0; i < n; i++ {
+			p := (oldest + i) % n
+			if grants[p] {
+				count++
+				if !reqs[p] || deniedSeen {
+					return false // granted a non-requester, or after a denial
+				}
+			} else if reqs[p] {
+				deniedSeen = true
+			}
+		}
+		want := 0
+		for _, r := range reqs {
+			if r {
+				want++
+			}
+		}
+		if want > k {
+			want = k
+		}
+		return count == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulerDepthLogarithmic(t *testing.T) {
+	// Depth is Θ(log n · log K): each of the log n scan levels costs a
+	// saturating log K-bit add plus a mux (about 9 gate delays with K=4).
+	d16 := Scheduler(16, 4).Depth()
+	d256 := Scheduler(256, 4).Depth()
+	perDoubling := (d256 - d16 + 3) / 4
+	if perDoubling > 12 {
+		t.Errorf("scheduler depth grew %d -> %d (%d per doubling); want Θ(log n · log K)",
+			d16, d256, perDoubling)
+	}
+	// And nothing like linear: 16x the stations must not cost 4x depth.
+	if d256 > 2*d16 {
+		t.Errorf("scheduler depth %d -> %d looks super-logarithmic", d16, d256)
+	}
+}
+
+func TestSchedulerPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 should panic")
+		}
+	}()
+	Scheduler(4, 0)
+}
+
+func TestScheduleRefBasics(t *testing.T) {
+	got := ScheduleRef([]bool{true, true, true, true}, 2, 2)
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Wraps around.
+	got = ScheduleRef([]bool{true, false, false, true}, 3, 2)
+	if !got[3] || !got[0] || got[1] || got[2] {
+		t.Errorf("wrap grants wrong: %v", got)
+	}
+}

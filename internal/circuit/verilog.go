@@ -1,0 +1,63 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verilog renders the netlist as a structural Verilog module, so the
+// generated datapaths (CSPP trees, grids, ALUs, schedulers, arbiters) can
+// be inspected, simulated or synthesized with standard tools. Inputs are
+// named in[0..], outputs out[0..], internal nets n<id>.
+func (c *Circuit) Verilog(module string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s(\n  input wire [%d:0] in,\n  output wire [%d:0] out\n);\n",
+		module, maxInt(c.NumInputs()-1, 0), maxInt(c.NumOutputs()-1, 0))
+
+	name := make([]string, len(c.gates))
+	inIdx := 0
+	for id, g := range c.gates {
+		switch g.kind {
+		case Input:
+			name[id] = fmt.Sprintf("in[%d]", inIdx)
+			inIdx++
+		case Const0:
+			name[id] = "1'b0"
+		case Const1:
+			name[id] = "1'b1"
+		default:
+			name[id] = fmt.Sprintf("n%d", id)
+		}
+	}
+	for id, g := range c.gates {
+		switch g.kind {
+		case Input, Const0, Const1:
+			continue
+		case Buf:
+			fmt.Fprintf(&b, "  wire %s = %s;\n", name[id], name[g.in[0]])
+		case Not:
+			fmt.Fprintf(&b, "  wire %s = ~%s;\n", name[id], name[g.in[0]])
+		case And2:
+			fmt.Fprintf(&b, "  wire %s = %s & %s;\n", name[id], name[g.in[0]], name[g.in[1]])
+		case Or2:
+			fmt.Fprintf(&b, "  wire %s = %s | %s;\n", name[id], name[g.in[0]], name[g.in[1]])
+		case Xor2:
+			fmt.Fprintf(&b, "  wire %s = %s ^ %s;\n", name[id], name[g.in[0]], name[g.in[1]])
+		case Mux2:
+			fmt.Fprintf(&b, "  wire %s = %s ? %s : %s;\n",
+				name[id], name[g.in[0]], name[g.in[2]], name[g.in[1]])
+		}
+	}
+	for i, id := range c.outputs {
+		fmt.Fprintf(&b, "  assign out[%d] = %s;\n", i, name[id])
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerilogStructure(t *testing.T) {
+	c := New()
+	a, b := c.NewInput(), c.NewInput()
+	sel := c.NewInput()
+	c.Output(c.Mux(sel, c.And(a, b), c.Xor(a, c.Not(b))))
+	c.Output(c.Const(true))
+	v := c.Verilog("test_mod")
+	for _, want := range []string{
+		"module test_mod(",
+		"input wire [2:0] in",
+		"output wire [1:0] out",
+		"in[0] & in[1]",
+		"~in[1]",
+		"?",
+		"assign out[1] = 1'b1;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestVerilogCSPP(t *testing.T) {
+	c := Figure5CSPP(4, true)
+	v := c.Verilog("cspp4")
+	// Every designated output is assigned exactly once.
+	if got := strings.Count(v, "assign out["); got != 4 {
+		t.Errorf("%d output assigns, want 4", got)
+	}
+	if !strings.Contains(v, "module cspp4(") {
+		t.Error("module header missing")
+	}
+	// No dangling net references: every used net name is defined. Cheap
+	// check: each "wire nX =" line count equals logic gate count.
+	counts := c.Counts()
+	logic := counts[Buf] + counts[Not] + counts[And2] + counts[Or2] +
+		counts[Xor2] + counts[Mux2]
+	if got := strings.Count(v, "  wire n"); got != logic {
+		t.Errorf("%d wire declarations, want %d", got, logic)
+	}
+}

@@ -1,0 +1,250 @@
+// Package core implements the shared out-of-order execution engine of the
+// three Ultrascalar processors — the paper's primary contribution viewed
+// architecturally. All three processors "implement identical instruction
+// sets, with identical scheduling policies"; they differ only in VLSI
+// complexity and in the granularity at which finished execution stations
+// can be reused:
+//
+//   - Ultrascalar I: granularity 1 — a station refills as soon as it and
+//     all earlier stations have finished (Section 2).
+//   - Ultrascalar II: granularity n — the whole batch drains before
+//     refilling ("stations idle waiting for everyone to finish before
+//     refilling", Section 4).
+//   - Hybrid: granularity C — a cluster of C stations refills as a unit,
+//     behaving "just like an execution station in the Ultrascalar I"
+//     (Section 6).
+//
+// The engine is a cycle-accurate simulator of the datapath semantics of
+// Sections 2 and 4: per-register cyclic-segmented-parallel-prefix
+// forwarding with single-cycle full-window propagation, the three AND-CSPP
+// sequencing circuits (completion/deallocation, store serialization, load
+// serialization), the commit CSPP for branch speculation, and single-cycle
+// misprediction recovery.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ultrascalar/internal/branch"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+)
+
+// Config describes one processor instance.
+type Config struct {
+	// Window is n, the number of execution stations (issue width = window
+	// size; the paper scales them together).
+	Window int
+	// Granularity is the station-reuse granularity: 1 for Ultrascalar I,
+	// Window for Ultrascalar II, the cluster size C for the hybrid. Must
+	// divide Window.
+	Granularity int
+	// NumRegs is L, the number of logical registers (default isa.NumRegs).
+	NumRegs int
+	// Lat gives instruction latencies (default isa.DefaultLatencies).
+	Lat isa.Latencies
+	// Predictor predicts conditional branch directions (default
+	// bimodal with 1024 entries).
+	Predictor branch.Predictor
+	// BTB predicts indirect-jump targets (default 64 entries).
+	BTB *branch.BTB
+	// MemSystem is the memory-network timing model (the fat tree of
+	// memory.System or the memory.Butterfly); nil means unlimited
+	// bandwidth with Lat.Load / Lat.Store fixed latencies.
+	MemSystem memory.Network
+	// InitRegs optionally sets the initial committed register values.
+	InitRegs []isa.Word
+	// MaxCycles bounds the simulation (default 1<<24).
+	MaxCycles int64
+	// KeepTimeline records per-instruction issue/completion cycles.
+	KeepTimeline bool
+
+	// NumALUs limits the pool of shared arithmetic units: at most NumALUs
+	// non-memory instructions may be executing at once, allocated oldest
+	// first (the prioritized CSPP scheduler of Henry & Kuszmaul,
+	// Ultrascalar Memo 2, which the paper's Section 7 invokes: "a hybrid
+	// Ultrascalar with a window-size of 128 and 16 shared ALUs ... should
+	// fit easily within a chip 1 cm on a side"). 0 means one ALU per
+	// station, the paper's baseline design.
+	NumALUs int
+
+	// ForwardLatency models the pipelined/self-timed datapath of Section
+	// 7: the extra forwarding cycles a value needs to reach a consumer d
+	// dynamic instructions away. nil means the paper's baseline global
+	// single-phase clock, where "all communications between components
+	// [complete] in one clock cycle" (extra = 0 for all d). With, e.g.,
+	// ceil(log2 d)-shaped latency, "a program could run faster if most of
+	// its instructions depend on their immediate predecessors rather than
+	// on far-previous instructions."
+	ForwardLatency func(d int) int
+
+	// MemRenaming enables store-to-load forwarding through the window —
+	// the memory-renaming hardware of Section 7 ("which can be
+	// implemented by CSPP circuits"), reducing memory-bandwidth pressure.
+	MemRenaming bool
+
+	// Fetch selects the instruction-fetch model (default FetchIdeal).
+	Fetch FetchModel
+	// FetchWidth caps instructions fetched per cycle (0 = Window; the
+	// paper assumes "the issue width and the instruction-fetch width
+	// scale together").
+	FetchWidth int
+	// TraceSetBits and TraceLen size the trace cache for FetchTrace
+	// (defaults 8 and 16).
+	TraceSetBits, TraceLen int
+
+	// ReturnStack, when positive, enables a return-address stack of that
+	// depth: JAL pushes its return address at fetch and JALR predicts by
+	// popping, falling back to the BTB on an empty stack. Calls and
+	// returns then predict perfectly on well-nested code, where the BTB
+	// alone mispredicts every return whose call site changed.
+	ReturnStack int
+}
+
+// FetchModel selects the instruction-fetch mechanism.
+type FetchModel int
+
+// The fetch models.
+const (
+	// FetchIdeal supplies up to FetchWidth instructions per cycle along
+	// the predicted path regardless of taken branches — the paper's
+	// baseline assumption.
+	FetchIdeal FetchModel = iota
+	// FetchBlock supplies one sequential block per cycle: fetch stops at
+	// the first predicted-taken branch or jump, like a conventional
+	// instruction cache.
+	FetchBlock
+	// FetchTrace backs block fetch with an instruction trace cache
+	// (Rotenberg et al.; Patel et al. — the mechanism the paper cites for
+	// feeding a wide window): a hit supplies a whole recorded trace,
+	// spanning taken branches, in one cycle.
+	FetchTrace
+)
+
+// String names the fetch model.
+func (f FetchModel) String() string {
+	switch f {
+	case FetchIdeal:
+		return "ideal"
+	case FetchBlock:
+		return "block"
+	case FetchTrace:
+		return "trace-cache"
+	default:
+		return "fetch(?)"
+	}
+}
+
+// Errors returned by Run.
+var (
+	ErrNoHalt       = errors.New("core: cycle limit exceeded without halt")
+	ErrPCOutOfRange = errors.New("core: fetch ran out of the program without halt")
+)
+
+func (c *Config) normalize() error {
+	if c.Window < 1 {
+		return fmt.Errorf("core: window must be >= 1, got %d", c.Window)
+	}
+	if c.Granularity == 0 {
+		c.Granularity = 1
+	}
+	if c.Granularity < 1 || c.Window%c.Granularity != 0 {
+		return fmt.Errorf("core: granularity %d must divide window %d", c.Granularity, c.Window)
+	}
+	if c.NumRegs == 0 {
+		c.NumRegs = isa.NumRegs
+	}
+	if c.NumRegs < 1 || c.NumRegs > isa.MaxRegs {
+		return fmt.Errorf("core: bad register count %d", c.NumRegs)
+	}
+	if c.Lat == (isa.Latencies{}) {
+		c.Lat = isa.DefaultLatencies()
+	}
+	if c.Predictor == nil {
+		c.Predictor = branch.Bimodal(10)
+	}
+	if c.BTB == nil {
+		c.BTB = branch.NewBTB(6)
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 1 << 24
+	}
+	if c.InitRegs != nil && len(c.InitRegs) != c.NumRegs {
+		return fmt.Errorf("core: InitRegs has %d values, want %d", len(c.InitRegs), c.NumRegs)
+	}
+	if c.NumALUs < 0 {
+		return fmt.Errorf("core: NumALUs must be >= 0, got %d", c.NumALUs)
+	}
+	if c.TraceSetBits == 0 {
+		c.TraceSetBits = 8
+	}
+	if c.TraceLen == 0 {
+		c.TraceLen = 16
+	}
+	return nil
+}
+
+// InstRecord is one retired instruction's timing, for the Figure 3
+// reproduction and the timeline tools.
+type InstRecord struct {
+	Seq   int64 // dynamic sequence number
+	PC    int   // static program counter
+	Inst  isa.Inst
+	Slot  int   // execution-station slot (seq mod window)
+	Issue int64 // first cycle the instruction executed
+	Done  int64 // first cycle the result is visible to consumers: [Issue, Done)
+}
+
+// Stats aggregates run counters.
+type Stats struct {
+	Cycles         int64
+	Retired        int64 // committed instructions, including halt
+	Fetched        int64 // fetched, including squashed wrong-path instructions
+	Squashed       int64
+	Branches       int64 // resolved conditional branches on the committed path
+	Mispredicts    int64 // resolved with a wrong predicted successor
+	Loads          int64
+	Stores         int64
+	LoadsForwarded int64 // loads satisfied by store-to-load forwarding (memory renaming)
+	ALUStarved     int64 // instruction-cycles ready to issue but denied a shared ALU
+	StationBusy    int64 // occupied station-cycles (for utilization)
+	// Occupancy[k] counts cycles during which exactly k stations were
+	// occupied; its length is Window+1.
+	Occupancy []int64
+	// OperandFromStation[d] counts source operands whose producing
+	// instruction was d dynamic instructions earlier (d = 1 means the
+	// immediately preceding station); OperandFromCommitted counts operands
+	// whose value was never written by the program (initial register
+	// file). Used for the paper's Section 7 self-timed locality estimate
+	// ("Half of the communications paths from one station to its
+	// successor are completely local" — instructions that "depend on their
+	// immediate predecessors rather than on far-previous instructions").
+	OperandFromStation   map[int]int64
+	OperandFromCommitted int64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MeanOccupancy returns the average number of occupied stations per
+// cycle.
+func (s Stats) MeanOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.StationBusy) / float64(s.Cycles)
+}
+
+// Result is the outcome of a run: final architectural state plus counters.
+type Result struct {
+	Regs     []isa.Word
+	Mem      *memory.Flat
+	Stats    Stats
+	Timeline []InstRecord // populated when Config.KeepTimeline
+}

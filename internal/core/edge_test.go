@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"ultrascalar/internal/asm"
+	"ultrascalar/internal/branch"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/workload"
+)
+
+// TestPartialClusterAtHalt: a program whose length is not a multiple of
+// the cluster size still halts cleanly under cluster granularity.
+func TestPartialClusterAtHalt(t *testing.T) {
+	w := workload.Workload{Name: "partial", Prog: asm.MustAssemble(`
+		li r1, 1
+		li r2, 2
+		add r3, r1, r2
+		halt
+	`).Insts} // 4 instructions; cluster size 8
+	res := crossCheck(t, w, Config{Window: 16, Granularity: 8})
+	if res.Regs[3] != 3 {
+		t.Errorf("r3 = %d", res.Regs[3])
+	}
+}
+
+// TestMispredictInsideCluster: a mispredicted branch mid-cluster squashes
+// and refills within the cluster without corrupting state.
+func TestMispredictInsideCluster(t *testing.T) {
+	w := workload.Branchy(60, false)
+	for _, g := range []int{4, 8, 16} {
+		res := crossCheck(t, w, Config{Window: 16, Granularity: g,
+			Predictor: branch.Static(false)})
+		if res.Stats.Mispredicts == 0 {
+			t.Errorf("g=%d: expected mispredicts with a static-not-taken predictor", g)
+		}
+	}
+}
+
+// TestJalrTargetChanges: an indirect jump whose target changes between
+// executions triggers BTB mispredictions but stays architecturally
+// correct (a "function pointer" switch).
+func TestJalrTargetChanges(t *testing.T) {
+	w := workload.Workload{Name: "fnptr", Prog: asm.MustAssemble(`
+		li r5, 0       ; accumulator
+		li r1, fn1     ; function pointer (labels resolve absolute in li)
+		jal r31, dispatch
+		li r1, fn2
+		jal r31, dispatch
+		halt
+	dispatch:
+		jalr r30, r1, 0
+	fn1:
+		addi r5, r5, 10
+		jalr r30, r31, 0
+	fn2:
+		addi r5, r5, 200
+		jalr r30, r31, 0
+	`).Insts}
+	res := crossCheck(t, w, Config{Window: 16, Granularity: 1})
+	if res.Regs[5] != 210 {
+		t.Errorf("r5 = %d, want 210", res.Regs[5])
+	}
+}
+
+// TestReturnStackSpeedsUpRecursion: hanoi and quicksort return through
+// JALR; the RAS predicts those returns, where the BTB alone mispredicts
+// whenever the call site changed.
+func TestReturnStackSpeedsUpRecursion(t *testing.T) {
+	for _, w := range []workload.Workload{workload.Hanoi(7), workload.QuickSort(24)} {
+		base := crossCheck(t, w, Config{Window: 32, Granularity: 1})
+		ras := crossCheck(t, w, Config{Window: 32, Granularity: 1, ReturnStack: 16})
+		if ras.Stats.Cycles >= base.Stats.Cycles {
+			t.Errorf("%s: RAS (%d cycles) should beat BTB-only (%d)",
+				w.Name, ras.Stats.Cycles, base.Stats.Cycles)
+		}
+		if ras.Stats.Mispredicts >= base.Stats.Mispredicts {
+			t.Errorf("%s: RAS mispredicts %d should be below %d",
+				w.Name, ras.Stats.Mispredicts, base.Stats.Mispredicts)
+		}
+	}
+}
+
+// TestRASBasics exercises the stack directly.
+func TestRASBasics(t *testing.T) {
+	r := branch.NewRAS(2)
+	if _, ok := r.Pop(); ok {
+		t.Error("empty pop should fail")
+	}
+	r.Push(10)
+	r.Push(20)
+	r.Push(30) // evicts 10
+	if r.Depth() != 2 {
+		t.Errorf("depth %d, want 2", r.Depth())
+	}
+	if a, _ := r.Pop(); a != 30 {
+		t.Errorf("pop %d, want 30", a)
+	}
+	if a, _ := r.Pop(); a != 20 {
+		t.Errorf("pop %d, want 20", a)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("stack should be empty")
+	}
+}
+
+// TestSelfTimedWithMemory: distance-dependent forwarding composes with
+// the fat-tree memory model.
+func TestSelfTimedWithMemory(t *testing.T) {
+	sys := memory.NewSystem(memory.DefaultConfig(16, memory.MConst(2)))
+	crossCheck(t, workload.MemStream(30), Config{
+		Window: 16, Granularity: 1,
+		ForwardLatency: log2Latency,
+		MemSystem:      sys,
+	})
+}
+
+// TestWindowOfLongOps: a window saturated with divides drains correctly
+// and in order.
+func TestWindowOfLongOps(t *testing.T) {
+	src := "li r1, 1000\nli r2, 3\n"
+	for i := 0; i < 12; i++ {
+		src += "div r1, r1, r2\n"
+	}
+	src += "halt\n"
+	w := workload.Workload{Name: "divchain", Prog: asm.MustAssemble(src).Insts}
+	res := crossCheck(t, w, Config{Window: 4, Granularity: 4})
+	// 12 chained 10-cycle divides bound the runtime from below.
+	if res.Stats.Cycles < 120 {
+		t.Errorf("cycles %d below the divide-chain bound", res.Stats.Cycles)
+	}
+}
+
+// TestFetchWidthOne: the most constrained fetch still matches the golden
+// model across granularities.
+func TestFetchWidthOne(t *testing.T) {
+	for _, g := range []int{1, 8} {
+		crossCheck(t, workload.GCD(252, 105), Config{Window: 8, Granularity: g, FetchWidth: 1})
+	}
+}
+
+// TestHaltOnWrongPath: a halt fetched speculatively on the wrong path is
+// squashed and execution continues.
+func TestHaltOnWrongPath(t *testing.T) {
+	w := workload.Workload{Name: "spec-halt", Prog: asm.MustAssemble(`
+		li r1, 1
+		li r2, 2
+		blt r1, r2, go  ; taken; a not-taken predictor falls into halt
+		halt            ; wrong path
+	go:
+		add r3, r1, r2
+		halt
+	`).Insts}
+	res := crossCheck(t, w, Config{Window: 8, Granularity: 1,
+		Predictor: branch.Static(false)})
+	if res.Regs[3] != 3 {
+		t.Errorf("r3 = %d, want 3 (wrong-path halt must be squashed)", res.Regs[3])
+	}
+	if res.Stats.Mispredicts == 0 {
+		t.Error("expected a misprediction")
+	}
+}
+
+// TestBackToBackMispredicts: consecutive unpredictable branches recover
+// one at a time.
+func TestBackToBackMispredicts(t *testing.T) {
+	w := workload.Workload{Name: "b2b", Prog: asm.MustAssemble(`
+		li r1, 1
+		li r2, 2
+		blt r1, r2, a   ; taken
+		halt
+	a:
+		blt r2, r1, b   ; not taken
+		blt r1, r2, c   ; taken
+		halt
+	b:
+		halt
+	c:
+		add r3, r1, r2
+		halt
+	`).Insts}
+	res := crossCheck(t, w, Config{Window: 8, Granularity: 1,
+		Predictor: branch.Static(false)})
+	if res.Regs[3] != 3 {
+		t.Errorf("r3 = %d", res.Regs[3])
+	}
+}

@@ -1,0 +1,679 @@
+package core
+
+import (
+	"fmt"
+
+	"ultrascalar/internal/branch"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/tracecache"
+)
+
+// station is one occupied execution station.
+type station struct {
+	seq  int64
+	pc   int
+	inst isa.Inst
+	slot int
+
+	writes bool
+	dest   uint8
+
+	predictedNext int // -1: unknown (JALR with a cold BTB)
+
+	// Operand state, recomputed every cycle by the forwarding scan until
+	// the instruction starts (paper: stations latch incoming values each
+	// cycle).
+	opsReady bool
+	a, b     isa.Word
+	srcDist  []int // producer distance per source operand, -1 = committed file
+
+	// Execution state.
+	started   bool
+	remaining int
+	done      bool // result available to consumers (end of the done cycle)
+	result    isa.Word
+
+	// Control flow.
+	resolved   bool
+	flowDone   bool // resolution processed by the recovery phase
+	actualNext int
+	histSnap   int  // speculative-history snapshot (SpecPredictor)
+	usedSpec   bool // predicted through PredictSpec
+
+	// Memory.
+	memInFlight bool
+	memDoneAt   int64
+	memDone     bool
+
+	issue  int64
+	doneAt int64 // first cycle the result is visible to consumers
+}
+
+// finished reports whether the station's instruction has completed all its
+// effects and may retire once it reaches the head of the window.
+func (s *station) finished() bool {
+	switch {
+	case s.inst.IsStore():
+		return s.memDone
+	case s.inst.ChangesFlow():
+		return s.resolved
+	default:
+		return s.done
+	}
+}
+
+// slotState tracks reuse of execution-station slots at the configured
+// granularity.
+type slotState uint8
+
+const (
+	slotFree slotState = iota
+	slotOccupied
+	slotDrained // retired, waiting for its whole group to drain
+)
+
+type engine struct {
+	cfg    Config
+	prog   []isa.Inst
+	mem    *memory.Flat
+	commit []isa.Word // committed register file (held by the oldest station)
+	// commitProducer holds, per register, the dynamic sequence number of
+	// the retired instruction that produced the committed value (-1 for
+	// initial values), for the operand-distance statistic and the
+	// self-timed forwarding model; commitDoneAt holds the cycle the value
+	// became visible.
+	commitProducer []int64
+	commitDoneAt   []int64
+
+	window  []*station // age order, oldest first
+	slots   []slotState
+	nextSeq int64
+
+	fetchPC  int
+	haltStop bool
+	jalrWait bool
+
+	trace      *tracecache.Cache
+	traceBuild *tracecache.Builder
+	ras        *branch.RAS
+
+	cycle    int64
+	stats    Stats
+	timeline []InstRecord
+}
+
+// Run executes prog on the configured processor with the given data
+// memory (mutated in place).
+func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:            cfg,
+		prog:           prog,
+		mem:            mem,
+		commit:         make([]isa.Word, cfg.NumRegs),
+		commitProducer: make([]int64, cfg.NumRegs),
+		commitDoneAt:   make([]int64, cfg.NumRegs),
+		slots:          make([]slotState, cfg.Window),
+	}
+	for r := range e.commitProducer {
+		e.commitProducer[r] = -1
+	}
+	if cfg.InitRegs != nil {
+		copy(e.commit, cfg.InitRegs)
+	}
+	e.stats.OperandFromStation = make(map[int]int64)
+	e.stats.Occupancy = make([]int64, cfg.Window+1)
+	if cfg.Fetch == FetchTrace {
+		e.trace = tracecache.New(cfg.TraceSetBits, cfg.TraceLen)
+		e.traceBuild = tracecache.NewBuilder(e.trace)
+	}
+	if cfg.ReturnStack > 0 {
+		e.ras = branch.NewRAS(cfg.ReturnStack)
+	}
+	e.fetch() // initial fill: the window is loaded before the first cycle
+
+	for e.cycle = 0; e.cycle < cfg.MaxCycles; e.cycle++ {
+		if len(e.window) == 0 {
+			if e.haltStop {
+				// The halt retired and ended the run inside retire();
+				// reaching here with haltStop means fetch stopped but halt
+				// never entered: impossible, defensive.
+				return nil, ErrPCOutOfRange
+			}
+			return nil, fmt.Errorf("%w: pc=%d len=%d", ErrPCOutOfRange, e.fetchPC, len(e.prog))
+		}
+		// Occupancy is measured as the window state entering the cycle.
+		e.stats.StationBusy += int64(len(e.window))
+		e.stats.Occupancy[len(e.window)]++
+		e.completions()
+		if err := e.forward(); err != nil {
+			return nil, err
+		}
+		if err := e.execute(); err != nil {
+			return nil, err
+		}
+		e.memoryPhase()
+		e.recover()
+		if halted := e.retire(); halted {
+			e.stats.Cycles = e.cycle + 1
+			return &Result{Regs: e.commit, Mem: e.mem, Stats: e.stats, Timeline: e.timeline}, nil
+		}
+		e.fetch()
+	}
+	return nil, ErrNoHalt
+}
+
+// completions makes memory data that arrived at the end of the previous
+// cycle visible.
+func (e *engine) completions() {
+	for _, s := range e.window {
+		if s.memInFlight && !s.memDone && s.memDoneAt <= e.cycle {
+			s.memDone = true
+			s.done = true
+		}
+	}
+}
+
+// forward performs the per-register CSPP scan: each station receives, for
+// each source register, the (value, ready) pair inserted by the nearest
+// preceding modifier, or the committed register file at the oldest station
+// (paper Figure 1/4 semantics; one full-window propagation per cycle).
+func (e *engine) forward() error {
+	n := e.cfg.NumRegs
+	vals := make([]isa.Word, n)
+	ready := make([]bool, n)
+	writer := make([]int64, n)     // seq of the value's producer, -1 = initial
+	writerDone := make([]int64, n) // cycle the value became visible
+	copy(vals, e.commit)
+	copy(writer, e.commitProducer)
+	copy(writerDone, e.commitDoneAt)
+	for r := range ready {
+		ready[r] = true
+	}
+	fl := e.cfg.ForwardLatency
+	for _, s := range e.window {
+		if !s.started {
+			reads := s.inst.Reads()
+			s.opsReady = true
+			s.srcDist = s.srcDist[:0]
+			for k, r := range reads {
+				if int(r) >= n {
+					return fmt.Errorf("core: %s reads r%d but machine has %d registers", s.inst, r, n)
+				}
+				avail := ready[r]
+				if avail && fl != nil && writer[r] >= 0 {
+					// Self-timed datapath: the value reaches a consumer d
+					// instructions away only after the extra path latency.
+					extra := fl(int(s.seq - writer[r]))
+					if e.cycle < writerDone[r]+int64(extra) {
+						avail = false
+					}
+				}
+				if !avail {
+					s.opsReady = false
+				}
+				v := vals[r]
+				if k == 0 {
+					s.a = v
+				} else {
+					s.b = v
+				}
+				if writer[r] < 0 {
+					s.srcDist = append(s.srcDist, -1)
+				} else {
+					s.srcDist = append(s.srcDist, int(s.seq-writer[r]))
+				}
+			}
+		}
+		if s.writes {
+			if int(s.dest) >= n {
+				return fmt.Errorf("core: %s writes r%d but machine has %d registers", s.inst, s.dest, n)
+			}
+			vals[s.dest] = s.result
+			ready[s.dest] = s.done
+			writer[s.dest] = s.seq
+			writerDone[s.dest] = s.doneAt
+		}
+	}
+	return nil
+}
+
+// needsALU reports whether an instruction occupies one of the shared
+// arithmetic units while executing.
+func needsALU(in isa.Inst) bool {
+	return !in.IsMem() && !in.IsHalt() && in.Op != isa.OpNop
+}
+
+// execute progresses ALU, jump and branch stations. With a shared-ALU
+// pool configured, at most NumALUs instructions execute concurrently,
+// allocated oldest first — the priority the CSPP scheduler implements.
+func (e *engine) execute() error {
+	budget := e.cfg.NumALUs
+	if budget > 0 {
+		for _, s := range e.window {
+			if needsALU(s.inst) && s.started && !s.done {
+				budget--
+			}
+		}
+	}
+	for _, s := range e.window {
+		if s.inst.IsMem() {
+			continue // handled by memoryPhase
+		}
+		if !s.started {
+			if !s.opsReady {
+				continue
+			}
+			if e.cfg.NumALUs > 0 && needsALU(s.inst) {
+				if budget <= 0 {
+					e.stats.ALUStarved++
+					continue
+				}
+				budget--
+			}
+			s.started = true
+			s.remaining = e.cfg.Lat.Of(s.inst)
+			s.issue = e.cycle
+			e.recordSources(s)
+		}
+		if s.done {
+			continue
+		}
+		if s.remaining > 0 {
+			s.remaining--
+		}
+		if s.remaining > 0 {
+			continue
+		}
+		// Completes at the end of this cycle; consumers see it next cycle.
+		s.done = true
+		s.doneAt = e.cycle + 1
+		in := s.inst
+		switch {
+		case in.IsBranch():
+			s.resolved = true
+			s.actualNext = isa.NextPC(in, s.pc, s.a, s.b)
+		case in.IsJump():
+			s.resolved = true
+			s.actualNext = isa.NextPC(in, s.pc, s.a, s.b)
+			s.result = isa.Word(s.pc + 1) // link
+		case in.IsHalt() || in.Op == isa.OpNop:
+			// no result
+		default:
+			s.result = isa.ALUOp(in, s.a, s.b)
+		}
+	}
+	return nil
+}
+
+// recordSources accounts operand producer distances at issue time.
+func (e *engine) recordSources(s *station) {
+	for _, d := range s.srcDist {
+		if d < 0 {
+			e.stats.OperandFromCommitted++
+		} else {
+			e.stats.OperandFromStation[d]++
+		}
+	}
+}
+
+// memoryPhase gates loads and stores through the sequencing CSPPs and the
+// fat-tree arbitration.
+//
+// Paper Section 2: "A station cannot load from memory until all preceding
+// stores have finished. A station cannot store to memory until all
+// preceding loads and stores have finished" and "A station cannot modify
+// memory ... until all preceding stations have committed."
+func (e *engine) memoryPhase() {
+	// Running AND-prefixes over the window in age order — the functional
+	// equivalent of the three 1-bit CSPPs of Figure 5 with the oldest
+	// station's segment bit high.
+	storesDone := true // all earlier stores finished
+	memDone := true    // all earlier loads and stores finished
+	committed := true  // all earlier branches confirmed
+
+	type cand struct {
+		s    *station
+		addr isa.Word
+	}
+	var reqs []memory.Request
+	var cands []cand
+	for idx, s := range e.window {
+		in := s.inst
+		eligible := !s.started && s.opsReady
+		if eligible && in.IsLoad() {
+			addr := isa.EffAddr(in, s.a)
+			switch {
+			case e.cfg.MemRenaming:
+				// Memory renaming (Section 7): search the window for the
+				// nearest earlier store to the same address, through the
+				// CSPP-equivalent backward scan. A store with an unknown
+				// address blocks; a match forwards; otherwise the load is
+				// disambiguated and may bypass unperformed stores.
+				v, hit, blocked := e.forwardFromStore(idx, addr)
+				if hit {
+					s.started = true
+					s.done = true
+					s.memDone = true
+					s.doneAt = e.cycle + 1
+					s.issue = e.cycle
+					s.result = v
+					e.recordSources(s)
+					e.stats.Loads++
+					e.stats.LoadsForwarded++
+				} else if !blocked {
+					reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq})
+					cands = append(cands, cand{s, addr})
+				}
+			case storesDone:
+				reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq})
+				cands = append(cands, cand{s, addr})
+			}
+		}
+		if eligible && in.IsStore() && memDone && committed {
+			addr := isa.EffAddr(in, s.a)
+			reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Store: true, Age: s.seq})
+			cands = append(cands, cand{s, addr})
+		}
+		if in.IsStore() {
+			storesDone = storesDone && s.memDone
+			memDone = memDone && s.memDone
+		}
+		if in.IsLoad() {
+			memDone = memDone && s.memDone
+		}
+		if in.ChangesFlow() {
+			// "Committed" requires the branch resolved on the predicted
+			// path: a mispredicted branch squashes its younger stations in
+			// this cycle's recovery phase, so they must not touch memory.
+			committed = committed && s.resolved && s.actualNext == s.predictedNext
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	grant := func(c cand, latency int) {
+		s := c.s
+		s.started = true
+		s.memInFlight = true
+		s.issue = e.cycle
+		s.memDoneAt = e.cycle + int64(latency)
+		s.doneAt = s.memDoneAt
+		e.recordSources(s)
+		if s.inst.IsStore() {
+			e.mem.Store(c.addr, s.b)
+			e.stats.Stores++
+		} else {
+			s.result = e.mem.Load(c.addr)
+			e.stats.Loads++
+		}
+	}
+	if e.cfg.MemSystem == nil {
+		for _, c := range cands {
+			grant(c, e.cfg.Lat.Of(c.s.inst))
+		}
+		return
+	}
+	bySeq := make(map[int64]cand, len(cands))
+	for _, c := range cands {
+		bySeq[c.s.seq] = c
+	}
+	for _, g := range e.cfg.MemSystem.Arbitrate(reqs) {
+		grant(bySeq[g.Req.Age], g.Latency)
+	}
+}
+
+// forwardFromStore scans the window backwards from the load at age index
+// idx for a store to addr. It returns the forwarded value on a hit;
+// blocked is true when an earlier store's address is still unknown (the
+// load must wait for disambiguation).
+func (e *engine) forwardFromStore(idx int, addr isa.Word) (v isa.Word, hit, blocked bool) {
+	for j := idx - 1; j >= 0; j-- {
+		t := e.window[j]
+		if !t.inst.IsStore() {
+			continue
+		}
+		if !t.opsReady {
+			return 0, false, true
+		}
+		if isa.EffAddr(t.inst, t.a) == addr {
+			return t.b, true, false
+		}
+	}
+	return 0, false, false
+}
+
+// recover processes branch resolutions oldest-first: trains the
+// predictors, and on the first misprediction squashes all younger stations
+// and redirects fetch — the paper's single-cycle recovery ("Nothing needs
+// to be done to recover from misprediction except to fetch new
+// instructions from the correct program path").
+func (e *engine) recover() {
+	for i := 0; i < len(e.window); i++ {
+		s := e.window[i]
+		if !s.resolved || s.flowDone {
+			continue
+		}
+		s.flowDone = true
+		in := s.inst
+		if in.IsBranch() {
+			e.stats.Branches++
+			taken := s.actualNext != s.pc+1
+			if s.usedSpec {
+				e.cfg.Predictor.(branch.SpecPredictor).
+					Resolve(s.pc, s.histSnap, taken, s.actualNext != s.predictedNext)
+			} else {
+				e.cfg.Predictor.Update(s.pc, taken)
+			}
+		}
+		if in.Op == isa.OpJalr {
+			e.cfg.BTB.Update(s.pc, s.actualNext)
+		}
+		if s.actualNext != s.predictedNext {
+			e.stats.Mispredicts++
+			e.squashAfter(i)
+			e.fetchPC = s.actualNext
+			e.haltStop = false
+			e.jalrWait = false
+			return // younger resolutions are gone
+		}
+	}
+}
+
+// squashAfter removes all stations younger than age index i.
+func (e *engine) squashAfter(i int) {
+	victims := e.window[i+1:]
+	for _, v := range victims {
+		e.slots[v.slot] = slotFree
+		e.stats.Squashed++
+	}
+	e.window = e.window[:i+1]
+	e.nextSeq = e.window[i].seq + 1
+}
+
+// retire commits finished instructions in order from the head of the
+// window, freeing station slots at the configured granularity. It returns
+// true when a halt commits.
+func (e *engine) retire() bool {
+	g := e.cfg.Granularity
+	for len(e.window) > 0 && e.window[0].finished() {
+		s := e.window[0]
+		e.window = e.window[1:]
+		e.stats.Retired++
+		if e.traceBuild != nil {
+			e.traceBuild.Retire(s.pc)
+		}
+		if e.cfg.KeepTimeline {
+			e.timeline = append(e.timeline, InstRecord{
+				Seq: s.seq, PC: s.pc, Inst: s.inst, Slot: s.slot,
+				Issue: s.issue, Done: e.doneCycle(s),
+			})
+		}
+		if s.writes {
+			e.commit[s.dest] = s.result
+			e.commitProducer[s.dest] = s.seq
+			e.commitDoneAt[s.dest] = s.doneAt
+		}
+		if s.inst.IsHalt() {
+			return true
+		}
+		// Slot reuse at granularity g: the slot drains, and frees only
+		// when its whole group has drained (group = aligned block of g
+		// slots). Granularity 1 frees immediately (Ultrascalar I);
+		// granularity Window drains the whole batch (Ultrascalar II);
+		// granularity C drains per cluster (hybrid).
+		e.slots[s.slot] = slotDrained
+		group := s.slot / g
+		all := true
+		for k := group * g; k < (group+1)*g; k++ {
+			if e.slots[k] != slotDrained {
+				all = false
+				break
+			}
+		}
+		if all {
+			for k := group * g; k < (group+1)*g; k++ {
+				e.slots[k] = slotFree
+			}
+		}
+	}
+	return false
+}
+
+// doneCycle returns the first cycle the instruction's result was visible
+// to consumers, so timeline intervals are [Issue, Done).
+func (e *engine) doneCycle(s *station) int64 { return s.doneAt }
+
+// fetch fills free station slots along the predicted path. The fetch
+// width defaults to the window size ("the issue width and the
+// instruction-fetch width scale together"); the fetch model decides how
+// taken branches limit a cycle's fetch.
+func (e *engine) fetch() {
+	width := e.cfg.FetchWidth
+	if width <= 0 {
+		width = e.cfg.Window
+	}
+	switch e.cfg.Fetch {
+	case FetchBlock:
+		e.fetchSequential(width, true)
+	case FetchTrace:
+		if !e.haltStop && !e.jalrWait {
+			if tr, ok := e.trace.Lookup(e.fetchPC); ok {
+				e.fetchTrace(tr, width)
+				return
+			}
+		}
+		e.fetchSequential(width, true)
+	default:
+		e.fetchSequential(width, false)
+	}
+}
+
+// fetchSequential fetches along the predicted path; with stopAtTaken it
+// ends the cycle's fetch after the first predicted-taken control transfer
+// (conventional block fetch).
+func (e *engine) fetchSequential(width int, stopAtTaken bool) {
+	for fetched := 0; fetched < width; fetched++ {
+		s, ok := e.fetchOne(-1)
+		if !ok {
+			return
+		}
+		if stopAtTaken && s.inst.ChangesFlow() && s.predictedNext != s.pc+1 {
+			return
+		}
+	}
+}
+
+// fetchTrace supplies a cached trace in one cycle: every instruction's
+// predicted successor is the trace's recorded path.
+func (e *engine) fetchTrace(tr []int, width int) {
+	for i, pc := range tr {
+		if i >= width || pc != e.fetchPC {
+			return
+		}
+		forced := -1
+		if i+1 < len(tr) {
+			forced = tr[i+1]
+		}
+		if _, ok := e.fetchOne(forced); !ok {
+			return
+		}
+	}
+}
+
+// fetchOne fetches the instruction at the current fetch PC into the next
+// station slot. forcedNext >= 0 supplies a trace-recorded successor for
+// control transfers, bypassing the predictors. It returns false when
+// fetch cannot proceed this cycle.
+func (e *engine) fetchOne(forcedNext int) (*station, bool) {
+	if e.haltStop || e.jalrWait || len(e.window) >= e.cfg.Window {
+		return nil, false
+	}
+	if e.fetchPC < 0 || e.fetchPC >= len(e.prog) {
+		return nil, false
+	}
+	slot := int(e.nextSeq) % e.cfg.Window
+	if e.slots[slot] != slotFree {
+		return nil, false
+	}
+	pc := e.fetchPC
+	in := e.prog[pc]
+	s := &station{seq: e.nextSeq, pc: pc, inst: in, slot: slot}
+	s.dest, s.writes = in.Writes()
+	switch {
+	case in.IsHalt():
+		e.haltStop = true
+		s.predictedNext = -1
+	case in.IsBranch():
+		if forcedNext >= 0 {
+			s.predictedNext = forcedNext
+			break
+		}
+		var taken bool
+		if sp, ok := e.cfg.Predictor.(branch.SpecPredictor); ok {
+			taken, s.histSnap = sp.PredictSpec(pc)
+			s.usedSpec = true
+		} else {
+			taken = e.cfg.Predictor.Predict(pc)
+		}
+		if taken {
+			s.predictedNext = pc + 1 + int(in.Imm)
+		} else {
+			s.predictedNext = pc + 1
+		}
+	case in.Op == isa.OpJal:
+		s.predictedNext = pc + 1 + int(in.Imm)
+		if e.ras != nil {
+			e.ras.Push(pc + 1) // a call's return address
+		}
+	case in.Op == isa.OpJalr:
+		if forcedNext >= 0 {
+			s.predictedNext = forcedNext
+			break
+		}
+		if e.ras != nil {
+			if addr, ok := e.ras.Pop(); ok {
+				s.predictedNext = addr
+				break
+			}
+		}
+		s.predictedNext = e.cfg.BTB.Predict(pc)
+		if s.predictedNext < 0 {
+			e.jalrWait = true
+		}
+	default:
+		s.predictedNext = pc + 1
+	}
+	e.slots[slot] = slotOccupied
+	e.window = append(e.window, s)
+	e.nextSeq++
+	e.stats.Fetched++
+	if e.haltStop || e.jalrWait {
+		return s, false
+	}
+	e.fetchPC = s.predictedNext
+	return s, true
+}

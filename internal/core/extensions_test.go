@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+
+	"ultrascalar/internal/asm"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/workload"
+)
+
+// --- Shared-ALU scheduling (paper Section 7, Ultrascalar Memo 2) ---
+
+func TestSharedALUsMatchGolden(t *testing.T) {
+	for _, w := range workload.Kernels() {
+		for _, alus := range []int{1, 2, 4} {
+			crossCheck(t, w, Config{Window: 16, Granularity: 1, NumALUs: alus})
+		}
+	}
+}
+
+func TestSharedALUsThrottleParallelism(t *testing.T) {
+	w := workload.Parallel(256, 32)
+	run := func(alus int) *Result {
+		res, err := Run(w.Prog, w.Mem(), Config{Window: 32, Granularity: 1, NumALUs: alus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	unlimited := run(0)
+	if !(one.Stats.Cycles > four.Stats.Cycles && four.Stats.Cycles > unlimited.Stats.Cycles) {
+		t.Errorf("cycles should decrease with more ALUs: 1->%d 4->%d inf->%d",
+			one.Stats.Cycles, four.Stats.Cycles, unlimited.Stats.Cycles)
+	}
+	// A single shared ALU caps IPC at 1 on pure ALU code.
+	if ipc := one.Stats.IPC(); ipc > 1.05 {
+		t.Errorf("1-ALU IPC %.2f should be <= 1", ipc)
+	}
+	if one.Stats.ALUStarved == 0 {
+		t.Error("expected ALU starvation events with 1 shared ALU")
+	}
+	if unlimited.Stats.ALUStarved != 0 {
+		t.Error("unlimited ALUs should never starve")
+	}
+}
+
+func TestSharedALUsChainUnaffected(t *testing.T) {
+	// A serial chain uses one ALU at a time: even a single shared ALU
+	// costs nothing.
+	w := workload.Chain(200)
+	limited, err := Run(w.Prog, w.Mem(), Config{Window: 16, Granularity: 1, NumALUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Run(w.Prog, w.Mem(), Config{Window: 16, Granularity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Stats.Cycles != free.Stats.Cycles {
+		t.Errorf("chain with 1 ALU took %d cycles vs %d unlimited",
+			limited.Stats.Cycles, free.Stats.Cycles)
+	}
+}
+
+func TestSharedALUsMultiCycleOccupancy(t *testing.T) {
+	// Two independent divides with one shared ALU must serialize: about
+	// 20 cycles, not about 10.
+	prog := asm.MustAssemble(`
+		li r1, 100
+		li r2, 4
+		div r3, r1, r2
+		div r4, r1, r2
+		halt
+	`).Insts
+	one, err := Run(prog, memory.NewFlat(), Config{Window: 8, Granularity: 1, NumALUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(prog, memory.NewFlat(), Config{Window: 8, Granularity: 1, NumALUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Stats.Cycles < two.Stats.Cycles+8 {
+		t.Errorf("1 ALU (%d cycles) should serialize the divides vs 2 ALUs (%d)",
+			one.Stats.Cycles, two.Stats.Cycles)
+	}
+	if one.Regs[3] != 25 || one.Regs[4] != 25 {
+		t.Errorf("results wrong: r3=%d r4=%d", one.Regs[3], one.Regs[4])
+	}
+}
+
+// --- Self-timed forwarding (paper Section 7) ---
+
+// log2Latency is the Section 7 shape: neighbor forwarding is free, far
+// forwarding pays the tree traversal.
+func log2Latency(d int) int {
+	if d <= 1 {
+		return 0
+	}
+	extra := 0
+	for 1<<extra < d {
+		extra++
+	}
+	return extra
+}
+
+func TestSelfTimedMatchGolden(t *testing.T) {
+	for _, w := range workload.Kernels() {
+		crossCheck(t, w, Config{Window: 16, Granularity: 1, ForwardLatency: log2Latency})
+	}
+}
+
+func TestSelfTimedChainFullSpeed(t *testing.T) {
+	// "Half of the communications paths from one station to its successor
+	// are completely local": a chain of distance-1 dependences runs at
+	// full speed under the self-timed model.
+	w := workload.Chain(200)
+	st, err := Run(w.Prog, w.Mem(), Config{Window: 16, Granularity: 1, ForwardLatency: log2Latency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(w.Prog, w.Mem(), Config{Window: 16, Granularity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Cycles != base.Stats.Cycles {
+		t.Errorf("self-timed chain took %d cycles vs %d global-clock",
+			st.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+func TestSelfTimedFarDependencesSlower(t *testing.T) {
+	// Dependences spanning large distances pay extra forwarding latency.
+	w := workload.MixedILP(300, 16, 64, 11)
+	st, err := Run(w.Prog, w.Mem(), Config{Window: 64, Granularity: 1, ForwardLatency: log2Latency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(w.Prog, w.Mem(), Config{Window: 64, Granularity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Cycles <= base.Stats.Cycles {
+		t.Errorf("far dependences should cost cycles: self-timed %d vs base %d",
+			st.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+// --- Memory renaming (paper Section 7) ---
+
+func TestMemRenamingMatchGolden(t *testing.T) {
+	for _, w := range workload.Kernels() {
+		crossCheck(t, w, Config{Window: 16, Granularity: 1, MemRenaming: true})
+	}
+	for _, w := range []workload.Workload{
+		workload.MemStream(40),
+		workload.LoadBurst(60, 32),
+	} {
+		crossCheck(t, w, Config{Window: 16, Granularity: 1, MemRenaming: true})
+	}
+}
+
+func TestMemRenamingForwards(t *testing.T) {
+	// Store followed by a load of the same address: forwarded, no memory
+	// round trip.
+	w := workload.MemStream(30)
+	res, err := Run(w.Prog, w.Mem(), Config{Window: 16, Granularity: 1, MemRenaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LoadsForwarded == 0 {
+		t.Error("expected forwarded loads on the store/load stream")
+	}
+	base, err := Run(w.Prog, w.Mem(), Config{Window: 16, Granularity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles >= base.Stats.Cycles {
+		t.Errorf("renaming (%d cycles) should beat baseline (%d)", res.Stats.Cycles, base.Stats.Cycles)
+	}
+	if base.Stats.LoadsForwarded != 0 {
+		t.Error("baseline must not forward")
+	}
+}
+
+func TestMemRenamingReducesBandwidthPressure(t *testing.T) {
+	// Under M(n)=1, forwarded loads skip the fat tree entirely.
+	w := workload.MemStream(40)
+	mk := func() *memory.System {
+		cfg := memory.DefaultConfig(16, memory.MConst(1))
+		cfg.HopLatency = 0
+		return memory.NewSystem(cfg)
+	}
+	ren, err := Run(w.Prog, w.Mem(), Config{Window: 16, Granularity: 1, MemRenaming: true, MemSystem: mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(w.Prog, w.Mem(), Config{Window: 16, Granularity: 1, MemSystem: mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ren.Stats.Cycles >= base.Stats.Cycles {
+		t.Errorf("renaming under M=1 (%d) should beat baseline (%d)", ren.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+func TestMemRenamingAliasDisambiguation(t *testing.T) {
+	// A load must take the NEAREST earlier matching store, not an older
+	// one, and must wait for unknown addresses.
+	prog := asm.MustAssemble(`
+		li r1, 100
+		li r2, 1
+		li r3, 2
+		sw r2, (r1)      ; mem[100] = 1
+		sw r3, (r1)      ; mem[100] = 2 (nearest)
+		lw r4, (r1)      ; must see 2
+		li r5, 7
+		div r6, r5, r2   ; slow
+		add r6, r6, r1   ; r6 = 107 eventually
+		sw r5, (r6)      ; unknown address for a while
+		lw r7, (r1)      ; blocked until r6 known; then forwards 2
+		halt
+	`).Insts
+	res, err := Run(prog, memory.NewFlat(), Config{Window: 16, Granularity: 1, MemRenaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[4] != 2 {
+		t.Errorf("r4 = %d, want 2 (nearest store)", res.Regs[4])
+	}
+	if res.Regs[7] != 2 {
+		t.Errorf("r7 = %d, want 2", res.Regs[7])
+	}
+	if res.Mem.Load(107) != 7 {
+		t.Errorf("mem[107] = %d, want 7", res.Mem.Load(107))
+	}
+}
+
+// TestExtensionsCompose runs all three extensions together against the
+// golden model.
+func TestExtensionsCompose(t *testing.T) {
+	for _, w := range workload.Kernels() {
+		crossCheck(t, w, Config{
+			Window: 32, Granularity: 8,
+			NumALUs:        4,
+			ForwardLatency: log2Latency,
+			MemRenaming:    true,
+		})
+	}
+}

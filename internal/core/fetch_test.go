@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"ultrascalar/internal/workload"
+)
+
+func TestFetchModelsMatchGolden(t *testing.T) {
+	for _, w := range workload.Kernels() {
+		for _, fm := range []FetchModel{FetchIdeal, FetchBlock, FetchTrace} {
+			crossCheck(t, w, Config{Window: 16, Granularity: 1, Fetch: fm})
+		}
+	}
+}
+
+func TestFetchModelNames(t *testing.T) {
+	if FetchIdeal.String() != "ideal" || FetchBlock.String() != "block" ||
+		FetchTrace.String() != "trace-cache" {
+		t.Error("fetch model names wrong")
+	}
+	if FetchModel(9).String() == "" {
+		t.Error("unknown model should render something")
+	}
+}
+
+// TestBlockFetchLimitsLoopThroughput: a tight loop under block fetch
+// supplies at most one iteration per cycle, so it cannot beat the loop
+// body length per cycle even with a huge window.
+func TestBlockFetchLimitsLoopThroughput(t *testing.T) {
+	w := workload.Parallel(512, 32) // straight-line: block fetch equals ideal
+	ideal, err := Run(w.Prog, w.Mem(), Config{Window: 64, Granularity: 1, Fetch: FetchIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := Run(w.Prog, w.Mem(), Config{Window: 64, Granularity: 1, Fetch: FetchBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.Stats.Cycles != block.Stats.Cycles {
+		t.Errorf("straight-line: block (%d) should equal ideal (%d)",
+			block.Stats.Cycles, ideal.Stats.Cycles)
+	}
+
+	// A loop split by taken forward jumps: ideal fetch spans them all in
+	// one cycle; block fetch needs one cycle per taken transfer.
+	loop := workload.JumpyLoop(200)
+	idealL, err := Run(loop.Prog, loop.Mem(), Config{Window: 64, Granularity: 1, Fetch: FetchIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockL, err := Run(loop.Prog, loop.Mem(), Config{Window: 64, Granularity: 1, Fetch: FetchBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blockL.Stats.Cycles < 2*idealL.Stats.Cycles {
+		t.Errorf("jumpy loop: block fetch (%d cycles) should cost much more than ideal (%d)",
+			blockL.Stats.Cycles, idealL.Stats.Cycles)
+	}
+}
+
+// TestTraceCacheRecoversFetchBandwidth: on a hot loop the trace cache
+// approaches ideal fetch, beating block fetch.
+func TestTraceCacheRecoversFetchBandwidth(t *testing.T) {
+	loop := workload.JumpyLoop(500)
+	cycles := map[FetchModel]int64{}
+	for _, fm := range []FetchModel{FetchIdeal, FetchBlock, FetchTrace} {
+		res, err := Run(loop.Prog, loop.Mem(), Config{Window: 64, Granularity: 1, Fetch: fm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[fm] = res.Stats.Cycles
+	}
+	if !(cycles[FetchIdeal] <= cycles[FetchTrace] && cycles[FetchTrace] < cycles[FetchBlock]) {
+		t.Errorf("want ideal (%d) <= trace (%d) < block (%d)",
+			cycles[FetchIdeal], cycles[FetchTrace], cycles[FetchBlock])
+	}
+}
+
+func TestFetchWidthCap(t *testing.T) {
+	w := workload.Parallel(256, 32)
+	narrow, err := Run(w.Prog, w.Mem(), Config{Window: 32, Granularity: 1, FetchWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(w.Prog, w.Mem(), Config{Window: 32, Granularity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Stats.Cycles <= wide.Stats.Cycles {
+		t.Errorf("fetch width 2 (%d cycles) should cost more than full width (%d)",
+			narrow.Stats.Cycles, wide.Stats.Cycles)
+	}
+	// IPC under fetch width 2 cannot exceed 2.
+	if ipc := narrow.Stats.IPC(); ipc > 2.05 {
+		t.Errorf("IPC %.2f exceeds the fetch width", ipc)
+	}
+}

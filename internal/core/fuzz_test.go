@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ultrascalar/internal/branch"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/ref"
+)
+
+// randomProgram generates a terminating program: arbitrary ALU and memory
+// instructions plus forward-only branches and jumps (so control flow is a
+// DAG), ending in a halt.
+func randomProgram(rng *rand.Rand, k, nregs int) []isa.Inst {
+	aluR := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSll, isa.OpSrl, isa.OpSra,
+		isa.OpSlt, isa.OpSltu}
+	aluI := []isa.Op{isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpSlti, isa.OpLui}
+	branches := []isa.Op{isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge}
+	reg := func() uint8 { return uint8(rng.Intn(nregs)) }
+
+	prog := make([]isa.Inst, 0, k+1)
+	for len(prog) < k {
+		pc := len(prog)
+		remaining := k - pc // slots before the halt
+		switch rng.Intn(10) {
+		case 0: // load
+			prog = append(prog, isa.Inst{Op: isa.OpLw, Rd: reg(), Rs1: reg(),
+				Imm: int32(rng.Intn(64))})
+		case 1: // store
+			prog = append(prog, isa.Inst{Op: isa.OpSw, Rs1: reg(), Rs2: reg(),
+				Imm: int32(rng.Intn(64))})
+		case 2: // forward conditional branch
+			if remaining < 2 {
+				prog = append(prog, isa.Inst{Op: isa.OpNop})
+				continue
+			}
+			off := rng.Intn(remaining - 1) // target within [pc+1, k]
+			prog = append(prog, isa.Inst{Op: branches[rng.Intn(len(branches))],
+				Rs1: reg(), Rs2: reg(), Imm: int32(off)})
+		case 3: // forward jump
+			if remaining < 2 {
+				prog = append(prog, isa.Inst{Op: isa.OpNop})
+				continue
+			}
+			off := rng.Intn(remaining - 1)
+			prog = append(prog, isa.Inst{Op: isa.OpJal, Rd: reg(), Imm: int32(off)})
+		case 4: // immediate load
+			prog = append(prog, isa.Inst{Op: isa.OpLi, Rd: reg(),
+				Imm: int32(rng.Intn(1<<12)) - 1<<11})
+		case 5: // I-format ALU
+			prog = append(prog, isa.Inst{Op: aluI[rng.Intn(len(aluI))],
+				Rd: reg(), Rs1: reg(), Imm: int32(rng.Intn(1<<8)) - 1<<7})
+		default: // R-format ALU
+			prog = append(prog, isa.Inst{Op: aluR[rng.Intn(len(aluR))],
+				Rd: reg(), Rs1: reg(), Rs2: reg()})
+		}
+	}
+	return append(prog, isa.Inst{Op: isa.OpHalt})
+}
+
+// randomConfig draws a random engine configuration exercising every
+// optional feature.
+func randomConfig(rng *rand.Rand, nregs int) Config {
+	windows := []int{1, 2, 4, 8, 16, 32}
+	w := windows[rng.Intn(len(windows))]
+	divs := []int{1, w}
+	for d := 2; d < w; d *= 2 {
+		divs = append(divs, d)
+	}
+	cfg := Config{
+		Window:      w,
+		Granularity: divs[rng.Intn(len(divs))],
+		NumRegs:     nregs,
+		Fetch:       FetchModel(rng.Intn(3)),
+		MemRenaming: rng.Intn(2) == 0,
+	}
+	if rng.Intn(3) == 0 {
+		cfg.NumALUs = 1 + rng.Intn(w)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.ForwardLatency = log2Latency
+	}
+	if rng.Intn(2) == 0 {
+		cfg.FetchWidth = 1 + rng.Intn(w)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.Predictor = branch.Static(rng.Intn(2) == 0)
+	case 1:
+		cfg.Predictor = branch.Bimodal(6)
+	default:
+		cfg.Predictor = branch.GShare(8, 6)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		mcfg := memory.DefaultConfig(w, memory.MPow(1, 0.5))
+		mcfg.LinesPerBank = 16
+		if rng.Intn(2) == 0 && cfg.Granularity > 1 {
+			mcfg.ClusterSize = cfg.Granularity
+			mcfg.ClusterLines = 16
+		}
+		cfg.MemSystem = memory.NewSystem(mcfg)
+	case 1:
+		cfg.MemSystem = memory.NewButterfly(w, 1+rng.Intn(w), 1, 1+rng.Intn(3))
+	}
+	return cfg
+}
+
+// TestFuzzEngineVsGolden runs hundreds of random programs through random
+// engine configurations and demands exact architectural equality with the
+// golden interpreter.
+func TestFuzzEngineVsGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		nregs := 4 + rng.Intn(29)
+		prog := randomProgram(rng, 10+rng.Intn(120), nregs)
+		cfg := randomConfig(rng, nregs)
+
+		seedMem := memory.NewFlat()
+		for i := 0; i < 32; i++ {
+			seedMem.Store(isa.Word(rng.Intn(128)), isa.Word(rng.Uint32()))
+		}
+
+		want, err := ref.Run(prog, seedMem.Clone(), ref.Config{NumRegs: nregs})
+		if err != nil {
+			t.Fatalf("trial %d: golden failed: %v", trial, err)
+		}
+		got, err := Run(prog, seedMem.Clone(), cfg)
+		if err != nil {
+			t.Fatalf("trial %d: engine failed (cfg %+v): %v", trial, cfg, err)
+		}
+		for r := 0; r < nregs; r++ {
+			if got.Regs[r] != want.Regs[r] {
+				t.Fatalf("trial %d: r%d = %d, golden %d\ncfg: %+v\nprog:\n%v",
+					trial, r, got.Regs[r], want.Regs[r], cfg, prog)
+			}
+		}
+		if !got.Mem.Equal(want.Mem) {
+			t.Fatalf("trial %d: memory mismatch: %s\ncfg: %+v",
+				trial, got.Mem.Diff(want.Mem), cfg)
+		}
+		if got.Stats.Retired != int64(want.Executed) {
+			t.Fatalf("trial %d: retired %d, golden %d (cfg %+v)",
+				trial, got.Stats.Retired, want.Executed, cfg)
+		}
+	}
+}
+
+// TestFuzzDeterminism repeats one random configuration twice and demands
+// identical cycle counts.
+func TestFuzzDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		nregs := 8
+		prog := randomProgram(rng, 80, nregs)
+		mkCfg := func(r *rand.Rand) Config { return randomConfig(r, nregs) }
+		seed := rng.Int63()
+		a, err := Run(prog, memory.NewFlat(), mkCfg(rand.New(rand.NewSource(seed))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(prog, memory.NewFlat(), mkCfg(rand.New(rand.NewSource(seed))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Stats.Cycles != b.Stats.Cycles || a.Stats.Fetched != b.Stats.Fetched {
+			t.Fatalf("trial %d: nondeterministic: %+v vs %+v", trial, a.Stats, b.Stats)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package cspp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sumOp is an ordinary associative operator used to exercise the generic
+// scan with a non-idempotent operation.
+type sumOp struct{}
+
+func (sumOp) Combine(a, b int) int { return a + b }
+func (sumOp) Identity() int        { return 0 }
+
+// naiveCyclicExclusive is an O(n^2) oracle: for each i walk backwards
+// cyclically accumulating until a segment is consumed.
+func naiveCyclicExclusive[T any](items []Elem[T], op Op[T]) []T {
+	n := len(items)
+	out := make([]T, n)
+	for i := range items {
+		// Collect items going backwards from i-1 until (and including) the
+		// first segmented one.
+		var chain []T
+		found := false
+		for k := 1; k <= n; k++ {
+			j := ((i-k)%n + n) % n
+			chain = append(chain, items[j].Val)
+			if items[j].Seg {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out[i] = op.Identity()
+			continue
+		}
+		// chain is backwards; fold from the segment forward.
+		acc := chain[len(chain)-1]
+		for k := len(chain) - 2; k >= 0; k-- {
+			acc = op.Combine(acc, chain[k])
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func randomItems(rng *rand.Rand, n int, segProb float64) []Elem[int] {
+	items := make([]Elem[int], n)
+	for i := range items {
+		items[i] = Elem[int]{Seg: rng.Float64() < segProb, Val: rng.Intn(100)}
+	}
+	return items
+}
+
+func TestRingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(33)
+		items := randomItems(rng, n, 0.3)
+		got := RingExclusive[int](items, sumOp{})
+		want := naiveCyclicExclusive[int](items, sumOp{})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d n=%d pos %d: ring %v, naive %v\nitems %v",
+					trial, n, i, got, want, items)
+			}
+		}
+	}
+}
+
+func TestTreeMatchesRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(65)
+		items := randomItems(rng, n, 0.25)
+		ring := RingExclusive[int](items, sumOp{})
+		tree := TreeExclusive[int](items, sumOp{})
+		for i := range ring {
+			if ring[i] != tree[i] {
+				t.Fatalf("trial %d n=%d pos %d: ring %v tree %v\nitems %v",
+					trial, n, i, ring, tree, items)
+			}
+		}
+	}
+}
+
+// TestTreeMatchesRingQuick drives the equivalence with testing/quick over
+// the AND operator (the Figure 5 circuit).
+func TestTreeMatchesRingQuick(t *testing.T) {
+	f := func(segs []bool, vals []bool, seed int64) bool {
+		n := len(segs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		items := make([]Elem[bool], n)
+		for i := 0; i < n; i++ {
+			items[i] = Elem[bool]{Seg: segs[i], Val: vals[i]}
+		}
+		ring := RingExclusive[bool](items, AndOp{})
+		tree := TreeExclusive[bool](items, AndOp{})
+		for i := range ring {
+			if ring[i] != tree[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoSegments(t *testing.T) {
+	items := []Elem[int]{{Val: 1}, {Val: 2}, {Val: 3}}
+	for _, out := range [][]int{
+		RingExclusive[int](items, sumOp{}),
+		TreeExclusive[int](items, sumOp{}),
+	} {
+		for i, v := range out {
+			if v != 0 {
+				t.Errorf("pos %d = %d, want identity 0", i, v)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if out := RingExclusive[int](nil, sumOp{}); len(out) != 0 {
+		t.Error("empty ring")
+	}
+	if out := TreeExclusive[int](nil, sumOp{}); len(out) != 0 {
+		t.Error("empty tree")
+	}
+	// Single segmented element wraps to itself.
+	one := []Elem[int]{{Seg: true, Val: 42}}
+	if out := RingExclusive[int](one, sumOp{}); out[0] != 42 {
+		t.Errorf("single seg ring = %v", out)
+	}
+	if out := TreeExclusive[int](one, sumOp{}); out[0] != 42 {
+		t.Errorf("single seg tree = %v", out)
+	}
+}
+
+// TestFigure5 reproduces the paper's Figure 5 example exactly: Station 6 is
+// oldest (segment high); stations 6,7,0,1,3 have raised their condition
+// inputs; the circuit outputs high to stations 7,0,1,2.
+func TestFigure5(t *testing.T) {
+	met := make([]bool, 8)
+	for _, s := range []int{6, 7, 0, 1, 3} {
+		met[s] = true
+	}
+	out := AllEarlierTrue(met, 6)
+	wantHigh := map[int]bool{7: true, 0: true, 1: true, 2: true, 6: true} // oldest trivially true
+	for s := 0; s < 8; s++ {
+		if out[s] != wantHigh[s] {
+			t.Errorf("station %d: got %v, want %v (out=%v)", s, out[s], wantHigh[s], out)
+		}
+	}
+}
+
+// TestForwardRegisterFigure1 reproduces the R0 ring snapshot of Figure 1:
+// Station 6 (oldest) inserts the committed value 10 (ready); Station 7
+// modifies R0 but is not finished (ready=false); Station 4 has computed 42
+// (ready). Stations 0-4 must see Station 7's unready insertion; stations 5
+// and 6 must see 42 from Station 4; station 7 sees the committed 10.
+func TestForwardRegisterFigure1(t *testing.T) {
+	n := 8
+	bindings := make([]RegBinding, n)
+	modified := make([]bool, n)
+	bindings[6] = RegBinding{Val: 10, Ready: true} // oldest inserts initial value
+	modified[6] = true
+	bindings[7] = RegBinding{Val: 0, Ready: false} // writer, not yet computed
+	modified[7] = true
+	bindings[4] = RegBinding{Val: 42, Ready: true} // writer, computed
+	modified[4] = true
+	out := ForwardRegister(bindings, modified, 6)
+
+	for _, s := range []int{0, 1, 2, 3, 4} {
+		if out[s].Ready || out[s] != (RegBinding{Val: 0, Ready: false}) {
+			t.Errorf("station %d sees %+v, want not-ready from station 7", s, out[s])
+		}
+	}
+	for _, s := range []int{5, 6} {
+		if out[s] != (RegBinding{Val: 42, Ready: true}) {
+			t.Errorf("station %d sees %+v, want {42 true} from station 4", s, out[s])
+		}
+	}
+	if out[7] != (RegBinding{Val: 10, Ready: true}) {
+		t.Errorf("station 7 sees %+v, want committed {10 true}", out[7])
+	}
+}
+
+// TestForwardRegisterOldestForced verifies the oldest station is treated as
+// a modifier even if the caller forgets to set its modified bit.
+func TestForwardRegisterOldestForced(t *testing.T) {
+	bindings := []RegBinding{{Val: 5, Ready: true}, {}, {}}
+	out := ForwardRegister(bindings, []bool{false, false, false}, 0)
+	if out[1] != (RegBinding{Val: 5, Ready: true}) || out[2] != out[1] {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestAllEarlierTrueChain(t *testing.T) {
+	// All met: everyone sees true.
+	out := AllEarlierTrue([]bool{true, true, true, true}, 2)
+	for i, v := range out {
+		if !v {
+			t.Errorf("station %d false, want true (%v)", i, out)
+		}
+	}
+	// Oldest not met: everyone except oldest sees false.
+	out = AllEarlierTrue([]bool{true, true, false, true}, 2)
+	want := []bool{false, false, true, false}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out = %v, want %v", out, want)
+			break
+		}
+	}
+}
+
+func BenchmarkRingExclusive1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 1024, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RingExclusive[int](items, sumOp{})
+	}
+}
+
+func BenchmarkTreeExclusive1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 1024, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TreeExclusive[int](items, sumOp{})
+	}
+}

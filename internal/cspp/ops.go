@@ -1,0 +1,64 @@
+package cspp
+
+// PassOp is the paper's register-forwarding operator a⊗b = a: it "simply
+// passes earlier values" so the segmented prefix delivers, at each station,
+// the value inserted by the nearest preceding station whose segment
+// (modified) bit is high.
+type PassOp[T any] struct{ Zero T }
+
+// Combine returns a, the accumulated (earlier) value.
+func (PassOp[T]) Combine(a, _ T) T { return a }
+
+// Identity returns the zero value; it is only observed when no segment bit
+// is set anywhere, which the datapath precludes.
+func (p PassOp[T]) Identity() T { return p.Zero }
+
+// AndOp is the 1-bit operator a⊗b = a∧b of the paper's Figure 5, used to
+// ask "have all earlier stations met a condition?"
+type AndOp struct{}
+
+// Combine ANDs the accumulated condition with the next station's bit.
+func (AndOp) Combine(a, b bool) bool { return a && b }
+
+// Identity is true, the AND identity.
+func (AndOp) Identity() bool { return true }
+
+// RegBinding is the payload carried by one register's CSPP tree: the
+// register's current value and its ready bit (paper Figure 1: "Register
+// Value and Ready Bit").
+type RegBinding struct {
+	Val   uint32
+	Ready bool
+}
+
+// ForwardRegister computes, for every station, the incoming (value, ready)
+// pair of one logical register: the pair inserted by the nearest preceding
+// station (cyclically) whose modified bit is set. The oldest station must
+// have its modified bit set (it inserts the committed register file), which
+// the datapath guarantees; ForwardRegister enforces it.
+func ForwardRegister(bindings []RegBinding, modified []bool, oldest int) []RegBinding {
+	n := len(bindings)
+	items := make([]Elem[RegBinding], n)
+	for i := 0; i < n; i++ {
+		items[i] = Elem[RegBinding]{Seg: modified[i] || i == oldest, Val: bindings[i]}
+	}
+	return RingExclusive[RegBinding](items, PassOp[RegBinding]{})
+}
+
+// AllEarlierTrue computes, for every station, whether all stations from the
+// oldest up to (but excluding) it have met a condition — the three
+// sequencing uses in the paper: instruction completion (oldest/deallocate),
+// store serialization, load serialization, and branch commitment. The
+// oldest station itself has no earlier stations, so its output is true.
+func AllEarlierTrue(met []bool, oldest int) []bool {
+	n := len(met)
+	items := make([]Elem[bool], n)
+	for i := 0; i < n; i++ {
+		items[i] = Elem[bool]{Seg: i == oldest, Val: met[i]}
+	}
+	out := RingExclusive[bool](items, AndOp{})
+	if n > 0 {
+		out[oldest] = true
+	}
+	return out
+}

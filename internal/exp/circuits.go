@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ultrascalar/internal/analysis"
+	"ultrascalar/internal/circuit"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+// E10: measured netlist depths for the circuits of Figures 1, 4, 5, 7 and
+// 8, validating the paper's gate-delay claims from the actual generated
+// gates rather than formulas.
+
+// CircuitDepthRow is one circuit family at one size.
+type CircuitDepthRow struct {
+	N          int
+	RingDepth  int // Figure 1 style, Θ(n)
+	TreeDepth  int // Figure 4 style, Θ(log n)
+	MixedDepth int // Section 5 mixed strategy (8-item blocks)
+	GridLin    int // Figure 7 grid, Θ(n+L)
+	GridTree   int // Figure 8 mesh of trees, Θ(log(n+L))
+}
+
+// CircuitDepths measures all five families for n in powers of two.
+func CircuitDepths(l, nMin, nMax int) []CircuitDepthRow {
+	var rows []CircuitDepthRow
+	for n := nMin; n <= nMax; n *= 2 {
+		row := CircuitDepthRow{N: n}
+		row.RingDepth = circuit.RegisterCSPP(n, 2, false).Depth()
+		row.TreeDepth = circuit.RegisterCSPP(n, 2, true).Depth()
+		row.MixedDepth = mixedCSPPDepth(n)
+		gl, _ := circuit.Ultra2Grid(n, l, 2, false)
+		row.GridLin = gl.Depth()
+		gt, _ := circuit.Ultra2Grid(n, l, 2, true)
+		row.GridTree = gt.Depth()
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// mixedCSPPDepth builds the Section 5 mixed-strategy register CSPP
+// (balanced trees over 8-station blocks, linear across blocks) and
+// measures its depth.
+func mixedCSPPDepth(n int) int {
+	c := circuit.New()
+	items := make([]circuit.ScanItem, n)
+	for i := range items {
+		items[i] = circuit.ScanItem{Seg: c.NewInput(), Val: c.NewInputBus(2)}
+	}
+	for _, o := range circuit.BuildCSPPMixed(c, items, circuit.PassScanOp{W: 2}, 8) {
+		c.OutputBus(o)
+	}
+	return c.Depth()
+}
+
+// CircuitDepthsReport renders E10.
+func CircuitDepthsReport(l, nMin, nMax int) string {
+	rows := CircuitDepths(l, nMin, nMax)
+	var b strings.Builder
+	fmt.Fprintf(&b, "E10: measured netlist depths (unit gate delays), L=%d\n\n", l)
+	tab := analysis.NewTable("n", "mux ring (Fig 1)", "CSPP tree (Fig 4)",
+		"mixed (Sec 5)", "grid linear (Fig 7)", "mesh-of-trees (Fig 8)")
+	for _, r := range rows {
+		tab.Row(r.N, r.RingDepth, r.TreeDepth, r.MixedDepth, r.GridLin, r.GridTree)
+	}
+	b.WriteString(tab.String())
+	b.WriteString("\nRing and linear grid grow linearly; tree datapaths grow logarithmically,\nas the paper's Sections 2 and 4 claim.\n")
+	return b.String()
+}
+
+// E7: three-dimensional packaging (Section 7).
+
+// ThreeDReport renders the 3D volume/wire trends for the three designs.
+func ThreeDReport(l int, ns []int) string {
+	m := memory.MConst(1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "E7 / Section 7: three-dimensional packaging (unit constants, L=%d)\n\n", l)
+	tab := analysis.NewTable("n", "UltraI volume", "UltraII volume", "hybrid volume", "hybrid C (3D)")
+	for _, n := range ns {
+		u1 := vlsi.UltraI3D(n, l, m)
+		u2 := vlsi.UltraII3D(n, l, m)
+		hy := vlsi.Hybrid3D(n, l, m)
+		tab.Row(n, u1.Volume, u2.Volume, hy.Volume, hy.Cluster)
+	}
+	b.WriteString(tab.String())
+	b.WriteString("\nPaper: UltraI volume nL^{3/2}; UltraII O(n^2+L^2); hybrid O(nL^{3/4})\nwith optimal 3D cluster size Th(L^{3/4}).\n")
+	return b.String()
+}

@@ -1,0 +1,331 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ultrascalar/internal/vlsi"
+)
+
+func TestFigure3Rows(t *testing.T) {
+	rows, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(rows))
+	}
+	want := [][2]int64{{0, 10}, {10, 11}, {0, 1}, {11, 12}, {0, 3}, {3, 4}, {0, 1}, {1, 2}}
+	for i, r := range rows {
+		if r.Issue != want[i][0] || r.Done != want[i][1] {
+			t.Errorf("row %d (%s): [%d,%d), want [%d,%d)", i, r.Inst, r.Issue, r.Done, want[i][0], want[i][1])
+		}
+	}
+	rep, err := Figure3Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "div") || !strings.Contains(rep, "##########") {
+		t.Errorf("report missing the 10-cycle divide bar:\n%s", rep)
+	}
+}
+
+// TestFigure11Exponents validates every measured exponent against the
+// paper's dominant power (log factors shift exponents upward slightly, so
+// the tolerance is asymmetric).
+func TestFigure11Exponents(t *testing.T) {
+	cells, err := Figure11(32, 32, 64, 4096, vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3*4*4 {
+		t.Fatalf("want 48 cells, got %d", len(cells))
+	}
+	for _, c := range cells {
+		diff := c.Fit.Exponent - c.PredictedExp
+		lo, hi := -0.25, 0.45
+		switch c.Quantity {
+		case "gate":
+			// Gate delays of the log designs are Θ(log): predicted
+			// exponent 0 with a small positive measured slope; linear
+			// designs hit their exact slope.
+			hi = 0.5
+		case "total":
+			// Total delay is a mixture of a near-constant gate term and
+			// the wire power term: the measured exponent lies anywhere
+			// between them at finite n.
+			lo = -0.6
+		}
+		if diff < lo || diff > hi {
+			t.Errorf("%s %s %s: measured %.3f vs predicted %.2f (%s)",
+				c.Arch.Name(), c.Regime, c.Quantity, c.Fit.Exponent, c.PredictedExp, c.Predicted)
+		}
+		if c.Fit.R2 < 0.93 {
+			t.Errorf("%s %s %s: poor fit R2=%.3f", c.Arch.Name(), c.Regime, c.Quantity, c.Fit.R2)
+		}
+	}
+	rep, err := Figure11Report(32, 32, 64, 1024, vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ultrascalar I", "Hybrid", "M(n)=Th(n^1/2)", "area"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Figure 11 report missing %q", want)
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	r, err := Figure12(vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DensityRatio < 8 || r.DensityRatio > 16 {
+		t.Errorf("density ratio %.1f, paper about 11.5", r.DensityRatio)
+	}
+	rep, err := Figure12Report(vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "150,000") || !strings.Contains(rep, "density ratio") {
+		t.Errorf("report incomplete:\n%s", rep)
+	}
+}
+
+func TestUltraIRecurrenceAgreement(t *testing.T) {
+	rows, err := UltraIRecurrence(32, 32, 64, 4096, vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 regimes, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.ModelExp-r.RecurrenceExp) > 0.3 {
+			t.Errorf("%s: floorplan %.3f vs recurrence %.3f disagree",
+				r.Regime, r.ModelExp, r.RecurrenceExp)
+		}
+	}
+	// Case 1 is Θ(√n); the linear-M case is Θ(n). The linear case is
+	// checked with small L so the memory wires dominate the station
+	// bundles within the sweep range.
+	if math.Abs(rows[0].ModelExp-0.5) > 0.1 {
+		t.Errorf("case 1 exponent %.3f, want 0.5", rows[0].ModelExp)
+	}
+	rowsSmallL, err := UltraIRecurrence(8, 8, 64, 4096, vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rowsSmallL[3].ModelExp-1.0) > 0.2 {
+		t.Errorf("linear-M exponent %.3f (L=8), want 1", rowsSmallL[3].ModelExp)
+	}
+	rep, err := UltraIRecurrenceReport(32, 32, 64, 1024, vlsi.Tech035())
+	if err != nil || !strings.Contains(rep, "Case 1") {
+		t.Errorf("recurrence report bad: %v", err)
+	}
+}
+
+func TestUltra2ScalingRows(t *testing.T) {
+	rows, err := Ultra2Scaling(32, 32, 64, 512, vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	if !(last.SideLog > last.SideLin && last.SideMixed < 1.2*last.SideLin) {
+		t.Errorf("side ordering wrong: %+v", last)
+	}
+	if !(last.GateLog < last.GateLin && last.GateMixed < last.GateLin) {
+		t.Errorf("gate ordering wrong: %+v", last)
+	}
+	rep, err := Ultra2ScalingReport(32, 32, 64, 256, vlsi.Tech035())
+	if err != nil || !strings.Contains(rep, "mixed") {
+		t.Errorf("scaling report bad: %v", err)
+	}
+}
+
+func TestClusterSweepMinimumAtL(t *testing.T) {
+	for _, l := range []int{8, 32} {
+		_, bestC, err := ClusterSweep(4096, l, 32, vlsi.Tech035())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestC < l/2 || bestC > 2*l {
+			t.Errorf("L=%d: best C=%d, want Θ(L)", l, bestC)
+		}
+	}
+	rep, err := ClusterSweepReport(1024, 32, vlsi.Tech035())
+	if err != nil || !strings.Contains(rep, "<- min") {
+		t.Errorf("cluster sweep report bad: %v", err)
+	}
+}
+
+func TestIPCOrdering(t *testing.T) {
+	rows, err := IPC(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no IPC rows")
+	}
+	for _, r := range rows {
+		if !(r.IPCU1+1e-9 >= r.IPCHy && r.IPCHy+1e-9 >= r.IPCU2) {
+			t.Errorf("%s: IPC ordering violated: %.3f / %.3f / %.3f",
+				r.Workload, r.IPCU1, r.IPCHy, r.IPCU2)
+		}
+	}
+	rep, err := IPCReport(16, 4)
+	if err != nil || !strings.Contains(rep, "IPC UltraI") {
+		t.Errorf("IPC report bad: %v", err)
+	}
+}
+
+func TestLocalityRows(t *testing.T) {
+	rows, err := Locality(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("too few locality rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		sum := r.FromPrevious + r.FromInitial
+		if sum < 0 || sum > 1.0001 || r.FromNear < r.FromPrevious {
+			t.Errorf("%s: implausible locality %+v", r.Workload, r)
+		}
+		if r.MeanDistance <= 0 {
+			t.Errorf("%s: mean distance %.2f", r.Workload, r.MeanDistance)
+		}
+	}
+	rep, err := LocalityReport(32)
+	if err != nil || !strings.Contains(rep, "from prev inst") {
+		t.Errorf("locality report bad: %v", err)
+	}
+}
+
+func TestEndToEndCrossover(t *testing.T) {
+	rows, err := EndToEnd(32, 32, []int{64, 1024}, vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	// At every n the hybrid's clock beats the Ultrascalar I's (shorter
+	// wires at n >= L).
+	byN := map[int]map[string]EndToEndRow{}
+	for _, r := range rows {
+		if byN[r.N] == nil {
+			byN[r.N] = map[string]EndToEndRow{}
+		}
+		byN[r.N][r.Arch] = r
+	}
+	for n, m := range byN {
+		if m["Hybrid Ultrascalar"].ClockPs >= m["Ultrascalar I"].ClockPs {
+			t.Errorf("n=%d: hybrid clock %.0f should beat UltraI %.0f",
+				n, m["Hybrid Ultrascalar"].ClockPs, m["Ultrascalar I"].ClockPs)
+		}
+	}
+	rep, err := EndToEndReport(32, 32, []int{64}, vlsi.Tech035())
+	if err != nil || !strings.Contains(rep, "runtime") {
+		t.Errorf("end-to-end report bad: %v", err)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	rows, err := Crossover(32, 32, []int{64, 1024}, vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Winner == "" || r.TimeUs[r.Winner] <= 0 {
+			t.Errorf("bad crossover row %+v", r)
+		}
+		for _, us := range r.TimeUs {
+			if us < r.TimeUs[r.Winner] {
+				t.Errorf("winner is not fastest: %+v", r)
+			}
+		}
+	}
+	rep, err := CrossoverReport(32, 32, []int{64}, vlsi.Tech035())
+	if err != nil || !strings.Contains(rep, "winner") {
+		t.Errorf("crossover report bad: %v", err)
+	}
+}
+
+func TestCircuitDepthRows(t *testing.T) {
+	rows := CircuitDepths(8, 8, 64)
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.RingDepth < 4*first.RingDepth {
+		t.Errorf("ring depth should grow linearly: %d -> %d", first.RingDepth, last.RingDepth)
+	}
+	if !(last.TreeDepth <= last.MixedDepth && last.MixedDepth <= last.RingDepth) {
+		t.Errorf("mixed depth %d should sit between tree %d and ring %d",
+			last.MixedDepth, last.TreeDepth, last.RingDepth)
+	}
+	if last.TreeDepth > first.TreeDepth+12 {
+		t.Errorf("tree depth should grow logarithmically: %d -> %d", first.TreeDepth, last.TreeDepth)
+	}
+	if last.GridLin < 2*first.GridLin {
+		t.Errorf("grid depth should grow linearly: %d -> %d", first.GridLin, last.GridLin)
+	}
+	rep := CircuitDepthsReport(8, 8, 32)
+	if !strings.Contains(rep, "mesh-of-trees") {
+		t.Error("circuit report incomplete")
+	}
+}
+
+func TestThreeDReport(t *testing.T) {
+	rep := ThreeDReport(64, []int{256, 1024, 4096})
+	if !strings.Contains(rep, "hybrid volume") || !strings.Contains(rep, "L^{3/4}") {
+		t.Errorf("3D report incomplete:\n%s", rep)
+	}
+}
+
+func TestTechScaling(t *testing.T) {
+	rows, err := TechScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 nodes, got %d", len(rows))
+	}
+	// Sizes shrink monotonically with the node.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SideCM >= rows[i-1].SideCM {
+			t.Errorf("side should shrink: %s %.2f >= %s %.2f",
+				rows[i].Node, rows[i].SideCM, rows[i-1].Node, rows[i-1].SideCM)
+		}
+	}
+	// The paper's 0.1 µm claim: fits within 1 cm on a side.
+	var node01 *TechScalingRow
+	for i := range rows {
+		if strings.Contains(rows[i].Node, "0.10um") {
+			node01 = &rows[i]
+		}
+	}
+	if node01 == nil || !node01.FitsCM1 {
+		t.Errorf("0.1um hybrid should fit 1cm x 1cm: %+v", node01)
+	}
+	rep, err := TechScalingReport()
+	if err != nil || !strings.Contains(rep, "fits 1cm") {
+		t.Errorf("tech report bad: %v", err)
+	}
+}
+
+func TestArchKindNames(t *testing.T) {
+	for _, a := range []ArchKind{ArchUltra1, ArchUltra2Linear, ArchUltra2Log, ArchHybrid} {
+		if a.Name() == "" {
+			t.Errorf("arch %d has no name", a)
+		}
+	}
+	if len(Regimes()) != 3 {
+		t.Error("want the paper's three bandwidth regimes")
+	}
+}

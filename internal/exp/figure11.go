@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ultrascalar/internal/analysis"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+// Figure 11 is the paper's headline comparison table: gate delay, wire
+// delay, total delay and area of the Ultrascalar I, Ultrascalar II
+// (linear and log gates) and the hybrid, under the three memory-bandwidth
+// regimes. This experiment regenerates it empirically: it sweeps n over
+// the constructive models, fits growth exponents, and prints them next to
+// the paper's Θ bounds.
+
+// ArchKind enumerates the compared processors.
+type ArchKind int
+
+// The four compared datapaths of Figure 11.
+const (
+	ArchUltra1 ArchKind = iota
+	ArchUltra2Linear
+	ArchUltra2Log
+	ArchHybrid
+)
+
+var archNames = map[ArchKind]string{
+	ArchUltra1:       "Ultrascalar I",
+	ArchUltra2Linear: "Ultrascalar II (linear)",
+	ArchUltra2Log:    "Ultrascalar II (log)",
+	ArchHybrid:       "Hybrid",
+}
+
+// Name returns the display name.
+func (a ArchKind) Name() string { return archNames[a] }
+
+// Regime is one memory-bandwidth case of Figure 11.
+type Regime struct {
+	Label string
+	M     memory.MFunc
+	P     float64 // M(n) = Θ(n^P)
+}
+
+// Regimes returns the paper's three bandwidth cases, instantiated as
+// concrete power laws.
+func Regimes() []Regime {
+	return []Regime{
+		{Label: "M(n)=O(n^1/2-e)", M: memory.MPow(1, 0.25), P: 0.25},
+		{Label: "M(n)=Th(n^1/2)", M: memory.MPow(1, 0.5), P: 0.5},
+		// The coefficient 4 pulls the asymptotic M(n) dominance into the
+		// measured sweep range (the regime is still Ω(n^{1/2+ε})).
+		{Label: "M(n)=Om(n^1/2+e)", M: memory.MPow(4, 0.75), P: 0.75},
+	}
+}
+
+// Figure11Cell is the measured scaling of one quantity for one processor
+// in one regime.
+type Figure11Cell struct {
+	Arch     ArchKind
+	Regime   string
+	Quantity string // "gate", "wire", "total", "area"
+	Fit      analysis.PowerFit
+	// Predicted is the paper's Θ bound rendered as text; PredictedExp is
+	// the dominant exponent in n with L fixed (logs count as 0).
+	Predicted    string
+	PredictedExp float64
+}
+
+// model builds the physical model of one architecture.
+func model(a ArchKind, n, l, w int, m memory.MFunc, t vlsi.Tech) (*vlsi.Model, error) {
+	switch a {
+	case ArchUltra1:
+		return vlsi.UltraIModel(n, l, w, m, t, vlsi.UltraIOptions{})
+	case ArchUltra2Linear:
+		return vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Linear)
+	case ArchUltra2Log:
+		return vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Tree)
+	default:
+		return vlsi.HybridModel(n, l, l, w, m, t, vlsi.Ultra2Linear)
+	}
+}
+
+// predictions returns the paper's Figure 11 entry and its dominant
+// exponent in n (L fixed) for the given architecture, regime exponent p,
+// and quantity.
+func predictions(a ArchKind, p float64, q string) (string, float64) {
+	memExp := math.Max(0.5, p) // the wire/side bound max(√n·L, M(n)) at fixed L
+	switch a {
+	case ArchUltra1:
+		switch q {
+		case "gate":
+			return "Th(log n)", 0
+		case "wire", "total":
+			if p > 0.5 {
+				return "Th(sqrt(n)L + M(n))", memExp
+			}
+			return "Th(sqrt(n)L)", 0.5
+		case "area":
+			if p > 0.5 {
+				return "Th(nL^2 + M(n)^2)", math.Max(1, 2*p)
+			}
+			return "Th(nL^2)", 1
+		}
+	case ArchUltra2Linear:
+		switch q {
+		case "gate", "wire", "total":
+			return "Th(n+L)", 1
+		case "area":
+			return "Th(n^2+L^2)", 2
+		}
+	case ArchUltra2Log:
+		switch q {
+		case "gate":
+			return "Th(log(n+L))", 0
+		case "wire", "total":
+			return "Th((n+L)log(n+L))", 1
+		case "area":
+			return "Th((n+L)^2 log^2(n+L))", 2
+		}
+	case ArchHybrid:
+		switch q {
+		case "gate":
+			return "Th(L + log n)", 0
+		case "wire", "total":
+			if p > 0.5 {
+				return "Th(sqrt(nL) + M(n))", memExp
+			}
+			return "Th(sqrt(nL))", 0.5
+		case "area":
+			if p > 0.5 {
+				return "Th(nL + M(n)^2)", math.Max(1, 2*p)
+			}
+			return "Th(nL)", 1
+		}
+	}
+	return "?", 0
+}
+
+// Figure11 sweeps n over [nMin, nMax] (powers of 4) at fixed L and fits
+// the growth of every Figure 11 cell.
+func Figure11(l, w, nMin, nMax int, t vlsi.Tech) ([]Figure11Cell, error) {
+	var cells []Figure11Cell
+	for _, reg := range Regimes() {
+		for _, a := range []ArchKind{ArchUltra1, ArchUltra2Linear, ArchUltra2Log, ArchHybrid} {
+			var ns, gate, wire, total, area []float64
+			for n := nMin; n <= nMax; n *= 4 {
+				md, err := model(a, n, l, w, reg.M, t)
+				if err != nil {
+					return nil, err
+				}
+				ns = append(ns, float64(n))
+				gate = append(gate, float64(md.GateDelay))
+				wire = append(wire, md.MaxWireL)
+				total = append(total, md.ClockPs(t))
+				area = append(area, md.AreaL2())
+			}
+			for _, q := range []struct {
+				name string
+				ys   []float64
+			}{{"gate", gate}, {"wire", wire}, {"total", total}, {"area", area}} {
+				fit, err := analysis.FitPower(ns, q.ys)
+				if err != nil {
+					return nil, err
+				}
+				pred, pexp := predictions(a, reg.P, q.name)
+				cells = append(cells, Figure11Cell{
+					Arch: a, Regime: reg.Label, Quantity: q.name,
+					Fit: fit, Predicted: pred, PredictedExp: pexp,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Figure11Report renders the comparison in the layout of the paper's
+// Figure 11, one block per bandwidth regime.
+func Figure11Report(l, w, nMin, nMax int, t vlsi.Tech) (string, error) {
+	cells, err := Figure11(l, w, nMin, nMax, t)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: measured scaling exponents (n in [%d, %d], L=%d, fixed)\n", nMin, nMax, l)
+	b.WriteString("Exponents fit side/area/delay ~ n^p; logarithmic factors raise the\nmeasured exponent slightly above the predicted dominant power.\n\n")
+	byRegime := map[string][]Figure11Cell{}
+	var order []string
+	for _, c := range cells {
+		if _, ok := byRegime[c.Regime]; !ok {
+			order = append(order, c.Regime)
+		}
+		byRegime[c.Regime] = append(byRegime[c.Regime], c)
+	}
+	for _, reg := range order {
+		fmt.Fprintf(&b, "== %s ==\n", reg)
+		tab := analysis.NewTable("quantity", "processor", "measured n-exponent", "R2", "paper bound")
+		for _, c := range byRegime[reg] {
+			tab.Row(c.Quantity, c.Arch.Name(),
+				fmt.Sprintf("%.3f (pred %.2f)", c.Fit.Exponent, c.PredictedExp),
+				c.Fit.R2, c.Predicted)
+		}
+		b.WriteString(tab.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ultrascalar/internal/analysis"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+// Figure12Result is the empirical layout comparison of the paper's
+// Section 7 / Figure 12: a 64-station Ultrascalar I register datapath
+// versus a 128-station 4-cluster hybrid, both with 32 32-bit registers in
+// 0.35 µm CMOS.
+type Figure12Result struct {
+	UltraI, Hybrid *vlsi.Model
+	// DensityRatio is hybrid stations-per-area over Ultrascalar I
+	// stations-per-area; the paper reports about 11.5 (13,000 versus
+	// 150,000 processors per square meter).
+	DensityRatio float64
+}
+
+// Figure12 builds both layouts with the paper's parameters.
+func Figure12(t vlsi.Tech) (*Figure12Result, error) {
+	m := memory.MConst(1) // the paper "left space ... for a small datapath of size M(n) = O(1)"
+	u1, err := vlsi.UltraIModel(64, 32, 32, m, t, vlsi.UltraIOptions{})
+	if err != nil {
+		return nil, err
+	}
+	hy, err := vlsi.HybridModel(128, 32, 32, 32, m, t, vlsi.Ultra2Linear)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure12Result{
+		UltraI:       u1,
+		Hybrid:       hy,
+		DensityRatio: hy.DensityPerM2(t) / u1.DensityPerM2(t),
+	}, nil
+}
+
+// Figure12Report renders the comparison with the paper's reported numbers
+// alongside.
+func Figure12Report(t vlsi.Tech) (string, error) {
+	r, err := Figure12(t)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 12: empirical layout comparison (0.35um, 3 metal, L=32, W=32)\n\n")
+	tab := analysis.NewTable("layout", "stations", "size (cm)", "stations/m^2", "paper")
+	tab.Row("Ultrascalar I", 64,
+		fmt.Sprintf("%.2f x %.2f", t.CM(r.UltraI.WidthL), t.CM(r.UltraI.HeightL)),
+		fmt.Sprintf("%.0f", r.UltraI.DensityPerM2(t)),
+		"7 x 7 cm, 13,000/m^2")
+	tab.Row("Hybrid (4 clusters)", 128,
+		fmt.Sprintf("%.2f x %.2f", t.CM(r.Hybrid.WidthL), t.CM(r.Hybrid.HeightL)),
+		fmt.Sprintf("%.0f", r.Hybrid.DensityPerM2(t)),
+		"3.2 x 2.7 cm, 150,000/m^2")
+	b.WriteString(tab.String())
+	fmt.Fprintf(&b, "\ndensity ratio: %.1fx (paper: about 11.5x denser, 11x less area)\n", r.DensityRatio)
+	fmt.Fprintf(&b, "Ultrascalar I wiring channels occupy %.0f%% of the occupied area —\n"+
+		"the paper's \"each node of our H-tree floorplan would require area\n"+
+		"comparable to the entire area of one of today's processors.\"\n",
+		100*r.UltraI.ChannelShare())
+	return b.String(), nil
+}

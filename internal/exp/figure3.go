@@ -1,0 +1,83 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation. Each experiment returns structured data plus a rendered
+// text report; the top-level benchmarks (bench_test.go) and the cmd/
+// tools drive these functions. EXPERIMENTS.md records paper-versus-
+// measured for each artifact.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/workload"
+)
+
+// Figure3Row is one instruction's timing in the Figure 3 diagram.
+type Figure3Row struct {
+	Inst  isa.Inst
+	Issue int64
+	Done  int64 // exclusive
+}
+
+// Figure3 reproduces the paper's Figure 3: the relative time during which
+// each instruction of the Figure 1 sequence executes, on an 8-station
+// Ultrascalar I with div=10, mul=3, add=1.
+func Figure3() ([]Figure3Row, error) {
+	w := workload.Figure3Sequence()
+	init := make([]isa.Word, isa.NumRegs)
+	init[0], init[1], init[2] = 10, 100, 5
+	init[4], init[5], init[6], init[7] = 3, 50, 8, 2
+	res, err := core.Run(w.Prog, memory.NewFlat(), core.Config{
+		Window: 8, Granularity: 1, InitRegs: init, KeepTimeline: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure3Row, 0, 8)
+	for _, rec := range res.Timeline {
+		if rec.Inst.IsHalt() {
+			break
+		}
+		rows = append(rows, Figure3Row{Inst: rec.Inst, Issue: rec.Issue, Done: rec.Done})
+	}
+	return rows, nil
+}
+
+// Figure3Report renders the timing diagram as ASCII art in the style of
+// the paper's Figure 3.
+func Figure3Report() (string, error) {
+	rows, err := Figure3()
+	if err != nil {
+		return "", err
+	}
+	var maxDone int64
+	for _, r := range rows {
+		if r.Done > maxDone {
+			maxDone = r.Done
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: relative execution time of the Figure 1 sequence\n")
+	b.WriteString("(div=10, mul=3, add=1 cycles; 8-station Ultrascalar I)\n\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s |", r.Inst)
+		for c := int64(0); c < maxDone; c++ {
+			switch {
+			case c >= r.Issue && c < r.Done:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		fmt.Fprintf(&b, "|  [%d,%d)\n", r.Issue, r.Done)
+	}
+	fmt.Fprintf(&b, "%-16s  ", "")
+	for c := int64(0); c <= maxDone; c += 2 {
+		fmt.Fprintf(&b, "%-2d", c)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}

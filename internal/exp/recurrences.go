@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ultrascalar/internal/analysis"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+// E4: the Ultrascalar I side-length recurrence of Section 3 (Figure 6).
+// The constructive floorplan and the abstract recurrence
+// X(n) = 2X(n/4) + Θ(L) + Θ(M(n)) must exhibit the same growth, case by
+// case in M(n).
+
+// RecurrenceRow compares constructive and abstract growth in one regime.
+type RecurrenceRow struct {
+	Regime        string
+	ModelExp      float64 // fitted exponent of the constructive model
+	RecurrenceExp float64 // fitted exponent of the abstract recurrence
+	PaperCase     string
+}
+
+// UltraIRecurrence sweeps n (powers of 4) and fits both growth rates.
+func UltraIRecurrence(l, w, nMin, nMax int, t vlsi.Tech) ([]RecurrenceRow, error) {
+	cases := []struct {
+		regime    string
+		m         memory.MFunc
+		paperCase string
+	}{
+		{"M(n)=O(n^1/2-e)", memory.MPow(1, 0.25), "Case 1: X(n)=Th(sqrt(n)L)"},
+		{"M(n)=Th(n^1/2)", memory.MPow(1, 0.5), "Case 2: X(n)=Th(sqrt(n)(L+log n))"},
+		{"M(n)=Om(n^1/2+e)", memory.MPow(1, 0.75), "Case 3: X(n)=Th(sqrt(n)L+M(n))"},
+		{"M(n)=Th(n)", memory.MLinear(), "Case 3 extreme: X(n)=Th(n)"},
+	}
+	var rows []RecurrenceRow
+	for _, c := range cases {
+		var ns, sides, recs []float64
+		for n := nMin; n <= nMax; n *= 4 {
+			md, err := vlsi.UltraIModel(n, l, w, c.m, t, vlsi.UltraIOptions{})
+			if err != nil {
+				return nil, err
+			}
+			ns = append(ns, float64(n))
+			sides = append(sides, math.Sqrt(md.AreaL2()))
+			recs = append(recs, vlsi.XRecurrence(n, l, c.m, 1, 1))
+		}
+		fitM, err := analysis.FitPower(ns, sides)
+		if err != nil {
+			return nil, err
+		}
+		fitR, err := analysis.FitPower(ns, recs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RecurrenceRow{
+			Regime: c.regime, ModelExp: fitM.Exponent,
+			RecurrenceExp: fitR.Exponent, PaperCase: c.paperCase,
+		})
+	}
+	return rows, nil
+}
+
+// UltraIRecurrenceReport renders E4.
+func UltraIRecurrenceReport(l, w, nMin, nMax int, t vlsi.Tech) (string, error) {
+	rows, err := UltraIRecurrence(l, w, nMin, nMax, t)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 / Section 3: X(n) recurrence, L=%d, n in [%d,%d]\n\n", l, nMin, nMax)
+	tab := analysis.NewTable("regime", "floorplan exp", "recurrence exp", "paper solution")
+	for _, r := range rows {
+		tab.Row(r.Regime, r.ModelExp, r.RecurrenceExp, r.PaperCase)
+	}
+	b.WriteString(tab.String())
+	return b.String(), nil
+}
+
+// E5: the Ultrascalar II side and gate-delay comparison across its three
+// implementations (Figures 7-8 and the mixed strategy of Section 5).
+
+// Ultra2Row is one sweep point of E5.
+type Ultra2Row struct {
+	N                           int
+	SideLin, SideLog, SideMixed float64
+	GateLin, GateLog, GateMixed int
+}
+
+// Ultra2Scaling sweeps n (powers of 2).
+func Ultra2Scaling(l, w, nMin, nMax int, t vlsi.Tech) ([]Ultra2Row, error) {
+	m := memory.MPow(1, 0.5)
+	var rows []Ultra2Row
+	for n := nMin; n <= nMax; n *= 2 {
+		lin, err := vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Linear)
+		if err != nil {
+			return nil, err
+		}
+		lg, err := vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Tree)
+		if err != nil {
+			return nil, err
+		}
+		mx, err := vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Mixed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Ultra2Row{
+			N: n, SideLin: lin.SideL(), SideLog: lg.SideL(), SideMixed: mx.SideL(),
+			GateLin: lin.GateDelay, GateLog: lg.GateDelay, GateMixed: mx.GateDelay,
+		})
+	}
+	return rows, nil
+}
+
+// Ultra2ScalingReport renders E5.
+func Ultra2ScalingReport(l, w, nMin, nMax int, t vlsi.Tech) (string, error) {
+	rows, err := Ultra2Scaling(l, w, nMin, nMax, t)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 7-8 / Section 5: Ultrascalar II implementations, L=%d\n\n", l)
+	tab := analysis.NewTable("n", "side lin (cm)", "side log (cm)", "side mixed (cm)",
+		"gates lin", "gates log", "gates mixed")
+	for _, r := range rows {
+		tab.Row(r.N, t.CM(r.SideLin), t.CM(r.SideLog), t.CM(r.SideMixed),
+			r.GateLin, r.GateLog, r.GateMixed)
+	}
+	b.WriteString(tab.String())
+	b.WriteString("\nThe mixed strategy keeps the linear side with near-log gate delay\n(paper: 'exactly the same as for the linear-time circuit ... with\ngreatly improved constant factors').\n")
+	return b.String(), nil
+}
+
+// E6: the hybrid cluster-size sweep of Section 6 — side length minimized
+// at C = Θ(L).
+
+// ClusterSweepRow is one cluster size's resulting layout.
+type ClusterSweepRow struct {
+	C    int
+	Side float64 // sqrt(area), λ
+}
+
+// ClusterSweep returns the sweep and the arg-min cluster size.
+func ClusterSweep(n, l, w int, t vlsi.Tech) ([]ClusterSweepRow, int, error) {
+	m := memory.MConst(1)
+	var rows []ClusterSweepRow
+	bestC, best := 0, math.Inf(1)
+	for c := 1; c <= n; c *= 2 {
+		if (n/c)&(n/c-1) != 0 {
+			continue
+		}
+		md, err := vlsi.HybridModel(n, c, l, w, m, t, vlsi.Ultra2Linear)
+		if err != nil {
+			return nil, 0, err
+		}
+		side := math.Sqrt(md.AreaL2())
+		rows = append(rows, ClusterSweepRow{C: c, Side: side})
+		if side < best {
+			best, bestC = side, c
+		}
+	}
+	return rows, bestC, nil
+}
+
+// ClusterSweepReport renders E6 for several register counts.
+func ClusterSweepReport(n, w int, t vlsi.Tech) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 6 / Figure 10: optimal cluster size, n=%d\n\n", n)
+	for _, l := range []int{8, 32, 64} {
+		rows, bestC, err := ClusterSweep(n, l, w, t)
+		if err != nil {
+			return "", err
+		}
+		tab := analysis.NewTable("C", "sqrt(area) (cm)", "")
+		for _, r := range rows {
+			mark := ""
+			if r.C == bestC {
+				mark = "<- min"
+			}
+			tab.Row(r.C, t.CM(r.Side), mark)
+		}
+		fmt.Fprintf(&b, "L=%d (paper: optimum at C=Th(L); found C=%d)\n%s\n", l, bestC, tab.String())
+	}
+	return b.String(), nil
+}

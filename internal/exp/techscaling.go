@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ultrascalar/internal/analysis"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+// E19: technology scaling. The paper closes with "The Ultrascalar ideas
+// could be realizable in a few years ... We believe that in a 0.1
+// micrometer CMOS technology, a hybrid Ultrascalar with a window-size of
+// 128 and 16 shared ALUs (with floating-point) should fit easily within a
+// chip 1 cm on a side." This experiment sweeps λ across the late-90s
+// roadmap nodes (including TI's announced 0.07 µm, cited in the paper's
+// introduction) and reports the hybrid's chip size and clock.
+
+// TechNode is one process generation.
+type TechNode struct {
+	Name   string
+	Lambda float64 // µm per λ
+}
+
+// RoadmapNodes returns the process nodes the paper's era anticipated.
+func RoadmapNodes() []TechNode {
+	return []TechNode{
+		{"0.35um (paper's study)", 0.2},
+		{"0.25um", 0.125},
+		{"0.18um", 0.09},
+		{"0.13um", 0.065},
+		{"0.10um (paper's estimate)", 0.05},
+		{"0.07um (TI announcement)", 0.035},
+	}
+}
+
+// TechScalingRow is the window-128 hybrid at one node.
+type TechScalingRow struct {
+	Node    string
+	SideCM  float64
+	ClockNs float64
+	FitsCM1 bool
+}
+
+// TechScaling evaluates the paper's closing configuration across nodes.
+// Wire delay per millimeter is held constant (repeatered wires), so the
+// clock improves with the shorter absolute wires.
+func TechScaling() ([]TechScalingRow, error) {
+	var rows []TechScalingRow
+	for _, node := range RoadmapNodes() {
+		t := vlsi.Tech035()
+		t.LambdaMicrons = node.Lambda
+		// Gate delay scales roughly with feature size.
+		t.GateDelayPs *= node.Lambda / 0.2
+		md, err := vlsi.HybridModel(128, 32, 32, 32, memory.MConst(1), t, vlsi.Ultra2Linear)
+		if err != nil {
+			return nil, err
+		}
+		side := t.CM(md.SideL())
+		rows = append(rows, TechScalingRow{
+			Node:    node.Name,
+			SideCM:  side,
+			ClockNs: md.ClockPs(t) / 1000,
+			FitsCM1: side <= 1.0,
+		})
+	}
+	return rows, nil
+}
+
+// TechScalingReport renders E19.
+func TechScalingReport() (string, error) {
+	rows, err := TechScaling()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("E19: the window-128 hybrid across process nodes (L=32, W=32, C=32)\n\n")
+	tab := analysis.NewTable("node", "side (cm)", "clock (ns)", "fits 1cm x 1cm")
+	for _, r := range rows {
+		fits := "no"
+		if r.FitsCM1 {
+			fits = "YES"
+		}
+		tab.Row(r.Node, fmt.Sprintf("%.2f", r.SideCM), fmt.Sprintf("%.2f", r.ClockNs), fits)
+	}
+	b.WriteString(tab.String())
+	b.WriteString("\nPaper: \"in a 0.1 micrometer CMOS technology, a hybrid Ultrascalar with\na window-size of 128 and 16 shared ALUs ... should fit easily within a\nchip 1 cm on a side.\"\n")
+	return b.String(), nil
+}

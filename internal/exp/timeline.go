@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ultrascalar/internal/core"
+)
+
+// TimelineArt renders a retired-instruction timeline as ASCII Gantt art in
+// the style of the paper's Figure 3: one row per dynamic instruction (in
+// program order), '#' marking the cycles it occupied its station's
+// functional unit. maxRows caps the output (0 = 64).
+func TimelineArt(records []core.InstRecord, maxRows int) string {
+	if maxRows <= 0 {
+		maxRows = 64
+	}
+	recs := append([]core.InstRecord{}, records...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	if len(recs) > maxRows {
+		recs = recs[:maxRows]
+	}
+	if len(recs) == 0 {
+		return "(empty timeline)\n"
+	}
+	var minIssue, maxDone int64
+	minIssue = recs[0].Issue
+	for _, r := range recs {
+		if r.Issue < minIssue {
+			minIssue = r.Issue
+		}
+		if r.Done > maxDone {
+			maxDone = r.Done
+		}
+	}
+	span := maxDone - minIssue
+	const maxWidth = 120
+	scale := int64(1)
+	for span/scale > maxWidth {
+		scale *= 2
+	}
+	var b strings.Builder
+	if scale > 1 {
+		fmt.Fprintf(&b, "(each column = %d cycles)\n", scale)
+	}
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%4d %-18s |", r.Seq, truncate(r.Inst.String(), 18))
+		for c := minIssue; c < maxDone; c += scale {
+			if c+scale > r.Issue && c < r.Done {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		fmt.Fprintf(&b, "|  [%d,%d)\n", r.Issue, r.Done)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "~"
+}

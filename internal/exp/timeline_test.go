@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/workload"
+)
+
+func TestTimelineArt(t *testing.T) {
+	w := workload.Figure3Sequence()
+	res, err := core.Run(w.Prog, memory.NewFlat(), core.Config{
+		Window: 8, Granularity: 1, KeepTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := TimelineArt(res.Timeline, 0)
+	if !strings.Contains(art, "##########") {
+		t.Errorf("missing the 10-cycle divide bar:\n%s", art)
+	}
+	if !strings.Contains(art, "div r3, r1, r2") {
+		t.Errorf("missing instruction text:\n%s", art)
+	}
+	lines := strings.Count(art, "\n")
+	if lines != 9 { // 8 instructions + halt
+		t.Errorf("art has %d rows, want 9:\n%s", lines, art)
+	}
+}
+
+func TestTimelineArtEmptyAndCapped(t *testing.T) {
+	if got := TimelineArt(nil, 0); !strings.Contains(got, "empty") {
+		t.Errorf("empty art = %q", got)
+	}
+	recs := make([]core.InstRecord, 100)
+	for i := range recs {
+		recs[i] = core.InstRecord{Seq: int64(i), Inst: isa.Inst{Op: isa.OpNop},
+			Issue: int64(i), Done: int64(i + 1)}
+	}
+	art := TimelineArt(recs, 10)
+	if strings.Count(art, "\n") != 10 {
+		t.Errorf("cap not applied: %d rows", strings.Count(art, "\n"))
+	}
+	// Long spans get scaled columns.
+	long := []core.InstRecord{
+		{Seq: 0, Inst: isa.Inst{Op: isa.OpNop}, Issue: 0, Done: 1},
+		{Seq: 1, Inst: isa.Inst{Op: isa.OpNop}, Issue: 500, Done: 501},
+	}
+	scaled := TimelineArt(long, 0)
+	if !strings.Contains(scaled, "each column") {
+		t.Errorf("long span should scale:\n%s", scaled)
+	}
+	// Long mnemonics truncate.
+	if truncate("abcdefghij", 5) != "abcd~" {
+		t.Error("truncate wrong")
+	}
+}

@@ -1,0 +1,44 @@
+// Package hybrid defines the hybrid Ultrascalar processor (paper Section
+// 6): clusters of C stations, each an Ultrascalar II grid extended with
+// modified-bit OR trees, connected by the Ultrascalar I CSPP H-tree.
+// "Each cluster behaves just like an execution station in the
+// Ultrascalar I."
+//
+// Characteristics (paper Figure 11, with linear-gate clusters and
+// C = Θ(L)):
+//
+//	gate delay  Θ(L + log n)
+//	wire delay  Θ(√(nL) + M(n))   — optimal for n ≥ L
+//	area        Θ(nL + M(n)²)
+//
+// The hybrid dominates both other processors for n ≥ L.
+package hybrid
+
+import (
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+// Name identifies the architecture in reports.
+const Name = "Hybrid Ultrascalar"
+
+// EngineConfig returns the cycle-engine configuration of an n-station
+// hybrid with clusters of c stations: cluster-grained refill.
+func EngineConfig(n, c int) core.Config {
+	return core.Config{Window: n, Granularity: c}
+}
+
+// Run executes prog on an n-station hybrid with cluster size c and
+// otherwise default parameters.
+func Run(prog []isa.Inst, mem *memory.Flat, n, c int) (*core.Result, error) {
+	return core.Run(prog, mem, EngineConfig(n, c))
+}
+
+// Model returns the physical model. The paper's choice of cluster size is
+// C = L ("it is not a coincidence that C = L"); pass c accordingly or use
+// vlsi.OptimalClusterSize to sweep.
+func Model(n, c, l, w int, m memory.MFunc, t vlsi.Tech) (*vlsi.Model, error) {
+	return vlsi.HybridModel(n, c, l, w, m, t, vlsi.Ultra2Linear)
+}

@@ -1,0 +1,100 @@
+package hybrid
+
+import (
+	"testing"
+
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/ref"
+	"ultrascalar/internal/ultra1"
+	"ultrascalar/internal/ultra2"
+	"ultrascalar/internal/vlsi"
+	"ultrascalar/internal/workload"
+)
+
+func TestRunMatchesGolden(t *testing.T) {
+	w := workload.VecSum(30)
+	want, err := ref.Run(w.Prog, w.Mem(), ref.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(w.Prog, w.Mem(), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Regs[3] != want.Regs[3] {
+		t.Errorf("r3 = %d, want %d", got.Regs[3], want.Regs[3])
+	}
+}
+
+func TestBetweenTheTwo(t *testing.T) {
+	// Cluster-grained refill costs at most what batch refill costs and at
+	// least what per-station refill costs.
+	w := workload.DotProduct(40)
+	u1, err := ultra1.Run(w.Prog, w.Mem(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := Run(w.Prog, w.Mem(), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := ultra2.Run(w.Prog, w.Mem(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(u1.Stats.Cycles <= hy.Stats.Cycles && hy.Stats.Cycles <= u2.Stats.Cycles) {
+		t.Errorf("cycles should order %d <= %d <= %d", u1.Stats.Cycles, hy.Stats.Cycles, u2.Stats.Cycles)
+	}
+}
+
+func TestClusterOneIsUltraI(t *testing.T) {
+	// A hybrid with C=1 is exactly an Ultrascalar I.
+	w := workload.MixedILP(200, 16, 8, 5)
+	a, err := Run(w.Prog, w.Mem(), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ultra1.Run(w.Prog, w.Mem(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Cycles != b.Stats.Cycles || a.Stats.Retired != b.Stats.Retired {
+		t.Errorf("hybrid C=1 (%+v cycles) != UltraI (%+v cycles)", a.Stats.Cycles, b.Stats.Cycles)
+	}
+}
+
+func TestClusterNIsUltraII(t *testing.T) {
+	// A hybrid with C=n is exactly an Ultrascalar II.
+	w := workload.MixedILP(200, 16, 8, 6)
+	a, err := Run(w.Prog, w.Mem(), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ultra2.Run(w.Prog, w.Mem(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Cycles != b.Stats.Cycles {
+		t.Errorf("hybrid C=n (%d cycles) != UltraII (%d cycles)", a.Stats.Cycles, b.Stats.Cycles)
+	}
+}
+
+func TestEngineConfig(t *testing.T) {
+	cfg := EngineConfig(32, 8)
+	if cfg.Window != 32 || cfg.Granularity != 8 {
+		t.Errorf("config %+v", cfg)
+	}
+}
+
+func TestModel(t *testing.T) {
+	md, err := Model(128, 32, 32, 32, memory.MConst(1), vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.N != 128 || md.AreaL2() <= 0 {
+		t.Errorf("bad model %+v", md)
+	}
+	if Name == "" {
+		t.Error("name empty")
+	}
+}

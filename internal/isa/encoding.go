@@ -1,0 +1,106 @@
+package isa
+
+import "fmt"
+
+// Binary encoding, 32 bits per instruction:
+//
+//	FormatR: op[31:26] rd[25:21] rs1[20:16] rs2[15:11] 0[10:0]
+//	FormatI: op[31:26] rd[25:21] rs1[20:16] imm[15:0]
+//	FormatB: op[31:26] rs1[25:21] rs2[20:16] imm[15:0]
+//	FormatJ: op[31:26] rd[25:21] imm[20:0]
+//	FormatS: op[31:26] 0[25:0]
+//
+// The encoding exists so that programs can be stored in (instruction)
+// memory as words and round-tripped through the assembler; the simulators
+// operate on the decoded Inst form.
+
+const (
+	opShift  = 26
+	rdShift  = 21
+	rs1Shift = 16
+	rs2Shift = 11
+	regMask  = 0x1F
+	imm16    = 0xFFFF
+	imm21    = 0x1FFFFF
+)
+
+// Encode packs the instruction into a 32-bit word. It panics if the
+// instruction fails Validate; use Validate first for untrusted input.
+func Encode(in Inst) Word {
+	if err := in.Validate(); err != nil {
+		panic("isa.Encode: " + err.Error())
+	}
+	w := Word(in.Op) << opShift
+	switch FormatOf(in.Op) {
+	case FormatR:
+		w |= Word(in.Rd) << rdShift
+		w |= Word(in.Rs1) << rs1Shift
+		w |= Word(in.Rs2) << rs2Shift
+	case FormatI:
+		w |= Word(in.Rd) << rdShift
+		w |= Word(in.Rs1) << rs1Shift
+		w |= Word(uint32(in.Imm) & imm16)
+	case FormatB:
+		w |= Word(in.Rs1) << rdShift
+		w |= Word(in.Rs2) << rs1Shift
+		w |= Word(uint32(in.Imm) & imm16)
+	case FormatJ:
+		w |= Word(in.Rd) << rdShift
+		w |= Word(uint32(in.Imm) & imm21)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word into an instruction.
+func Decode(w Word) (Inst, error) {
+	op := Op(w >> opShift)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d in word %#08x", op, w)
+	}
+	in := Inst{Op: op}
+	switch FormatOf(op) {
+	case FormatR:
+		in.Rd = uint8((w >> rdShift) & regMask)
+		in.Rs1 = uint8((w >> rs1Shift) & regMask)
+		in.Rs2 = uint8((w >> rs2Shift) & regMask)
+	case FormatI:
+		in.Rd = uint8((w >> rdShift) & regMask)
+		in.Rs1 = uint8((w >> rs1Shift) & regMask)
+		in.Imm = signExtend(w&imm16, 16)
+	case FormatB:
+		in.Rs1 = uint8((w >> rdShift) & regMask)
+		in.Rs2 = uint8((w >> rs1Shift) & regMask)
+		in.Imm = signExtend(w&imm16, 16)
+	case FormatJ:
+		in.Rd = uint8((w >> rdShift) & regMask)
+		in.Imm = signExtend(w&imm21, 21)
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a whole program.
+func EncodeProgram(prog []Inst) []Word {
+	out := make([]Word, len(prog))
+	for i, in := range prog {
+		out[i] = Encode(in)
+	}
+	return out
+}
+
+// DecodeProgram decodes a whole program.
+func DecodeProgram(words []Word) ([]Inst, error) {
+	out := make([]Inst, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}
+
+func signExtend(v Word, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}

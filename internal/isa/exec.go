@@ -1,0 +1,140 @@
+package isa
+
+// ALU semantics shared by the golden interpreter and all processor
+// simulators, so that every engine computes results from exactly one
+// definition.
+
+// ALUOp computes the result of a non-memory, non-control instruction given
+// its (up to two) source operand values. For I-type instructions b is
+// ignored and the immediate is used. ALUOp also serves jumps (the link
+// value is computed by the caller from the PC). It panics for memory,
+// branch and system operations, which do not produce an ALU value.
+//
+// Division follows the RISC-V convention: division by zero yields all ones
+// for DIV and the dividend for REM; signed overflow (MinInt32 / -1) yields
+// MinInt32 and remainder 0.
+func ALUOp(in Inst, a, b Word) Word {
+	imm := Word(in.Imm)
+	switch in.Op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return divW(a, b)
+	case OpRem:
+		return remW(a, b)
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpSll:
+		return a << (b & 31)
+	case OpSrl:
+		return a >> (b & 31)
+	case OpSra:
+		return Word(int32(a) >> (b & 31))
+	case OpSlt:
+		return boolW(int32(a) < int32(b))
+	case OpSltu:
+		return boolW(a < b)
+	case OpAddi:
+		return a + imm
+	case OpAndi:
+		return a & imm
+	case OpOri:
+		return a | imm
+	case OpXori:
+		return a ^ imm
+	case OpSlli:
+		return a << (imm & 31)
+	case OpSrli:
+		return a >> (imm & 31)
+	case OpSrai:
+		return Word(int32(a) >> (imm & 31))
+	case OpSlti:
+		return boolW(int32(a) < in.Imm)
+	case OpLui:
+		return (a & 0xFFFF) | imm<<16
+	case OpLi:
+		return imm
+	case OpNop:
+		return 0
+	default:
+		panic("isa.ALUOp: not an ALU operation: " + in.String())
+	}
+}
+
+// BranchTaken evaluates a conditional branch given its two source values.
+func BranchTaken(in Inst, a, b Word) bool {
+	switch in.Op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return int32(a) < int32(b)
+	case OpBge:
+		return int32(a) >= int32(b)
+	default:
+		panic("isa.BranchTaken: not a branch: " + in.String())
+	}
+}
+
+// NextPC computes the successor program counter of the instruction at pc
+// given its source operand values. For conditional branches the outcome is
+// evaluated from the operands; for jumps the target is computed; otherwise
+// the successor is pc+1.
+func NextPC(in Inst, pc int, a, b Word) int {
+	switch {
+	case in.IsBranch():
+		if BranchTaken(in, a, b) {
+			return pc + 1 + int(in.Imm)
+		}
+		return pc + 1
+	case in.Op == OpJal:
+		return pc + 1 + int(in.Imm)
+	case in.Op == OpJalr:
+		return int(a + Word(in.Imm))
+	default:
+		return pc + 1
+	}
+}
+
+// EffAddr computes the effective (word) address of a memory instruction.
+func EffAddr(in Inst, base Word) Word {
+	return base + Word(in.Imm)
+}
+
+func divW(a, b Word) Word {
+	if b == 0 {
+		return ^Word(0)
+	}
+	ia, ib := int32(a), int32(b)
+	if ia == -1<<31 && ib == -1 {
+		return a
+	}
+	return Word(ia / ib)
+}
+
+func remW(a, b Word) Word {
+	if b == 0 {
+		return a
+	}
+	ia, ib := int32(a), int32(b)
+	if ia == -1<<31 && ib == -1 {
+		return 0
+	}
+	return Word(ia % ib)
+}
+
+func boolW(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}

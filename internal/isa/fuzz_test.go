@@ -1,0 +1,31 @@
+package isa
+
+import "testing"
+
+// FuzzDecode feeds arbitrary 32-bit words to the decoder: it must either
+// reject them or produce an instruction that re-encodes to a word that
+// decodes identically (the decoded form is canonical; unused bits are
+// dropped, so we check decode∘encode∘decode = decode).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(Encode(Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}))
+	f.Add(Encode(Inst{Op: OpLw, Rd: 4, Rs1: 5, Imm: -8}))
+	f.Add(Encode(Inst{Op: OpJal, Rd: 31, Imm: -(1 << 20)}))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(Word(w))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoded instruction fails validation: %v", err)
+		}
+		again, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again != in {
+			t.Fatalf("decode not canonical: %v != %v (word %#x)", again, in, w)
+		}
+	})
+}

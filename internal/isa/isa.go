@@ -1,0 +1,286 @@
+// Package isa defines the simple RISC instruction-set architecture used by
+// all three Ultrascalar processors.
+//
+// The ISA follows the constraints the paper imposes in Section 7: a
+// register architecture with 32 32-bit logical registers (the count is
+// configurable through the simulators; the encoding reserves 5 bits), no
+// floating point, and every instruction reading at most two registers and
+// writing at most one.
+//
+// There is no hardwired zero register: the paper's Figure 1 sequence uses
+// R0 as an ordinary register ("R0 = R0 + R3"), and the renaming datapath
+// treats every logical register uniformly. Constants are materialized with
+// LI (21-bit signed immediate) and LUI/ORI pairs.
+//
+// Memory is word addressed: LW/SW move one 32-bit word at word address
+// rs1+imm.
+package isa
+
+import "fmt"
+
+// Word is the architectural machine word.
+type Word = uint32
+
+// NumRegs is the default number of logical registers (the paper's L for the
+// empirical study: "Our architecture contains 32 32-bit logical registers").
+const NumRegs = 32
+
+// MaxRegs is the architectural ceiling implied by the 5-bit register fields.
+const MaxRegs = 32
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+// Operation codes. The groups correspond to the encoding formats in
+// encoding.go: R-type (three registers), I-type (two registers and a 16-bit
+// immediate), B-type (two source registers and a branch displacement),
+// J-type (one register and a 21-bit immediate), and the zero-operand system
+// operations.
+const (
+	OpNop Op = iota
+
+	// R-type arithmetic: Rd = Rs1 op Rs2.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt  // signed compare, Rd = 1 if Rs1 < Rs2 else 0
+	OpSltu // unsigned compare
+
+	// I-type arithmetic: Rd = Rs1 op sext(Imm16).
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui // Rd = (Rs1 & 0xFFFF) | Imm16<<16 (reads Rs1 so 32-bit constants compose)
+
+	// J-type immediate load: Rd = sext(Imm21). Reads no registers.
+	OpLi
+
+	// Memory, word addressed.
+	OpLw // Rd = Mem[Rs1+Imm16]
+	OpSw // Mem[Rs1+Imm16] = Rs2 (writes no register)
+
+	// B-type branches: displacement Imm16 is in instructions, relative to
+	// the next instruction (target = PC + 1 + Imm).
+	OpBeq
+	OpBne
+	OpBlt // signed
+	OpBge // signed
+
+	// Jumps.
+	OpJal  // Rd = PC+1; PC = PC + 1 + Imm21
+	OpJalr // Rd = PC+1; PC = Rs1 + Imm16
+
+	// System.
+	OpHalt
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpSll: "sll",
+	OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpSrai: "srai", OpSlti: "slti",
+	OpLui: "lui", OpLi: "li", OpLw: "lw", OpSw: "sw",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJal: "jal", OpJalr: "jalr", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o < numOps }
+
+// Format identifies an instruction encoding format.
+type Format uint8
+
+// The encoding formats.
+const (
+	FormatR Format = iota // op rd rs1 rs2
+	FormatI               // op rd rs1 imm16
+	FormatB               // op rs1 rs2 imm16
+	FormatJ               // op rd imm21
+	FormatS               // op (no operands)
+)
+
+// FormatOf returns the encoding format of an operation.
+func FormatOf(o Op) Format {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpSll, OpSrl, OpSra, OpSlt, OpSltu:
+		return FormatR
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti,
+		OpLui, OpLw, OpJalr:
+		return FormatI
+	case OpSw, OpBeq, OpBne, OpBlt, OpBge:
+		return FormatB
+	case OpLi, OpJal:
+		return FormatJ
+	default:
+		return FormatS
+	}
+}
+
+// Inst is a decoded instruction. It is the unit the assembler produces and
+// the simulators consume.
+type Inst struct {
+	Op       Op
+	Rd       uint8 // destination register (FormatR, FormatI, FormatJ)
+	Rs1, Rs2 uint8 // source registers
+	Imm      int32 // sign-extended immediate
+}
+
+// Reads returns the logical registers the instruction reads, in operand
+// order. Every instruction in the ISA reads at most two registers (the
+// paper's datapath constraint).
+func (in Inst) Reads() []uint8 {
+	switch FormatOf(in.Op) {
+	case FormatR:
+		return []uint8{in.Rs1, in.Rs2}
+	case FormatI:
+		return []uint8{in.Rs1}
+	case FormatB:
+		return []uint8{in.Rs1, in.Rs2}
+	default:
+		return nil
+	}
+}
+
+// Writes returns the destination register and whether the instruction
+// writes one at all. Every instruction writes at most one register.
+func (in Inst) Writes() (uint8, bool) {
+	switch in.Op {
+	case OpSw, OpBeq, OpBne, OpBlt, OpBge, OpHalt, OpNop:
+		return 0, false
+	default:
+		return in.Rd, true
+	}
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsBranch() bool {
+	switch in.Op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether the instruction unconditionally redirects fetch.
+func (in Inst) IsJump() bool { return in.Op == OpJal || in.Op == OpJalr }
+
+// ChangesFlow reports whether the instruction can redirect fetch.
+func (in Inst) ChangesFlow() bool { return in.IsBranch() || in.IsJump() }
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Inst) IsLoad() bool { return in.Op == OpLw }
+
+// IsStore reports whether the instruction writes data memory.
+func (in Inst) IsStore() bool { return in.Op == OpSw }
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Inst) IsMem() bool { return in.IsLoad() || in.IsStore() }
+
+// IsHalt reports whether the instruction stops the machine.
+func (in Inst) IsHalt() bool { return in.Op == OpHalt }
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch FormatOf(in.Op) {
+	case FormatR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FormatI:
+		if in.Op == OpLw {
+			return fmt.Sprintf("lw r%d, %d(r%d)", in.Rd, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FormatB:
+		if in.Op == OpSw {
+			return fmt.Sprintf("sw r%d, %d(r%d)", in.Rs2, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Latencies gives the execution latency, in clock cycles, of each
+// instruction class. The defaults are the constants the paper uses for its
+// Figure 3 timing diagram: "We assume that division takes 10 clock cycles,
+// multiplication 3, and addition 1."
+type Latencies struct {
+	Simple int // add/sub/logic/shift/compare/immediates/jumps
+	Mul    int
+	Div    int // div and rem
+	Load   int // cache-hit latency (overridden when a memory model is attached)
+	Store  int
+	Branch int
+}
+
+// DefaultLatencies returns the paper's Figure 3 latency constants.
+func DefaultLatencies() Latencies {
+	return Latencies{Simple: 1, Mul: 3, Div: 10, Load: 2, Store: 1, Branch: 1}
+}
+
+// Of returns the latency of one instruction under l.
+func (l Latencies) Of(in Inst) int {
+	switch {
+	case in.Op == OpMul:
+		return l.Mul
+	case in.Op == OpDiv || in.Op == OpRem:
+		return l.Div
+	case in.IsLoad():
+		return l.Load
+	case in.IsStore():
+		return l.Store
+	case in.IsBranch():
+		return l.Branch
+	default:
+		return l.Simple
+	}
+}
+
+// Validate checks that the instruction is well formed: defined opcode,
+// register numbers within range, and immediates representable in the
+// instruction's format.
+func (in Inst) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("invalid opcode %d", in.Op)
+	}
+	if in.Rd >= MaxRegs || in.Rs1 >= MaxRegs || in.Rs2 >= MaxRegs {
+		return fmt.Errorf("%s: register out of range", in)
+	}
+	switch FormatOf(in.Op) {
+	case FormatI, FormatB:
+		if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+			return fmt.Errorf("%s: immediate %d does not fit in 16 bits", in, in.Imm)
+		}
+	case FormatJ:
+		if in.Imm < -(1<<20) || in.Imm >= 1<<20 {
+			return fmt.Errorf("%s: immediate %d does not fit in 21 bits", in, in.Imm)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		if o.String() == "" {
+			t.Errorf("op %d has empty name", o)
+		}
+		if !o.Valid() {
+			t.Errorf("op %d should be valid", o)
+		}
+	}
+	if Op(numOps).Valid() {
+		t.Error("numOps should be invalid")
+	}
+}
+
+// TestISAContract verifies the paper's datapath constraint: every
+// instruction reads at most two registers and writes at most one.
+func TestISAContract(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		in := Inst{Op: o, Rd: 1, Rs1: 2, Rs2: 3}
+		if got := len(in.Reads()); got > 2 {
+			t.Errorf("%s reads %d registers, want <= 2", o, got)
+		}
+		// Writes returns at most one by type; just exercise it.
+		in.Writes()
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		op                              Op
+		branch, jump, load, store, halt bool
+	}{
+		{OpAdd, false, false, false, false, false},
+		{OpBeq, true, false, false, false, false},
+		{OpBge, true, false, false, false, false},
+		{OpJal, false, true, false, false, false},
+		{OpJalr, false, true, false, false, false},
+		{OpLw, false, false, true, false, false},
+		{OpSw, false, false, false, true, false},
+		{OpHalt, false, false, false, false, true},
+	}
+	for _, c := range cases {
+		in := Inst{Op: c.op}
+		if in.IsBranch() != c.branch || in.IsJump() != c.jump ||
+			in.IsLoad() != c.load || in.IsStore() != c.store || in.IsHalt() != c.halt {
+			t.Errorf("%s: predicate mismatch", c.op)
+		}
+		if in.IsMem() != (c.load || c.store) {
+			t.Errorf("%s: IsMem mismatch", c.op)
+		}
+		if in.ChangesFlow() != (c.branch || c.jump) {
+			t.Errorf("%s: ChangesFlow mismatch", c.op)
+		}
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	add := Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}
+	if r := add.Reads(); len(r) != 2 || r[0] != 2 || r[1] != 3 {
+		t.Errorf("add reads %v", r)
+	}
+	if d, ok := add.Writes(); !ok || d != 1 {
+		t.Errorf("add writes %d %v", d, ok)
+	}
+	sw := Inst{Op: OpSw, Rs1: 4, Rs2: 5}
+	if r := sw.Reads(); len(r) != 2 || r[0] != 4 || r[1] != 5 {
+		t.Errorf("sw reads %v", r)
+	}
+	if _, ok := sw.Writes(); ok {
+		t.Error("sw should not write a register")
+	}
+	li := Inst{Op: OpLi, Rd: 7, Imm: -5}
+	if r := li.Reads(); len(r) != 0 {
+		t.Errorf("li reads %v", r)
+	}
+	beq := Inst{Op: OpBeq, Rs1: 1, Rs2: 1, Imm: 4}
+	if _, ok := beq.Writes(); ok {
+		t.Error("beq should not write")
+	}
+}
+
+func TestDefaultLatencies(t *testing.T) {
+	l := DefaultLatencies()
+	// Paper, Figure 3: "division takes 10 clock cycles, multiplication 3,
+	// and addition 1."
+	if got := l.Of(Inst{Op: OpDiv}); got != 10 {
+		t.Errorf("div latency = %d, want 10", got)
+	}
+	if got := l.Of(Inst{Op: OpRem}); got != 10 {
+		t.Errorf("rem latency = %d, want 10", got)
+	}
+	if got := l.Of(Inst{Op: OpMul}); got != 3 {
+		t.Errorf("mul latency = %d, want 3", got)
+	}
+	if got := l.Of(Inst{Op: OpAdd}); got != 1 {
+		t.Errorf("add latency = %d, want 1", got)
+	}
+	if got := l.Of(Inst{Op: OpLw}); got != l.Load {
+		t.Errorf("lw latency = %d", got)
+	}
+	if got := l.Of(Inst{Op: OpBeq}); got != l.Branch {
+		t.Errorf("beq latency = %d", got)
+	}
+	if got := l.Of(Inst{Op: OpSw}); got != l.Store {
+		t.Errorf("sw latency = %d", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	progs := []Inst{
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpAddi, Rd: 31, Rs1: 0, Imm: -32768},
+		{Op: OpAddi, Rd: 0, Rs1: 31, Imm: 32767},
+		{Op: OpLw, Rd: 4, Rs1: 5, Imm: 16},
+		{Op: OpSw, Rs1: 6, Rs2: 7, Imm: -4},
+		{Op: OpBeq, Rs1: 8, Rs2: 9, Imm: -100},
+		{Op: OpLi, Rd: 10, Imm: -(1 << 20)},
+		{Op: OpLi, Rd: 10, Imm: 1<<20 - 1},
+		{Op: OpJal, Rd: 31, Imm: 1000},
+		{Op: OpJalr, Rd: 1, Rs1: 2, Imm: 0},
+		{Op: OpHalt},
+		{Op: OpNop},
+		{Op: OpLui, Rd: 3, Rs1: 3, Imm: 0x7ABC},
+	}
+	for _, in := range progs {
+		w := Encode(in)
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %s: %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip %s -> %#08x -> %s", in, w, got)
+		}
+	}
+	enc := EncodeProgram(progs)
+	dec, err := DecodeProgram(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range progs {
+		if dec[i] != progs[i] {
+			t.Errorf("program round trip at %d: %s != %s", i, dec[i], progs[i])
+		}
+	}
+}
+
+// TestEncodeDecodeQuick round-trips random valid instructions.
+func TestEncodeDecodeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomInst(rng)
+		got, err := Decode(Encode(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomInst(rng *rand.Rand) Inst {
+	op := Op(rng.Intn(int(numOps)))
+	in := Inst{Op: op}
+	switch FormatOf(op) {
+	case FormatR:
+		in.Rd = uint8(rng.Intn(MaxRegs))
+		in.Rs1 = uint8(rng.Intn(MaxRegs))
+		in.Rs2 = uint8(rng.Intn(MaxRegs))
+	case FormatI:
+		in.Rd = uint8(rng.Intn(MaxRegs))
+		in.Rs1 = uint8(rng.Intn(MaxRegs))
+		in.Imm = int32(rng.Intn(1<<16)) - 1<<15
+	case FormatB:
+		in.Rs1 = uint8(rng.Intn(MaxRegs))
+		in.Rs2 = uint8(rng.Intn(MaxRegs))
+		in.Imm = int32(rng.Intn(1<<16)) - 1<<15
+	case FormatJ:
+		in.Rd = uint8(rng.Intn(MaxRegs))
+		in.Imm = int32(rng.Intn(1<<21)) - 1<<20
+	}
+	return in
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	if _, err := Decode(Word(numOps) << opShift); err == nil {
+		t.Error("expected error for invalid opcode")
+	}
+	if _, err := DecodeProgram([]Word{0, ^Word(0)}); err == nil {
+		t.Error("expected error for invalid program word")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Inst{
+		{Op: numOps},
+		{Op: OpAddi, Imm: 1 << 15},
+		{Op: OpAddi, Imm: -(1<<15 + 1)},
+		{Op: OpLi, Imm: 1 << 20},
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%v) should fail", in)
+		}
+	}
+	if err := (Inst{Op: OpAdd, Rd: 31, Rs1: 31, Rs2: 31}).Validate(); err != nil {
+		t.Errorf("valid inst rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode of invalid inst should panic")
+		}
+	}()
+	Encode(Inst{Op: OpAddi, Imm: 1 << 15})
+}
+
+func TestALUOp(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		a, b Word
+		want Word
+	}{
+		{Inst{Op: OpAdd}, 3, 4, 7},
+		{Inst{Op: OpSub}, 3, 4, ^Word(0)},
+		{Inst{Op: OpMul}, 6, 7, 42},
+		{Inst{Op: OpDiv}, 42, 6, 7},
+		{Inst{Op: OpDiv}, 7, 0, ^Word(0)},
+		{Inst{Op: OpDiv}, Word(1 << 31), ^Word(0), 1 << 31}, // overflow
+		{Inst{Op: OpRem}, 43, 6, 1},
+		{Inst{Op: OpRem}, 43, 0, 43},
+		{Inst{Op: OpRem}, Word(1 << 31), ^Word(0), 0},
+		{Inst{Op: OpDiv}, Word(^uint32(6) + 1), 3, Word(^uint32(2) + 1)}, // -7/3 = -2 truncated
+		{Inst{Op: OpAnd}, 0b1100, 0b1010, 0b1000},
+		{Inst{Op: OpOr}, 0b1100, 0b1010, 0b1110},
+		{Inst{Op: OpXor}, 0b1100, 0b1010, 0b0110},
+		{Inst{Op: OpSll}, 1, 4, 16},
+		{Inst{Op: OpSll}, 1, 36, 16}, // shift amount masked
+		{Inst{Op: OpSrl}, 0x80000000, 31, 1},
+		{Inst{Op: OpSra}, 0x80000000, 31, ^Word(0)},
+		{Inst{Op: OpSlt}, ^Word(0), 0, 1}, // -1 < 0 signed
+		{Inst{Op: OpSltu}, ^Word(0), 0, 0},
+		{Inst{Op: OpAddi, Imm: -1}, 5, 0, 4},
+		{Inst{Op: OpAndi, Imm: 0xF}, 0x1234, 0, 4},
+		{Inst{Op: OpOri, Imm: 0xF0}, 0x0F, 0, 0xFF},
+		{Inst{Op: OpXori, Imm: 0xFF}, 0x0F, 0, 0xF0},
+		{Inst{Op: OpSlli, Imm: 3}, 2, 0, 16},
+		{Inst{Op: OpSrli, Imm: 1}, 4, 0, 2},
+		{Inst{Op: OpSrai, Imm: 1}, 0x80000000, 0, 0xC0000000},
+		{Inst{Op: OpSlti, Imm: 1}, 0, 0, 1},
+		{Inst{Op: OpLui, Imm: 0x1234}, 0xFFFF5678, 0, 0x12345678},
+		{Inst{Op: OpLi, Imm: -7}, 0, 0, ^Word(6)},
+		{Inst{Op: OpNop}, 9, 9, 0},
+	}
+	for _, c := range cases {
+		if got := ALUOp(c.in, c.a, c.b); got != c.want {
+			t.Errorf("ALUOp(%s, %#x, %#x) = %#x, want %#x", c.in.Op, c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ALUOp on a store should panic")
+		}
+	}()
+	ALUOp(Inst{Op: OpSw}, 0, 0)
+}
+
+func TestBranchAndNextPC(t *testing.T) {
+	if !BranchTaken(Inst{Op: OpBeq}, 4, 4) || BranchTaken(Inst{Op: OpBeq}, 4, 5) {
+		t.Error("beq wrong")
+	}
+	if !BranchTaken(Inst{Op: OpBne}, 4, 5) || BranchTaken(Inst{Op: OpBne}, 4, 4) {
+		t.Error("bne wrong")
+	}
+	if !BranchTaken(Inst{Op: OpBlt}, ^Word(0), 0) {
+		t.Error("blt signed wrong")
+	}
+	if !BranchTaken(Inst{Op: OpBge}, 0, ^Word(0)) {
+		t.Error("bge signed wrong")
+	}
+	// Taken branch: target = pc + 1 + imm.
+	if got := NextPC(Inst{Op: OpBeq, Imm: 5}, 10, 1, 1); got != 16 {
+		t.Errorf("taken beq next = %d, want 16", got)
+	}
+	if got := NextPC(Inst{Op: OpBeq, Imm: 5}, 10, 1, 2); got != 11 {
+		t.Errorf("not-taken beq next = %d, want 11", got)
+	}
+	if got := NextPC(Inst{Op: OpJal, Imm: -3}, 10, 0, 0); got != 8 {
+		t.Errorf("jal next = %d, want 8", got)
+	}
+	if got := NextPC(Inst{Op: OpJalr, Imm: 2}, 10, 40, 0); got != 42 {
+		t.Errorf("jalr next = %d, want 42", got)
+	}
+	if got := NextPC(Inst{Op: OpAdd}, 10, 0, 0); got != 11 {
+		t.Errorf("add next = %d, want 11", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchTaken on add should panic")
+		}
+	}()
+	BranchTaken(Inst{Op: OpAdd}, 0, 0)
+}
+
+func TestEffAddr(t *testing.T) {
+	if got := EffAddr(Inst{Op: OpLw, Imm: -2}, 10); got != 8 {
+		t.Errorf("EffAddr = %d, want 8", got)
+	}
+}

@@ -1,0 +1,110 @@
+// Package memory implements the memory subsystem of the Ultrascalar
+// processors: functional storage, an interleaved data cache, and the
+// fat-tree network that connects execution stations to the cache banks
+// (paper Sections 2 and 3: "We propose to connect the Ultrascalar I
+// datapath to an interleaved data cache and to an instruction trace cache
+// via two fat-tree or butterfly networks").
+//
+// The functional layer (Backing, Flat) answers what a load returns; the
+// timing layer (System, built from an interleaved cache plus a fat tree of
+// root bandwidth M(n)) answers how many cycles an access takes and how
+// many accesses can proceed per cycle.
+package memory
+
+import (
+	"fmt"
+	"sort"
+
+	"ultrascalar/internal/isa"
+)
+
+// Backing is functional word-addressed storage.
+type Backing interface {
+	Load(addr isa.Word) isa.Word
+	Store(addr, val isa.Word)
+}
+
+// Flat is map-backed functional storage. The zero value is not usable; use
+// NewFlat.
+type Flat struct {
+	m map[isa.Word]isa.Word
+}
+
+// NewFlat returns empty flat storage. All words read as zero until stored.
+func NewFlat() *Flat { return &Flat{m: make(map[isa.Word]isa.Word)} }
+
+// Load returns the word at addr (zero if never stored).
+func (f *Flat) Load(addr isa.Word) isa.Word { return f.m[addr] }
+
+// Store writes the word at addr.
+func (f *Flat) Store(addr, val isa.Word) {
+	if val == 0 {
+		delete(f.m, addr) // keep the map canonical so Equal is cheap
+		return
+	}
+	f.m[addr] = val
+}
+
+// Len returns the number of nonzero words.
+func (f *Flat) Len() int { return len(f.m) }
+
+// Clone returns an independent copy.
+func (f *Flat) Clone() *Flat {
+	c := NewFlat()
+	for k, v := range f.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two flat memories hold identical contents.
+func (f *Flat) Equal(g *Flat) bool {
+	if len(f.m) != len(g.m) {
+		return false
+	}
+	for k, v := range f.m {
+		if g.m[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the first few differing words between two memories, for
+// test failure messages.
+func (f *Flat) Diff(g *Flat) string {
+	var addrs []isa.Word
+	seen := map[isa.Word]bool{}
+	for k := range f.m {
+		seen[k] = true
+		addrs = append(addrs, k)
+	}
+	for k := range g.m {
+		if !seen[k] {
+			addrs = append(addrs, k)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	out := ""
+	count := 0
+	for _, a := range addrs {
+		if f.m[a] != g.m[a] {
+			out += fmt.Sprintf("[%d]: %d != %d; ", a, f.m[a], g.m[a])
+			if count++; count >= 8 {
+				out += "..."
+				break
+			}
+		}
+	}
+	if out == "" {
+		return "equal"
+	}
+	return out
+}
+
+// LoadWords bulk-initializes memory starting at base.
+func (f *Flat) LoadWords(base isa.Word, words []isa.Word) {
+	for i, w := range words {
+		f.Store(base+isa.Word(i), w)
+	}
+}

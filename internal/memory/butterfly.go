@@ -1,0 +1,102 @@
+package memory
+
+import (
+	"sort"
+
+	"ultrascalar/internal/isa"
+)
+
+// Butterfly is the paper's alternative interconnect ("We propose to
+// connect the Ultrascalar I datapath to an interleaved data cache and to
+// an instruction trace cache via two fat-tree or butterfly networks"): a
+// log₂(n)-stage network of 2×2 switches between n stations and n bank
+// ports. Unlike the fat tree, total bandwidth is n but specific
+// station→bank pairings conflict when two requests need the same output
+// port of the same switch — the classic butterfly blocking behaviour.
+type Butterfly struct {
+	n      int // stations and ports (power of two)
+	stages int
+	banks  int
+	hitLat int
+	hopLat int
+	stats  Stats
+}
+
+// NewButterfly builds an n-leaf butterfly (n rounded up to a power of
+// two) over `banks` interleaved banks with the given per-stage hop
+// latency and bank hit latency.
+func NewButterfly(n, banks, hopLat, hitLat int) *Butterfly {
+	size := 1
+	stages := 0
+	for size < n {
+		size *= 2
+		stages++
+	}
+	if banks < 1 {
+		banks = 1
+	}
+	return &Butterfly{n: size, stages: stages, banks: banks, hitLat: hitLat, hopLat: hopLat}
+}
+
+// Stats returns accumulated counters.
+func (b *Butterfly) Stats() Stats { return b.stats }
+
+// BankOf returns the interleaved bank of an address.
+func (b *Butterfly) BankOf(addr isa.Word) int { return int(addr) % b.banks }
+
+// portOf maps a bank to its network output port.
+func (b *Butterfly) portOf(bank int) int { return bank % b.n }
+
+// route returns the switch output edges a packet from station src to
+// output port dst occupies: at stage k the packet is at node
+// (dst's top k bits ++ src's low stages-k bits); the occupied resource is
+// (stage, nodeAfterStage).
+func (b *Butterfly) route(src, dst int) []int {
+	edges := make([]int, b.stages)
+	cur := src
+	for k := 0; k < b.stages; k++ {
+		// At stage k the destination bit (from the top) replaces the
+		// corresponding source bit.
+		bit := b.stages - 1 - k
+		cur = (cur &^ (1 << bit)) | (dst & (1 << bit))
+		edges[k] = k<<16 | cur
+	}
+	return edges
+}
+
+// Arbitrate admits requests oldest first; a request is denied when any
+// switch output edge on its route is already taken this cycle, or its
+// bank is busy.
+func (b *Butterfly) Arbitrate(reqs []Request) []Grant {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Age < reqs[j].Age })
+	usedEdges := map[int]bool{}
+	usedBanks := map[int]bool{}
+	var grants []Grant
+	for _, r := range reqs {
+		bank := b.BankOf(r.Addr)
+		port := b.portOf(bank)
+		src := r.Station % b.n
+		route := b.route(src, port)
+		ok := !usedBanks[bank]
+		if ok {
+			for _, e := range route {
+				if usedEdges[e] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			b.stats.Stalls++
+			continue
+		}
+		usedBanks[bank] = true
+		for _, e := range route {
+			usedEdges[e] = true
+		}
+		b.stats.Accesses++
+		b.stats.Hits++
+		grants = append(grants, Grant{Req: r, Latency: b.stages*b.hopLat*2 + b.hitLat})
+	}
+	return grants
+}

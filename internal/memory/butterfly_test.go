@@ -1,0 +1,95 @@
+package memory
+
+import (
+	"testing"
+
+	"ultrascalar/internal/isa"
+)
+
+func TestButterflyDistinctRoutes(t *testing.T) {
+	// Requests to distinct banks from distinct stations with
+	// non-conflicting routes all pass: the identity permutation
+	// (station i -> port i) is congestion-free in a butterfly.
+	b := NewButterfly(8, 8, 1, 2)
+	var reqs []Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, Request{Station: i, Addr: isa.Word(i), Age: int64(i)})
+	}
+	grants := b.Arbitrate(reqs)
+	if len(grants) != 8 {
+		t.Fatalf("identity permutation granted %d/8", len(grants))
+	}
+	wantLat := 3*1*2 + 2
+	if grants[0].Latency != wantLat {
+		t.Errorf("latency %d, want %d", grants[0].Latency, wantLat)
+	}
+}
+
+func TestButterflyBankConflict(t *testing.T) {
+	b := NewButterfly(8, 8, 1, 2)
+	grants := b.Arbitrate([]Request{
+		{Station: 0, Addr: 5, Age: 0},
+		{Station: 3, Addr: 5 + 8, Age: 1}, // same bank
+	})
+	if len(grants) != 1 || grants[0].Req.Age != 0 {
+		t.Errorf("bank conflict should deny the younger: %+v", grants)
+	}
+	if b.Stats().Stalls != 1 {
+		t.Errorf("stalls = %d", b.Stats().Stalls)
+	}
+}
+
+func TestButterflyInternalBlocking(t *testing.T) {
+	// The butterfly's signature: two requests to DIFFERENT banks can
+	// still conflict inside the network. Stations 0 (000) and 4 (100)
+	// routing to ports 2 (010) and 3 (011) both need first-stage output
+	// node 000 — a classic blocking pair.
+	b := NewButterfly(8, 8, 1, 0)
+	g := b.Arbitrate([]Request{
+		{Station: 0, Addr: 2, Age: 0},
+		{Station: 4, Addr: 3, Age: 1},
+	})
+	if len(g) != 1 {
+		t.Fatalf("expected internal blocking, granted %d", len(g))
+	}
+	if g[0].Req.Age != 0 {
+		t.Error("the older request should win the contested edge")
+	}
+	// Adjacent sources to distinct ports never block internally.
+	b2 := NewButterfly(8, 8, 1, 0)
+	g2 := b2.Arbitrate([]Request{
+		{Station: 0, Addr: 4, Age: 0},
+		{Station: 1, Addr: 5, Age: 1},
+	})
+	if len(g2) != 2 {
+		t.Errorf("adjacent sources to distinct ports should both pass: %d", len(g2))
+	}
+}
+
+func TestButterflyOldestFirst(t *testing.T) {
+	b := NewButterfly(4, 4, 1, 1)
+	grants := b.Arbitrate([]Request{
+		{Station: 2, Addr: 1, Age: 9},
+		{Station: 1, Addr: 1 + 4, Age: 3}, // same bank, older
+	})
+	if len(grants) != 1 || grants[0].Req.Age != 3 {
+		t.Errorf("oldest should win: %+v", grants)
+	}
+}
+
+func TestButterflyRoundsUp(t *testing.T) {
+	b := NewButterfly(5, 3, 1, 1) // rounds to 8 leaves
+	g := b.Arbitrate([]Request{{Station: 4, Addr: 7, Age: 0}})
+	if len(g) != 1 {
+		t.Error("single request should pass")
+	}
+	if b.BankOf(7) != 7%3 {
+		t.Error("bank mapping wrong")
+	}
+}
+
+// TestButterflyImplementsNetwork pins the interface.
+func TestButterflyImplementsNetwork(t *testing.T) {
+	var _ Network = NewButterfly(4, 4, 1, 1)
+	var _ Network = NewSystem(DefaultConfig(4, MConst(1)))
+}

@@ -1,0 +1,98 @@
+package memory
+
+import (
+	"testing"
+
+	"ultrascalar/internal/isa"
+)
+
+func clusterCfg(leaves, clusterSize int) Config {
+	cfg := DefaultConfig(leaves, MConst(1))
+	cfg.HopLatency = 1
+	cfg.ClusterSize = clusterSize
+	cfg.ClusterLines = 8
+	cfg.ClusterHitLatency = 1
+	return cfg
+}
+
+func TestClusterCacheHitAfterFill(t *testing.T) {
+	sys := NewSystem(clusterCfg(16, 4))
+	// First load goes to memory (miss), fills the cluster cache.
+	g := sys.Arbitrate([]Request{{Station: 0, Addr: 10, Age: 0}})
+	if len(g) != 1 || g[0].Latency <= 1 {
+		t.Fatalf("first load should take the tree: %+v", g)
+	}
+	// Second load from the same cluster hits.
+	g = sys.Arbitrate([]Request{{Station: 1, Addr: 10, Age: 1}})
+	if len(g) != 1 || g[0].Latency != 1 {
+		t.Fatalf("cluster hit should cost 1 cycle: %+v", g)
+	}
+	if sys.Stats().ClusterHits != 1 {
+		t.Errorf("cluster hits = %d, want 1", sys.Stats().ClusterHits)
+	}
+	// A different cluster misses: its cache was not filled.
+	g = sys.Arbitrate([]Request{{Station: 8, Addr: 10, Age: 2}})
+	if len(g) != 1 || g[0].Latency == 1 {
+		t.Fatalf("other cluster should miss: %+v", g)
+	}
+}
+
+func TestClusterCacheBypassesBandwidth(t *testing.T) {
+	// With M(n)=1, two cluster hits and the cap are independent: hits do
+	// not consume root bandwidth.
+	sys := NewSystem(clusterCfg(16, 4))
+	sys.Arbitrate([]Request{{Station: 0, Addr: 1, Age: 0}})
+	sys.Arbitrate([]Request{{Station: 4, Addr: 2, Age: 1}})
+	// Now: two hits (stations 1, 5) plus one new miss (station 9) in one
+	// cycle: all three granted despite root capacity 1.
+	g := sys.Arbitrate([]Request{
+		{Station: 1, Addr: 1, Age: 2},
+		{Station: 5, Addr: 2, Age: 3},
+		{Station: 9, Addr: 3, Age: 4},
+	})
+	if len(g) != 3 {
+		t.Fatalf("granted %d, want 3 (two cluster hits + one tree access)", len(g))
+	}
+}
+
+func TestClusterCacheStoreInvalidates(t *testing.T) {
+	sys := NewSystem(clusterCfg(16, 4))
+	// Cluster 0 loads address 7 (fill).
+	sys.Arbitrate([]Request{{Station: 0, Addr: 7, Age: 0}})
+	if len(sys.Arbitrate([]Request{{Station: 1, Addr: 7, Age: 1}})) != 1 {
+		t.Fatal("expected hit")
+	}
+	// Cluster 1 stores to address 7: cluster 0's copy is invalidated.
+	sys.Arbitrate([]Request{{Station: 4, Addr: 7, Store: true, Age: 2}})
+	g := sys.Arbitrate([]Request{{Station: 0, Addr: 7, Age: 3}})
+	if len(g) != 1 || g[0].Latency == 1 {
+		t.Fatalf("invalidated copy should miss: %+v", g)
+	}
+	// The writing cluster's own copy hits.
+	g = sys.Arbitrate([]Request{{Station: 5, Addr: 7, Age: 4}})
+	if len(g) != 1 || g[0].Latency != 1 {
+		t.Fatalf("writer's cluster should hit: %+v", g)
+	}
+}
+
+func TestClusterCacheConflictEviction(t *testing.T) {
+	sys := NewSystem(clusterCfg(16, 4)) // 8 lines: addresses 8 apart conflict
+	sys.Arbitrate([]Request{{Station: 0, Addr: 3, Age: 0}})
+	sys.Arbitrate([]Request{{Station: 0, Addr: 3 + 8, Age: 1}}) // evicts 3
+	g := sys.Arbitrate([]Request{{Station: 0, Addr: 3, Age: 2}})
+	if len(g) != 1 || g[0].Latency == 1 {
+		t.Fatalf("evicted line should miss: %+v", g)
+	}
+}
+
+func TestClusterCacheDefaults(t *testing.T) {
+	cfg := DefaultConfig(8, MConst(1))
+	cfg.ClusterSize = 4 // lines and hit latency defaulted
+	sys := NewSystem(cfg)
+	sys.Arbitrate([]Request{{Station: 0, Addr: 1, Age: 0}})
+	g := sys.Arbitrate([]Request{{Station: 0, Addr: 1, Age: 1}})
+	if len(g) != 1 || g[0].Latency != 1 {
+		t.Fatalf("default cluster hit latency should be 1: %+v", g)
+	}
+	_ = isa.Word(0)
+}

@@ -1,0 +1,291 @@
+package memory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ultrascalar/internal/isa"
+)
+
+// MFunc gives the memory bandwidth M(n) as a function of the number of
+// stations n (paper Section 1, parameter 3). The paper analyzes three
+// regimes; these constructors cover them plus the constant case.
+type MFunc struct {
+	// Name describes the regime for reports.
+	Name string
+	// F computes M(n). Results are clamped to [1, n]: the paper assumes
+	// M(n) = O(n) "since it makes no sense to provide more memory
+	// bandwidth than the total instruction issue rate".
+	F func(n int) int
+}
+
+// Of evaluates the bandwidth for n stations, clamped to [1, n].
+func (m MFunc) Of(n int) int {
+	v := m.F(n)
+	if v < 1 {
+		v = 1
+	}
+	if v > n {
+		v = n
+	}
+	return v
+}
+
+// MConst is M(n) = c, a sublinear regime (Case 1 of the paper's X(n)
+// recurrence solution for any fixed c).
+func MConst(c int) MFunc {
+	return MFunc{Name: fmt.Sprintf("M(n)=%d", c), F: func(int) int { return c }}
+}
+
+// MPow is M(n) = ceil(c·n^p): p < 1/2 is the paper's Case 1, p = 1/2
+// Case 2, p > 1/2 Case 3.
+func MPow(c float64, p float64) MFunc {
+	return MFunc{
+		Name: fmt.Sprintf("M(n)=%.3g*n^%.3g", c, p),
+		F:    func(n int) int { return int(math.Ceil(c * math.Pow(float64(n), p))) },
+	}
+}
+
+// MLinear is M(n) = n, full memory bandwidth.
+func MLinear() MFunc {
+	return MFunc{Name: "M(n)=n", F: func(n int) int { return n }}
+}
+
+// Config describes the timing model of the memory subsystem: an
+// interleaved data cache of Banks direct-mapped banks, reached through a
+// fat tree whose link at height h has capacity min(2^h, M) accesses per
+// cycle, so the root admits M(n) memory operations per cycle.
+type Config struct {
+	Leaves       int   // number of stations n (rounded up to a power of two internally)
+	Bandwidth    MFunc // M(n)
+	Banks        int   // cache banks; 0 means M(n) banks
+	LinesPerBank int   // direct-mapped lines per bank; 0 means a perfect cache
+	HitLatency   int   // cycles for a bank hit, excluding network hops
+	MissLatency  int   // cycles for a bank miss
+	HopLatency   int   // cycles per tree level each way; 0 disables network latency
+
+	// Distributed cluster caches (paper Section 7: "One way to reduce the
+	// bandwidth requirements may be to use a cache distributed among the
+	// clusters"). When ClusterSize > 0, each aligned group of ClusterSize
+	// leaves shares a small direct-mapped cache; loads that hit it bypass
+	// the fat tree entirely. Stores write through and invalidate the
+	// other clusters' copies.
+	ClusterSize       int // stations per cluster; 0 disables cluster caches
+	ClusterLines      int // direct-mapped lines per cluster cache
+	ClusterHitLatency int // cycles for a cluster-cache hit
+}
+
+// DefaultConfig returns a reasonable timing model for n stations under
+// bandwidth m: perfect cache with 2-cycle hits and 1-cycle tree hops.
+func DefaultConfig(n int, m MFunc) Config {
+	return Config{Leaves: n, Bandwidth: m, HitLatency: 2, MissLatency: 20, HopLatency: 1}
+}
+
+// Request is one data-memory access submitted for arbitration.
+type Request struct {
+	Station int      // leaf index of the requesting station
+	Addr    isa.Word // word address
+	Store   bool
+	Age     int64 // program-order sequence number; lower = older = higher priority
+}
+
+// Stats accumulates memory-system counters.
+type Stats struct {
+	Accesses    int64
+	Hits        int64
+	Misses      int64
+	Stalls      int64 // requests denied in some cycle due to link or bank contention
+	ClusterHits int64 // loads served by a distributed cluster cache
+}
+
+// System is the timing model. Functional data stays in the Backing the
+// engine owns; System only answers "when" and "whether this cycle".
+type System struct {
+	cfg    Config
+	levels int // tree height: ceil(log2(leaves))
+	banks  int
+	caps   []int     // per level, link capacity
+	tags   [][]int64 // per bank, per line: resident tag (-1 empty)
+	// clusterTags holds, per cluster, the word address resident in each
+	// cluster-cache line (-1 empty).
+	clusterTags [][]int64
+	stats       Stats
+}
+
+// NewSystem builds the timing model for a given configuration.
+func NewSystem(cfg Config) *System {
+	if cfg.Leaves < 1 {
+		cfg.Leaves = 1
+	}
+	levels := 0
+	for 1<<levels < cfg.Leaves {
+		levels++
+	}
+	m := cfg.Bandwidth.Of(cfg.Leaves)
+	banks := cfg.Banks
+	if banks == 0 {
+		banks = m
+	}
+	s := &System{cfg: cfg, levels: levels, banks: banks}
+	s.caps = make([]int, levels+1)
+	for h := 0; h <= levels; h++ {
+		c := 1 << h
+		if c > m {
+			c = m
+		}
+		s.caps[h] = c
+	}
+	if cfg.LinesPerBank > 0 {
+		s.tags = make([][]int64, banks)
+		for b := range s.tags {
+			s.tags[b] = make([]int64, cfg.LinesPerBank)
+			for i := range s.tags[b] {
+				s.tags[b][i] = -1
+			}
+		}
+	}
+	if cfg.ClusterSize > 0 {
+		if cfg.ClusterLines == 0 {
+			cfg.ClusterLines = 64
+			s.cfg.ClusterLines = 64
+		}
+		if cfg.ClusterHitLatency == 0 {
+			s.cfg.ClusterHitLatency = 1
+		}
+		clusters := (cfg.Leaves + cfg.ClusterSize - 1) / cfg.ClusterSize
+		s.clusterTags = make([][]int64, clusters)
+		for c := range s.clusterTags {
+			s.clusterTags[c] = make([]int64, s.cfg.ClusterLines)
+			for i := range s.clusterTags[c] {
+				s.clusterTags[c][i] = -1
+			}
+		}
+	}
+	return s
+}
+
+// Banks returns the number of interleaved cache banks.
+func (s *System) Banks() int { return s.banks }
+
+// Stats returns the accumulated counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// BankOf returns the interleaved bank serving a word address.
+func (s *System) BankOf(addr isa.Word) int { return int(addr) % s.banks }
+
+// Grant describes one admitted request: it completes Latency cycles after
+// the arbitration cycle.
+type Grant struct {
+	Req     Request
+	Latency int
+}
+
+// Network arbitrates the memory requests of one cycle. Both the fat tree
+// (System) and the Butterfly implement it; the execution engine accepts
+// either.
+type Network interface {
+	Arbitrate(reqs []Request) []Grant
+}
+
+// Arbitrate admits as many of this cycle's requests as the fat tree and
+// the banks allow, oldest first (the engines submit in age order but
+// Arbitrate sorts defensively). Denied requests must be resubmitted next
+// cycle. Each admitted request consumes one capacity unit on every tree
+// level it crosses (leaves are at height 0; the root link, height
+// levels, is crossed by every request since the banks sit beyond the
+// root), and each bank serves one request per cycle.
+func (s *System) Arbitrate(reqs []Request) []Grant {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Age < reqs[j].Age })
+	// usage[h] counts, per node at height h, admitted crossings this cycle.
+	usage := make([]map[int]int, s.levels+1)
+	for h := range usage {
+		usage[h] = make(map[int]int)
+	}
+	bankUse := make(map[int]int)
+	var grants []Grant
+	for _, r := range reqs {
+		if s.clusterTags != nil && !r.Store && s.clusterHit(r) {
+			// Load hit in the cluster cache: no fat-tree traversal.
+			s.stats.Accesses++
+			s.stats.ClusterHits++
+			grants = append(grants, Grant{Req: r, Latency: s.cfg.ClusterHitLatency})
+			continue
+		}
+		bank := s.BankOf(r.Addr)
+		ok := bankUse[bank] < 1
+		if ok {
+			for h := 1; h <= s.levels; h++ {
+				node := r.Station >> h
+				if usage[h][node] >= s.caps[h] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			s.stats.Stalls++
+			continue
+		}
+		bankUse[bank]++
+		for h := 1; h <= s.levels; h++ {
+			usage[h][r.Station>>h]++
+		}
+		s.clusterUpdate(r)
+		grants = append(grants, Grant{Req: r, Latency: s.latency(r.Addr)})
+	}
+	return grants
+}
+
+// clusterHit reports whether the request's cluster cache holds its word.
+func (s *System) clusterHit(r Request) bool {
+	cl := r.Station / s.cfg.ClusterSize
+	line := int(r.Addr) % s.cfg.ClusterLines
+	return s.clusterTags[cl][line] == int64(r.Addr)
+}
+
+// clusterUpdate applies the cluster-cache effects of a granted request:
+// a load fills its cluster's line; a store writes through, updating its
+// own cluster's copy and invalidating the other clusters' (a simple
+// write-invalidate protocol).
+func (s *System) clusterUpdate(r Request) {
+	if s.clusterTags == nil {
+		return
+	}
+	cl := r.Station / s.cfg.ClusterSize
+	line := int(r.Addr) % s.cfg.ClusterLines
+	if r.Store {
+		for c := range s.clusterTags {
+			if c != cl && s.clusterTags[c][line] == int64(r.Addr) {
+				s.clusterTags[c][line] = -1
+			}
+		}
+	}
+	s.clusterTags[cl][line] = int64(r.Addr)
+}
+
+// latency computes the service time of an admitted request: the round trip
+// through the tree plus the bank hit or miss time, updating the cache tags.
+func (s *System) latency(addr isa.Word) int {
+	s.stats.Accesses++
+	lat := 2 * s.levels * s.cfg.HopLatency
+	if s.tags == nil {
+		s.stats.Hits++
+		return lat + s.cfg.HitLatency
+	}
+	bank := s.BankOf(addr)
+	idx := int(addr) / s.banks
+	line := idx % s.cfg.LinesPerBank
+	tag := int64(idx / s.cfg.LinesPerBank)
+	if s.tags[bank][line] == tag {
+		s.stats.Hits++
+		return lat + s.cfg.HitLatency
+	}
+	s.stats.Misses++
+	s.tags[bank][line] = tag
+	return lat + s.cfg.MissLatency
+}
+
+// RootBandwidth returns the admitted-per-cycle ceiling at the tree root,
+// i.e. M(n) after clamping.
+func (s *System) RootBandwidth() int { return s.caps[s.levels] }

@@ -1,0 +1,101 @@
+// Package tracecache implements an instruction trace cache in the spirit
+// of Rotenberg/Bennett/Smith (MICRO 1996) and Patel/Evers/Patt (ISCA
+// 1998), both cited by the paper as the fetch mechanism that feeds a
+// wide Ultrascalar ("We propose to connect the Ultrascalar I datapath to
+// an interleaved data cache and to an instruction trace cache via two
+// fat-tree or butterfly networks").
+//
+// A trace is a recorded sequence of instruction addresses along the path
+// the program actually executed, potentially spanning several taken
+// branches. A fetch unit that hits in the trace cache supplies the whole
+// trace in one cycle, where a conventional block fetcher must stop at the
+// first taken branch.
+package tracecache
+
+// Cache is a direct-mapped trace cache keyed by trace head address.
+type Cache struct {
+	maxLen int
+	sets   []entry
+	mask   int
+
+	hits, misses int64
+}
+
+type entry struct {
+	head  int
+	trace []int
+}
+
+// New returns a trace cache with 2^setBits sets holding traces of up to
+// maxLen instructions.
+func New(setBits, maxLen int) *Cache {
+	n := 1 << setBits
+	c := &Cache{maxLen: maxLen, sets: make([]entry, n), mask: n - 1}
+	for i := range c.sets {
+		c.sets[i].head = -1
+	}
+	return c
+}
+
+// MaxLen returns the maximum trace length.
+func (c *Cache) MaxLen() int { return c.maxLen }
+
+// Lookup returns the trace starting at pc, if cached.
+func (c *Cache) Lookup(pc int) ([]int, bool) {
+	e := &c.sets[pc&c.mask]
+	if e.head != pc {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.trace, true
+}
+
+// Record stores a trace. Traces shorter than two instructions are not
+// worth caching and are ignored.
+func (c *Cache) Record(trace []int) {
+	if len(trace) < 2 {
+		return
+	}
+	if len(trace) > c.maxLen {
+		trace = trace[:c.maxLen]
+	}
+	head := trace[0]
+	e := &c.sets[head&c.mask]
+	e.head = head
+	e.trace = append(e.trace[:0], trace...)
+}
+
+// Stats returns hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Builder accumulates the retired instruction stream into traces and
+// feeds them to a Cache.
+type Builder struct {
+	cache *Cache
+	cur   []int
+}
+
+// NewBuilder returns a builder recording into cache.
+func NewBuilder(cache *Cache) *Builder { return &Builder{cache: cache} }
+
+// Retire observes one retired instruction address in program order.
+func (b *Builder) Retire(pc int) {
+	b.cur = append(b.cur, pc)
+	if len(b.cur) >= b.cache.maxLen {
+		b.cache.Record(b.cur)
+		b.cur = b.cur[:0]
+	}
+}
+
+// Squash discards the trace under construction (on a misprediction the
+// recorded suffix would not be a real path — the builder only sees
+// retired instructions, but recovery resets keep trace heads aligned
+// with fetch restart points).
+func (b *Builder) Squash() { b.cur = b.cur[:0] }
+
+// Flush records any partial trace (at halt).
+func (b *Builder) Flush() {
+	b.cache.Record(b.cur)
+	b.cur = b.cur[:0]
+}

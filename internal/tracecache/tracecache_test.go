@@ -1,0 +1,75 @@
+package tracecache
+
+import "testing"
+
+func TestLookupRecord(t *testing.T) {
+	c := New(4, 8)
+	if _, ok := c.Lookup(10); ok {
+		t.Error("cold cache should miss")
+	}
+	c.Record([]int{10, 11, 12, 20, 21})
+	tr, ok := c.Lookup(10)
+	if !ok || len(tr) != 5 || tr[3] != 20 {
+		t.Errorf("lookup = %v, %v", tr, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats %d/%d", hits, misses)
+	}
+	if c.MaxLen() != 8 {
+		t.Error("maxlen wrong")
+	}
+}
+
+func TestRecordTruncatesAndIgnoresShort(t *testing.T) {
+	c := New(4, 3)
+	c.Record([]int{1, 2, 3, 4, 5})
+	tr, ok := c.Lookup(1)
+	if !ok || len(tr) != 3 {
+		t.Errorf("truncated trace = %v", tr)
+	}
+	c.Record([]int{99})
+	if _, ok := c.Lookup(99); ok {
+		t.Error("single-instruction trace should not be cached")
+	}
+}
+
+func TestAliasingReplaces(t *testing.T) {
+	c := New(2, 8) // 4 sets; heads 1 and 5 collide
+	c.Record([]int{1, 2, 3})
+	c.Record([]int{5, 6, 7})
+	if _, ok := c.Lookup(1); ok {
+		t.Error("evicted head should miss")
+	}
+	if tr, ok := c.Lookup(5); !ok || tr[0] != 5 {
+		t.Error("new head should hit")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	c := New(4, 4)
+	b := NewBuilder(c)
+	for pc := 0; pc < 4; pc++ {
+		b.Retire(pc)
+	}
+	if tr, ok := c.Lookup(0); !ok || len(tr) != 4 {
+		t.Errorf("builder should have recorded a 4-trace: %v", tr)
+	}
+	b.Retire(100)
+	b.Retire(101)
+	b.Flush()
+	if tr, ok := c.Lookup(100); !ok || len(tr) != 2 {
+		t.Errorf("flush should record the partial trace: %v", tr)
+	}
+	b.Retire(200)
+	b.Squash()
+	b.Retire(300)
+	b.Retire(301)
+	b.Flush()
+	if _, ok := c.Lookup(200); ok {
+		t.Error("squashed prefix should not head a trace")
+	}
+	if _, ok := c.Lookup(300); !ok {
+		t.Error("post-squash trace should be recorded")
+	}
+}

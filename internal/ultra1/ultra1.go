@@ -1,0 +1,44 @@
+// Package ultra1 defines the Ultrascalar I processor (paper Sections 2-3):
+// a ring of n execution stations, each holding a full copy of the logical
+// register file, connected by one cyclic segmented parallel-prefix tree
+// per logical register and laid out as an H-tree.
+//
+// Characteristics (paper Figure 11):
+//
+//	gate delay  Θ(log n)
+//	wire delay  Θ(√n·L)            for M(n) = O(n^{1/2-ε})
+//	            Θ(√n·(L + log n))  for M(n) = Θ(n^{1/2})
+//	            Θ(√n·L + M(n))     for M(n) = Ω(n^{1/2+ε})
+//	area        wire delay squared
+//
+// Stations refill individually: "Stations holding finished instructions
+// are reused as soon as all earlier instructions finish."
+package ultra1
+
+import (
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+// Name identifies the architecture in reports.
+const Name = "Ultrascalar I"
+
+// EngineConfig returns the cycle-engine configuration of an n-station
+// Ultrascalar I: per-station refill granularity.
+func EngineConfig(n int) core.Config {
+	return core.Config{Window: n, Granularity: 1}
+}
+
+// Run executes prog on an n-station Ultrascalar I with otherwise default
+// parameters. For full control, build a core.Config from EngineConfig.
+func Run(prog []isa.Inst, mem *memory.Flat, n int) (*core.Result, error) {
+	return core.Run(prog, mem, EngineConfig(n))
+}
+
+// Model returns the physical model: H-tree floorplan, wire delays and the
+// CSPP gate-delay path.
+func Model(n, l, w int, m memory.MFunc, t vlsi.Tech) (*vlsi.Model, error) {
+	return vlsi.UltraIModel(n, l, w, m, t, vlsi.UltraIOptions{})
+}

@@ -1,0 +1,45 @@
+package ultra1
+
+import (
+	"testing"
+
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/ref"
+	"ultrascalar/internal/vlsi"
+	"ultrascalar/internal/workload"
+)
+
+func TestRunMatchesGolden(t *testing.T) {
+	w := workload.Fib(15)
+	want, err := ref.Run(w.Prog, w.Mem(), ref.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(w.Prog, w.Mem(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Regs[3] != want.Regs[3] {
+		t.Errorf("r3 = %d, want %d", got.Regs[3], want.Regs[3])
+	}
+}
+
+func TestEngineConfig(t *testing.T) {
+	cfg := EngineConfig(32)
+	if cfg.Window != 32 || cfg.Granularity != 1 {
+		t.Errorf("config %+v, want window 32 granularity 1", cfg)
+	}
+}
+
+func TestModel(t *testing.T) {
+	md, err := Model(64, 32, 32, memory.MConst(1), vlsi.Tech035())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.N != 64 || md.GateDelay <= 0 || md.AreaL2() <= 0 {
+		t.Errorf("bad model %+v", md)
+	}
+	if Name == "" {
+		t.Error("name empty")
+	}
+}

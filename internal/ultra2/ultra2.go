@@ -1,0 +1,41 @@
+// Package ultra2 defines the Ultrascalar II processor (paper Sections
+// 4-5): a linear (non-wrapping) batch of n execution stations over a
+// grid-like datapath that routes only argument and result registers,
+// reimplementable as a mesh of trees for logarithmic gate delay.
+//
+// Characteristics (paper Figure 11):
+//
+//	linear datapath:  gate delay Θ(n+L),        side Θ(n+L)
+//	mesh of trees:    gate delay Θ(log(n+L)),   side Θ((n+L)·log(n+L))
+//	mixed strategy:   near-log gate delay at the linear side (Section 5)
+//
+// The batch does not wrap around: "stations idle waiting for everyone to
+// finish before refilling" — engine granularity n.
+package ultra2
+
+import (
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/vlsi"
+)
+
+// Name identifies the architecture in reports.
+const Name = "Ultrascalar II"
+
+// EngineConfig returns the cycle-engine configuration of an n-station
+// Ultrascalar II: whole-batch refill granularity.
+func EngineConfig(n int) core.Config {
+	return core.Config{Window: n, Granularity: n}
+}
+
+// Run executes prog on an n-station Ultrascalar II with otherwise default
+// parameters.
+func Run(prog []isa.Inst, mem *memory.Flat, n int) (*core.Result, error) {
+	return core.Run(prog, mem, EngineConfig(n))
+}
+
+// Model returns the physical model in the chosen datapath mode.
+func Model(n, l, w int, m memory.MFunc, t vlsi.Tech, mode vlsi.Ultra2Mode) (*vlsi.Model, error) {
+	return vlsi.Ultra2Model(n, l, w, m, t, mode)
+}

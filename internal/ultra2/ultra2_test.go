@@ -1,0 +1,65 @@
+package ultra2
+
+import (
+	"testing"
+
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/ref"
+	"ultrascalar/internal/ultra1"
+	"ultrascalar/internal/vlsi"
+	"ultrascalar/internal/workload"
+)
+
+func TestRunMatchesGolden(t *testing.T) {
+	w := workload.GCD(1071, 462)
+	want, err := ref.Run(w.Prog, w.Mem(), ref.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(w.Prog, w.Mem(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Regs[1] != want.Regs[1] {
+		t.Errorf("r1 = %d, want %d", got.Regs[1], want.Regs[1])
+	}
+}
+
+func TestBatchSlowerThanRing(t *testing.T) {
+	// Section 4: the Ultrascalar II "is less efficient than the
+	// Ultrascalar I because its datapath does not wrap around."
+	w := workload.DotProduct(40)
+	u2, err := Run(w.Prog, w.Mem(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := ultra1.Run(w.Prog, w.Mem(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Stats.Cycles <= u1.Stats.Cycles {
+		t.Errorf("UltraII %d cycles should exceed UltraI %d", u2.Stats.Cycles, u1.Stats.Cycles)
+	}
+}
+
+func TestEngineConfig(t *testing.T) {
+	cfg := EngineConfig(32)
+	if cfg.Window != 32 || cfg.Granularity != 32 {
+		t.Errorf("config %+v, want window 32 granularity 32", cfg)
+	}
+}
+
+func TestModelModes(t *testing.T) {
+	for _, mode := range []vlsi.Ultra2Mode{vlsi.Ultra2Linear, vlsi.Ultra2Tree, vlsi.Ultra2Mixed} {
+		md, err := Model(32, 32, 32, memory.MConst(1), vlsi.Tech035(), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md.GateDelay <= 0 || md.AreaL2() <= 0 {
+			t.Errorf("mode %v: bad model", mode)
+		}
+	}
+	if Name == "" {
+		t.Error("name empty")
+	}
+}

@@ -1,0 +1,156 @@
+package vlsi
+
+import (
+	"sync"
+
+	"ultrascalar/internal/circuit"
+)
+
+// Gate-delay models. Rather than assuming the paper's Θ bounds, the gate
+// delays are measured from the generated netlists in internal/circuit.
+// Netlists are built at full size where practical and extrapolated from
+// the exact construction slope beyond that (the constructions are
+// perfectly regular, so two measurements determine the line).
+
+var (
+	delayMu    sync.Mutex
+	csppDepths = map[int]int{}
+	gridDepths = map[[3]int]int{} // key: n, L, tree(0/1)
+	aluDepths  = map[int]int{}
+)
+
+// csppTreeDepth measures the depth of the n-station register CSPP tree
+// (Figure 4). Depth is independent of the value width, so a 2-bit payload
+// is used.
+func csppTreeDepth(n int) int {
+	delayMu.Lock()
+	defer delayMu.Unlock()
+	if d, ok := csppDepths[n]; ok {
+		return d
+	}
+	d := circuit.RegisterCSPP(n, 2, true).Depth()
+	csppDepths[n] = d
+	return d
+}
+
+// ultra2GridDepth measures (or extrapolates) the depth of the
+// Ultrascalar II grid for n stations and L registers. Beyond the
+// measurable size the linear variant is extended along its exact
+// per-station slope and the tree variant along its per-doubling increment.
+func ultra2GridDepth(n, l int, tree bool) int {
+	const maxBuild = 96
+	key := [3]int{n, l, boolInt(tree)}
+	delayMu.Lock()
+	if d, ok := gridDepths[key]; ok {
+		delayMu.Unlock()
+		return d
+	}
+	delayMu.Unlock()
+	var d int
+	if n <= maxBuild {
+		c, _ := circuit.Ultra2Grid(n, l, 2, tree)
+		d = c.Depth()
+	} else if !tree {
+		d1 := ultra2GridDepth(maxBuild/2, l, false)
+		d2 := ultra2GridDepth(maxBuild, l, false)
+		perStation := float64(d2-d1) / float64(maxBuild/2)
+		d = d2 + int(perStation*float64(n-maxBuild)+0.5)
+	} else {
+		// Tree depth grows by a fixed increment per doubling of n+L.
+		d1 := ultra2GridDepth(maxBuild/2, l, true)
+		d2 := ultra2GridDepth(maxBuild, l, true)
+		perDouble := d2 - d1
+		if perDouble < 1 {
+			perDouble = 1
+		}
+		d = d2
+		for s := maxBuild; s < n; s *= 2 {
+			d += perDouble
+		}
+	}
+	delayMu.Lock()
+	gridDepths[key] = d
+	delayMu.Unlock()
+	return d
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func log2ceil(x int) int {
+	b := 0
+	for 1<<b < x {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// stationGateDelay is the per-station decode + ALU contribution to the
+// clock path: a fixed decode depth plus the measured depth of the
+// parallel-prefix W-bit ALU netlist (circuit.ALU).
+func stationGateDelay(w int) int { return 8 + aluDepth(w) }
+
+// aluDepth measures (and memoizes) the single-cycle ALU's critical path.
+func aluDepth(w int) int {
+	delayMu.Lock()
+	defer delayMu.Unlock()
+	if d, ok := aluDepths[w]; ok {
+		return d
+	}
+	d := circuit.ALU(w, true).Depth()
+	aluDepths[w] = d
+	return d
+}
+
+// ultra1GateDelay is the Ultrascalar I clock path: station logic plus the
+// register CSPP tree, Θ(log n) (paper Figure 11, first column).
+func ultra1GateDelay(n, w int) int { return stationGateDelay(w) + csppTreeDepth(n) }
+
+// Ultra2Mode selects the Ultrascalar II datapath implementation.
+type Ultra2Mode int
+
+const (
+	// Ultra2Linear is the Figure 7 grid: Θ(n+L) gate delay, Θ(n+L) side.
+	Ultra2Linear Ultra2Mode = iota
+	// Ultra2Tree is the Figure 8 mesh of trees: Θ(log(n+L)) gate delay,
+	// Θ((n+L)·log(n+L)) side.
+	Ultra2Tree
+	// Ultra2Mixed linearizes the tree levels near the root where wire
+	// delay dominates anyway (paper Section 5): the asymptotics of the
+	// linear circuit with log-circuit constants — side Θ(n+L), gate delay
+	// within a few gates of the tree version.
+	Ultra2Mixed
+)
+
+// String names the mode.
+func (m Ultra2Mode) String() string {
+	switch m {
+	case Ultra2Linear:
+		return "linear"
+	case Ultra2Tree:
+		return "mesh-of-trees"
+	default:
+		return "mixed"
+	}
+}
+
+func ultra2GateDelay(n, l, w int, mode Ultra2Mode) int {
+	base := stationGateDelay(w)
+	switch mode {
+	case Ultra2Linear:
+		return base + ultra2GridDepth(n, l, false)
+	case Ultra2Tree:
+		return base + ultra2GridDepth(n, l, true)
+	default:
+		// Mixed: the three levels nearest the root are linear; their wire
+		// delay dominates, so the gate-delay penalty is a small constant.
+		return base + ultra2GridDepth(n, l, true) + 8
+	}
+}

@@ -1,0 +1,151 @@
+package vlsi
+
+import (
+	"fmt"
+	"math"
+
+	"ultrascalar/internal/memory"
+)
+
+// Hybrid Ultrascalar floorplan (paper Section 6, Figures 9-10): clusters
+// of C stations, each an Ultrascalar II grid extended with per-register
+// modified-bit OR trees, connected by the Ultrascalar I H-tree datapath.
+// The paper's recurrence:
+//
+//	U(n) = Θ(n+L)                      if n <= C
+//	U(n) = Θ(L) + Θ(M(n)) + 2·U(n/4)   if n > C
+//
+// with solution U(n) = Θ(M(n) + L√(n/C) + √(nC)), minimized at C = Θ(L)
+// where U(n) = Θ(M(n) + √(nL)).
+
+// HybridModel builds the physical model of an n-station hybrid with
+// clusters of size c. n/c must be a power of two. The clusters use the
+// linear-gate-delay grid, as in the paper's Section 6 analysis.
+func HybridModel(n, c, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Model, error) {
+	return hybridModel(n, c, l, w, m, t, mode, false)
+}
+
+// HybridModelBlocks is HybridModel with placed rectangles emitted for
+// geometric checks and SVG rendering (practical for small cluster
+// counts).
+func HybridModelBlocks(n, c, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Model, error) {
+	return hybridModel(n, c, l, w, m, t, mode, true)
+}
+
+func hybridModel(n, c, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode, emit bool) (*Model, error) {
+	if c < 1 || n%c != 0 {
+		return nil, fmt.Errorf("vlsi: cluster size %d must divide n=%d", c, n)
+	}
+	k := n / c
+	if k&(k-1) != 0 {
+		return nil, fmt.Errorf("vlsi: hybrid requires a power-of-two cluster count, got %d", k)
+	}
+	mOfN := m.Of(n)
+
+	cl, err := Ultra2Model(c, l, w, memory.MConst(minInt(c, mOfN)), t, mode)
+	if err != nil {
+		return nil, err
+	}
+	// The cluster presents the Ultrascalar I interface: the full register
+	// bundle must terminate on its edge, and the modified-bit OR trees
+	// add L·C gates of area.
+	orArea := float64(l*c) * 40
+	clSide := math.Max(math.Max(cl.WidthL, cl.HeightL),
+		float64(regBundleWires(l, w))*t.WirePitch)
+	clSide = math.Max(clSide, math.Sqrt(clSide*clSide+orArea))
+
+	type box struct {
+		w, h, wire float64
+		blocks     []Rect
+	}
+	cur := box{w: clSide, h: clSide, wire: clSide / 2}
+	if emit {
+		cur.blocks = []Rect{{Name: "cluster", W: clSide, H: clSide}}
+	}
+	boxesLeft := k
+	size := c
+	for boxesLeft > 1 {
+		size *= 2
+		th := float64(regBundleWires(l, w)+memWires(size, mOfN, t)) * t.WirePitch
+		next := box{
+			w:    cur.h, // rotated, as in the Ultrascalar I merge
+			h:    cur.w*2 + th,
+			wire: th/2 + cur.w/2 + cur.wire,
+		}
+		if emit {
+			// Two copies of cur side by side with the channel between,
+			// then rotate (x,y,w,h) -> (y,x,h,w).
+			var rs []Rect
+			rs = append(rs, cur.blocks...)
+			rs = append(rs, Rect{Name: fmt.Sprintf("channel%d", size), X: cur.w, W: th, H: cur.h})
+			for _, r := range cur.blocks {
+				r.X += cur.w + th
+				rs = append(rs, r)
+			}
+			next.blocks = make([]Rect, len(rs))
+			for i, r := range rs {
+				next.blocks[i] = Rect{Name: r.Name, X: r.Y, Y: r.X, W: r.H, H: r.W}
+			}
+		}
+		cur = next
+		boxesLeft /= 2
+	}
+
+	// Gate delay: through the cluster grid, then the inter-cluster CSPP
+	// tree of n/c leaves, then station logic.
+	gd := ultra2GateDelay(c, l, w, mode)
+	if k > 1 {
+		gd += csppTreeDepth(k)
+	}
+
+	return &Model{
+		Name: "hybrid", N: n, L: l, W: w,
+		WidthL: cur.w, HeightL: cur.h,
+		// Up the cluster tree and down, plus traversal of the source and
+		// destination cluster grids.
+		MaxWireL:  2*cur.wire + (cl.WidthL + cl.HeightL),
+		GateDelay: gd,
+		Blocks:    cur.blocks,
+	}, nil
+}
+
+// URecurrence evaluates the paper's abstract hybrid side-length recurrence
+// with unit-free constants a (register term) and b (memory term), for
+// growth cross-checks (n and C powers of 4).
+func URecurrence(n, c, l int, m memory.MFunc, a, b float64) float64 {
+	if n <= c {
+		return a * float64(n+l)
+	}
+	return a*float64(l) + b*float64(m.Of(n)) + 2*URecurrence(n/4, c, l, m, a, b)
+}
+
+// OptimalClusterSize sweeps cluster sizes and returns the one minimizing
+// the hybrid layout (by √area, which is aspect-neutral: odd numbers of
+// H-tree merges elongate the bounding box without changing its area) —
+// the paper's Section 6 result that the optimum is C = Θ(L) in two
+// dimensions.
+func OptimalClusterSize(n, l, w int, m memory.MFunc, t Tech) (bestC int, bestSide float64, err error) {
+	bestSide = math.Inf(1)
+	for c := 1; c <= n; c *= 2 {
+		if (n/c)&(n/c-1) != 0 {
+			continue
+		}
+		md, e := HybridModel(n, c, l, w, m, t, Ultra2Linear)
+		if e != nil {
+			return 0, 0, e
+		}
+		side := math.Sqrt(md.AreaL2())
+		if side < bestSide {
+			bestSide = side
+			bestC = c
+		}
+	}
+	return bestC, bestSide, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

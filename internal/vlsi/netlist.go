@@ -1,0 +1,29 @@
+package vlsi
+
+import "ultrascalar/internal/circuit"
+
+// NetlistArea estimates the silicon area of a generated netlist under the
+// technology's standard-cell library, in λ². It connects the circuit
+// substrate's gate counts to the floorplan models' cell constants, so
+// netlist-level designs (CSPP trees, grids, ALUs, schedulers, arbiters)
+// can be compared in the same units as the floorplans.
+func NetlistArea(c *circuit.Circuit, t Tech) float64 {
+	// Per-kind cell areas in λ², sized relative to the library constants:
+	// a unit 2-input gate is modeled at 4 tracks × wire pitch on a
+	// standard-cell row of 40λ height.
+	row := 40.0
+	unit := 4 * t.WirePitch * row
+	areas := map[circuit.Kind]float64{
+		circuit.Buf:  0.75 * unit,
+		circuit.Not:  0.5 * unit,
+		circuit.And2: unit,
+		circuit.Or2:  unit,
+		circuit.Xor2: 1.5 * unit,
+		circuit.Mux2: 1.5 * unit,
+	}
+	var total float64
+	for kind, n := range c.Counts() {
+		total += areas[kind] * float64(n)
+	}
+	return total
+}

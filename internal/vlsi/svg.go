@@ -1,0 +1,35 @@
+package vlsi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSVG draws a floorplan's placed blocks as an SVG document, in the
+// spirit of the paper's Figure 12 layout plots. The model must have been
+// built with block emission (UltraIOptions.EmitBlocks); without blocks
+// only the bounding box is drawn.
+func RenderSVG(m *Model, t Tech) string {
+	const canvas = 960.0
+	scale := canvas / m.SideL()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.1f %.1f">`,
+		canvas, canvas*m.HeightL/m.SideL()+40, canvas, canvas*m.HeightL/m.SideL()+40)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%.1f" height="%.1f" fill="#f8f8f4" stroke="#555"/>`,
+		m.WidthL*scale, m.HeightL*scale)
+	b.WriteByte('\n')
+	for _, r := range m.Blocks {
+		fill := "#7c9ccb" // stations
+		if strings.HasPrefix(r.Name, "channel") {
+			fill = "#d9b382" // wiring channels
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333" stroke-width="0.4"><title>%s</title></rect>`,
+			r.X*scale, r.Y*scale, r.W*scale, r.H*scale, fill, r.Name)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, `<text x="4" y="%.1f" font-family="monospace" font-size="14">%s: n=%d L=%d W=%d, %.2f x %.2f cm</text>`,
+		m.HeightL*scale+24, m.Name, m.N, m.L, m.W, t.CM(m.WidthL), t.CM(m.HeightL))
+	b.WriteString("\n</svg>\n")
+	return b.String()
+}

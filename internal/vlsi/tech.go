@@ -1,0 +1,156 @@
+// Package vlsi models the physical complexity of the three Ultrascalar
+// processors: floorplans, silicon area, wire lengths (which the paper
+// equates with wire delay, "wire delay can be made linear in wire length
+// by inserting repeater buffers"), and gate delays measured from the
+// generated netlists in internal/circuit.
+//
+// The models are constructive: the Ultrascalar I H-tree, the
+// Ultrascalar II diagonal grid and the two-level hybrid floorplan are
+// built by the same recurrences the paper analyzes in Sections 3, 5 and 6,
+// with concrete wire counts and standard-cell dimensions replacing the
+// paper's Θ constants. The calibration targets the paper's empirical
+// setting (Section 7): a 0.35 µm, three-metal-layer CMOS process (λ =
+// 0.2 µm) and an ISA with 32 32-bit registers, where the paper's Magic
+// layouts measured 7 cm × 7 cm for a 64-station Ultrascalar I datapath and
+// 3.2 cm × 2.7 cm for a 128-station 4-cluster hybrid.
+package vlsi
+
+import "math"
+
+// Tech holds technology and cell-library parameters. All lengths are in λ
+// (half the minimum feature size); Lambda converts to physical units.
+type Tech struct {
+	// LambdaMicrons is the physical length of one λ in micrometers.
+	LambdaMicrons float64
+	// MetalLayers is the number of routing layers (3 in the paper's
+	// academic flow).
+	MetalLayers int
+	// WirePitch is the center-to-center spacing of routed wires, in λ.
+	// With few metal layers, parallel buses consume pitch × wires of
+	// cross-section.
+	WirePitch float64
+	// MemPortBits is the number of wires one memory port needs through
+	// the fat tree (address + data + control).
+	MemPortBits int
+	// BitCellArea is the area of one register-file bit (a latch the
+	// station updates every cycle), in λ².
+	BitCellArea float64
+	// ALUBitArea is the datapath area per ALU bit slice (adder, logic,
+	// shifter, operand muxing), in λ².
+	ALUBitArea float64
+	// DecodeArea is the fixed per-station decode/control area, in λ².
+	DecodeArea float64
+	// PrefixBitArea is the area of one bit of a parallel-prefix switch
+	// node (mux + segment logic), in λ².
+	PrefixBitArea float64
+	// GateDelayPs is the delay of one unit gate, in picoseconds (used by
+	// the clock-period model).
+	GateDelayPs float64
+	// WireDelayPsPerMM is the delay of one millimeter of repeatered wire,
+	// in picoseconds.
+	WireDelayPsPerMM float64
+}
+
+// Tech035 returns the paper's empirical technology: 0.35 µm CMOS with
+// three metal layers.
+func Tech035() Tech {
+	return Tech{
+		LambdaMicrons:    0.2,
+		MetalLayers:      3,
+		WirePitch:        8,
+		MemPortBits:      66, // 32 address + 33 data/ready + control
+		BitCellArea:      900,
+		ALUBitArea:       12000,
+		DecodeArea:       800000,
+		PrefixBitArea:    350,
+		GateDelayPs:      90,  // roughly one FO4 at 0.35 µm
+		WireDelayPsPerMM: 100, // repeatered wire
+	}
+}
+
+// MM converts λ to millimeters.
+func (t Tech) MM(lambda float64) float64 { return lambda * t.LambdaMicrons / 1000 }
+
+// CM converts λ to centimeters.
+func (t Tech) CM(lambda float64) float64 { return t.MM(lambda) / 10 }
+
+// AreaCM2 converts λ² to square centimeters.
+func (t Tech) AreaCM2(lambda2 float64) float64 {
+	cmPerLambda := t.LambdaMicrons / 1e4
+	return lambda2 * cmPerLambda * cmPerLambda
+}
+
+// Model is the physical summary of one processor configuration.
+type Model struct {
+	Name string
+	N    int // stations
+	L    int // logical registers
+	W    int // bits per register
+
+	// WidthL and HeightL are the bounding box in λ.
+	WidthL, HeightL float64
+	// MaxWireL is the longest point-to-point signal path in λ (for the
+	// Ultrascalar I, twice the root-to-leaf distance: "every datapath
+	// signal goes up the tree, and then down").
+	MaxWireL float64
+	// GateDelay is the critical path in unit gate delays.
+	GateDelay int
+
+	// Blocks optionally holds the placed rectangles (stations and wiring
+	// channels) for geometric verification; nil for large n.
+	Blocks []Rect
+
+	// StationAreaL2 and ChannelAreaL2 split the layout between execution
+	// stations and wiring channels, where the model tracks them (the
+	// Ultrascalar I H-tree). The paper's point that "each node of our
+	// H-tree floorplan would require area comparable to the entire area
+	// of one of today's processors" is visible as the channel share.
+	StationAreaL2, ChannelAreaL2 float64
+}
+
+// ChannelShare returns the fraction of the occupied area used by wiring
+// channels (0 when the model does not track the split).
+func (m *Model) ChannelShare() float64 {
+	total := m.StationAreaL2 + m.ChannelAreaL2
+	if total == 0 {
+		return 0
+	}
+	return m.ChannelAreaL2 / total
+}
+
+// Rect is an axis-aligned placed block, in λ.
+type Rect struct {
+	Name       string
+	X, Y, W, H float64
+}
+
+// SideL returns the larger bounding-box dimension in λ.
+func (m *Model) SideL() float64 { return math.Max(m.WidthL, m.HeightL) }
+
+// AreaL2 returns the bounding-box area in λ².
+func (m *Model) AreaL2() float64 { return m.WidthL * m.HeightL }
+
+// WireDelayPs returns the worst wire delay under t's repeatered-wire model.
+func (m *Model) WireDelayPs(t Tech) float64 {
+	return t.WireDelayPsPerMM * t.MM(m.MaxWireL)
+}
+
+// GateDelayPs returns the gate critical path in picoseconds.
+func (m *Model) GateDelayPs(t Tech) float64 {
+	return float64(m.GateDelay) * t.GateDelayPs
+}
+
+// ClockPs returns the clock period implied by the model: the paper's
+// "total delay" is the larger of the gate and wire critical paths (they
+// compose, so the sum is reported; the asymptotics are identical).
+func (m *Model) ClockPs(t Tech) float64 {
+	return m.GateDelayPs(t) + m.WireDelayPs(t)
+}
+
+// DensityPerM2 returns execution stations per square meter, the metric the
+// paper quotes for Figure 12 ("13,000 processors per square meter" versus
+// "150,000 processors per square meter").
+func (m *Model) DensityPerM2(t Tech) float64 {
+	areaM2 := t.AreaCM2(m.AreaL2()) / 1e4
+	return float64(m.N) / areaM2
+}

@@ -1,0 +1,58 @@
+package vlsi
+
+import (
+	"math"
+
+	"ultrascalar/internal/memory"
+)
+
+// Three-dimensional packaging models (paper Section 7). "In a true
+// three-dimensional packaging technology the Ultrascalar bounds do improve
+// because, intuitively, there is more space in three dimensions than in
+// two." The closed forms below are the paper's, with unit constants; they
+// are used by the 3D scaling experiment to print the volume and
+// wire-length trends next to the 2D ones.
+
+// Volume3D summarizes a 3D layout.
+type Volume3D struct {
+	Name    string
+	Volume  float64 // λ³ (unit-free constants)
+	Wire    float64 // longest wire, λ
+	Cluster int     // optimal cluster size, where applicable
+}
+
+// UltraI3D: volume n·L^{3/2} for small memory bandwidth, plus an
+// additional Θ(M(n)^{3/2}) when M(n) = Ω(n^{2/3+ε}); wire length
+// n^{1/3}·L^{1/2} (small bandwidth) or M(n)^{1/2} (large).
+func UltraI3D(n, l int, m memory.MFunc) Volume3D {
+	nf, lf, mf := float64(n), float64(l), float64(m.Of(n))
+	vol := nf * math.Pow(lf, 1.5)
+	volMem := math.Pow(mf, 1.5)
+	wire := math.Cbrt(nf) * math.Sqrt(lf)
+	if w2 := math.Sqrt(mf); w2 > wire {
+		wire = w2
+	}
+	return Volume3D{Name: "ultrascalar-1-3d", Volume: vol + volMem, Wire: wire}
+}
+
+// UltraII3D: volume O(n² + L²) "whether the linear-depth or log-depth
+// circuits are used, whereas in two dimensions an extra log n area is
+// required to achieve log-depth circuits."
+func UltraII3D(n, l int, _ memory.MFunc) Volume3D {
+	nf, lf := float64(n), float64(l)
+	vol := nf*nf + lf*lf
+	return Volume3D{Name: "ultrascalar-2-3d", Volume: vol, Wire: math.Cbrt(vol)}
+}
+
+// Hybrid3D: "the optimal cluster size is Θ(L^{3/4}), as compared to Θ(L)
+// in two dimensions. The total volume of the hybrid is O(n·L^{3/4})."
+func Hybrid3D(n, l int, m memory.MFunc) Volume3D {
+	nf, lf := float64(n), float64(l)
+	c := int(math.Round(math.Pow(lf, 0.75)))
+	if c < 1 {
+		c = 1
+	}
+	vol := nf * math.Pow(lf, 0.75)
+	volMem := math.Pow(float64(m.Of(n)), 1.5)
+	return Volume3D{Name: "hybrid-3d", Volume: vol + volMem, Wire: math.Cbrt(vol + volMem), Cluster: c}
+}

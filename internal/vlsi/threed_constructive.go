@@ -1,0 +1,86 @@
+package vlsi
+
+import (
+	"fmt"
+	"math"
+
+	"ultrascalar/internal/memory"
+)
+
+// Constructive three-dimensional Ultrascalar I model (paper Section 7).
+// In 3D the H-tree becomes an oct-tree of station cubes: each merge joins
+// two sub-volumes along an alternating axis with a wiring slab between
+// them. A bundle of B wires crossing the slab occupies cross-section
+// B·pitch², so the slab thickness is B·pitch²/(face area) — this is how
+// "there is more space in three dimensions": the bundle spreads over a
+// face instead of an edge.
+
+// Model3D summarizes a constructive 3D layout.
+type Model3D struct {
+	Name      string
+	N, L, W   int
+	DimsL     [3]float64 // bounding box, λ
+	MaxWireL  float64
+	GateDelay int
+}
+
+// VolumeL3 returns the bounding volume in λ³.
+func (m *Model3D) VolumeL3() float64 { return m.DimsL[0] * m.DimsL[1] * m.DimsL[2] }
+
+// SideL returns the largest dimension.
+func (m *Model3D) SideL() float64 {
+	return math.Max(m.DimsL[0], math.Max(m.DimsL[1], m.DimsL[2]))
+}
+
+// UltraIModel3D builds the constructive 3D Ultrascalar I. n must be a
+// power of two.
+func UltraIModel3D(n, l, w int, m memory.MFunc, t Tech) (*Model3D, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("vlsi: 3D Ultrascalar I requires a power-of-two station count, got %d", n)
+	}
+	mOfN := m.Of(n)
+
+	// A station cube: its logic volume, with a floor so the register
+	// bundle terminates on one face (area >= bundle · pitch²).
+	logicArea := float64(l*(w+1))*t.BitCellArea +
+		float64(w)*t.ALUBitArea + t.DecodeArea +
+		float64(l*(w+1))*t.PrefixBitArea
+	// Treat standard cells as one layer of height ~40λ stacked volume.
+	const cellHeight = 40.0
+	vol := logicArea * cellHeight
+	faceNeed := float64(regBundleWires(l, w)) * t.WirePitch * t.WirePitch
+	side := math.Cbrt(vol)
+	if side*side < faceNeed {
+		side = math.Sqrt(faceNeed)
+	}
+
+	type box struct {
+		d    [3]float64
+		wire float64
+	}
+	cur := box{d: [3]float64{side, side, side}, wire: side / 2}
+	size := 1
+	axis := 0
+	for size < n {
+		size *= 2
+		wires := regBundleWires(l, w) + memWires(size, mOfN, t)
+		face := cur.d[(axis+1)%3] * cur.d[(axis+2)%3]
+		th := float64(wires) * t.WirePitch * t.WirePitch / face
+		// A slab must at least pass one wire pitch.
+		if th < t.WirePitch {
+			th = t.WirePitch
+		}
+		var next box
+		next.d = cur.d
+		next.d[axis] = 2*cur.d[axis] + th
+		next.wire = th/2 + cur.d[axis]/2 + cur.wire
+		cur = next
+		axis = (axis + 1) % 3
+	}
+	return &Model3D{
+		Name: "ultrascalar-1-3d", N: n, L: l, W: w,
+		DimsL:     cur.d,
+		MaxWireL:  2 * cur.wire,
+		GateDelay: ultra1GateDelay(n, w),
+	}, nil
+}

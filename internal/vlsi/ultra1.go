@@ -1,0 +1,147 @@
+package vlsi
+
+import (
+	"fmt"
+	"math"
+
+	"ultrascalar/internal/memory"
+)
+
+// Ultrascalar I floorplan (paper Section 3, Figure 6): execution stations
+// at the leaves of an H-tree whose links carry, for every logical
+// register, the register's value and ready bit in both directions plus its
+// modified bit, and whose fat-tree memory links carry min(subtree, M(n))
+// memory ports. The paper's recurrence
+//
+//	X(n) = 2·X(n/4) + Θ(L) + Θ(M(n)),  X(1) = Θ(L)
+//
+// is realized here as a chain of 2-way merges (two merges per H-tree
+// level), tracking rectangle dimensions exactly.
+
+// regBundleWires returns the number of wires of the register datapath
+// crossing any H-tree link: per register, (W+1) bits up, (W+1) bits down,
+// one modified bit, plus the three 1-bit sequencing CSPPs (two wires each).
+func regBundleWires(L, W int) int { return L*(2*(W+1)+1) + 6 }
+
+// stationSideL returns the side of one Ultrascalar I execution station:
+// the larger of its logic side (register file of L×(W+1) latched bits,
+// W-bit ALU, decode, and L parallel-prefix leaf switches of W+1 bits) and
+// the edge needed to terminate the full register bundle.
+func stationSideL(L, W int, t Tech) float64 {
+	logic := float64(L*(W+1))*t.BitCellArea +
+		float64(W)*t.ALUBitArea +
+		t.DecodeArea +
+		float64(L*(W+1))*t.PrefixBitArea
+	wireEdge := float64(regBundleWires(L, W)) * t.WirePitch
+	return math.Max(math.Sqrt(logic), wireEdge)
+}
+
+// memWires returns the fat-tree wire count above a subtree of s stations.
+func memWires(s, mOfN int, t Tech) int {
+	ports := s
+	if ports > mOfN {
+		ports = mOfN
+	}
+	return ports * t.MemPortBits
+}
+
+// UltraIOptions controls model construction.
+type UltraIOptions struct {
+	// EmitBlocks records placed rectangles for geometric checks
+	// (practical for n <= 256).
+	EmitBlocks bool
+}
+
+// UltraIModel builds the physical model of an n-station Ultrascalar I.
+// n must be a power of two.
+func UltraIModel(n, L, W int, m memory.MFunc, t Tech, opt UltraIOptions) (*Model, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("vlsi: Ultrascalar I requires a power-of-two station count, got %d", n)
+	}
+	mOfN := m.Of(n)
+	s0 := stationSideL(L, W, t)
+
+	type box struct {
+		w, h   float64
+		wire   float64 // root-to-leaf path within the box, in λ
+		blocks []Rect
+	}
+	leaf := func(i int) box {
+		b := box{w: s0, h: s0, wire: s0 / 2}
+		if opt.EmitBlocks {
+			b.blocks = []Rect{{Name: fmt.Sprintf("station%d", i), W: s0, H: s0}}
+		}
+		return b
+	}
+	shift := func(rs []Rect, dx, dy float64) []Rect {
+		out := make([]Rect, len(rs))
+		for i, r := range rs {
+			r.X += dx
+			r.Y += dy
+			out[i] = r
+		}
+		return out
+	}
+	// merge joins two boxes side by side with a wiring channel of
+	// thickness th between them, then rotates the result so successive
+	// merges alternate direction (producing the H-tree).
+	merge := func(a, b box, th float64, label string) box {
+		w := a.w + th + b.w
+		h := math.Max(a.h, b.h)
+		out := box{w: h, h: w} // rotated
+		// Signal path from the new root (center channel) into the deeper
+		// child: across half the channel plus the child's own wire.
+		out.wire = th/2 + math.Max(a.w, b.w)/2 + math.Max(a.wire, b.wire)
+		if a.blocks != nil {
+			var rs []Rect
+			rs = append(rs, a.blocks...)
+			rs = append(rs, Rect{Name: label, X: a.w, W: th, H: h})
+			rs = append(rs, shift(b.blocks, a.w+th, 0)...)
+			// Rotate (x,y,w,h) -> (y,x,h,w).
+			out.blocks = make([]Rect, len(rs))
+			for i, r := range rs {
+				out.blocks[i] = Rect{Name: r.Name, X: r.Y, Y: r.X, W: r.H, H: r.W}
+			}
+		}
+		return out
+	}
+
+	boxes := make([]box, n)
+	for i := range boxes {
+		boxes[i] = leaf(i)
+	}
+	size := 1
+	channelArea := 0.0
+	for len(boxes) > 1 {
+		size *= 2
+		th := float64(regBundleWires(L, W)+memWires(size, mOfN, t)) * t.WirePitch
+		next := make([]box, 0, len(boxes)/2)
+		for i := 0; i < len(boxes); i += 2 {
+			channelArea += th * math.Max(boxes[i].h, boxes[i+1].h)
+			next = append(next, merge(boxes[i], boxes[i+1], th, fmt.Sprintf("channel%d", size)))
+		}
+		boxes = next
+	}
+	root := boxes[0]
+	md := &Model{
+		Name: "ultrascalar-1", N: n, L: L, W: W,
+		WidthL: root.w, HeightL: root.h,
+		// "every datapath signal goes up the tree, and then down": 2W(n).
+		MaxWireL:      2 * root.wire,
+		GateDelay:     ultra1GateDelay(n, W),
+		Blocks:        root.blocks,
+		StationAreaL2: float64(n) * s0 * s0,
+		ChannelAreaL2: channelArea,
+	}
+	return md, nil
+}
+
+// XRecurrence evaluates the paper's abstract side-length recurrence
+// X(n) = 2X(n/4) + aL + bM(n), X(1) = aL, with unit-free constants, for
+// cross-checking the constructive model's growth (n a power of 4).
+func XRecurrence(n, L int, m memory.MFunc, a, b float64) float64 {
+	if n == 1 {
+		return a * float64(L)
+	}
+	return 2*XRecurrence(n/4, L, m, a, b) + a*float64(L) + b*float64(m.Of(n))
+}

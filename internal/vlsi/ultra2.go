@@ -1,0 +1,92 @@
+package vlsi
+
+import (
+	"fmt"
+	"math"
+
+	"ultrascalar/internal/memory"
+)
+
+// Ultrascalar II floorplan (paper Section 5, Figure 7): execution stations
+// along the diagonal, the register datapath in the lower triangle (rows of
+// register bindings crossing columns of argument searches), memory
+// switches in the upper triangle. Side length Θ(n+L) for the linear
+// datapath; the mesh-of-trees costs an extra Θ(log(n+L)) factor; the mixed
+// strategy keeps the linear side with near-log gate delay.
+
+// ultra2StationSideL is the side of an Ultrascalar II station: ALU and
+// decode only — unlike the Ultrascalar I it holds no register file (the
+// initial register file sits at the grid's corner).
+func ultra2StationSideL(w int, t Tech) float64 {
+	return math.Sqrt(float64(w)*t.ALUBitArea + t.DecodeArea)
+}
+
+// lanePitchL is the routing pitch of one grid row or column: a register
+// number, a W-bit value, a ready bit and a control bit.
+func lanePitchL(l, w int, t Tech) float64 {
+	return float64(log2ceil(l)+w+2) * t.WirePitch
+}
+
+// Ultra2Model builds the physical model of an n-station, L-register
+// Ultrascalar II in the given datapath mode.
+func Ultra2Model(n, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Model, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("vlsi: Ultrascalar II requires n >= 1, got %d", n)
+	}
+	lane := lanePitchL(l, w, t)
+	s := ultra2StationSideL(w, t)
+
+	// Columns: two argument columns per station plus L outgoing-value
+	// columns; rows: one binding row per station plus L initial-register
+	// rows. Stations must fit along the diagonal.
+	width := float64(n)*math.Max(s, 2*lane) + float64(l)*lane
+	height := float64(n)*math.Max(s, lane) + float64(l)*lane
+
+	// The memory switches in the upper triangle need to bring M(n) ports
+	// to the edge.
+	memEdge := float64(memWires(n, m.Of(n), t)) * t.WirePitch
+	width = math.Max(width, memEdge)
+
+	switch mode {
+	case Ultra2Tree:
+		// Fan-out and reduction trees widen every lane by a factor of
+		// Θ(log(n+L)) in the worst case (paper: side Θ((n+L)log(n+L))).
+		f := 1 + 0.25*math.Log2(float64(n+l))
+		width *= f
+		height *= f
+	case Ultra2Mixed:
+		// Three tree levels fit "without impacting the total layout area,
+		// since the gates were dominating the area" (Section 5).
+		width *= 1.05
+		height *= 1.05
+	}
+
+	return &Model{
+		Name: "ultrascalar-2-" + mode.String(), N: n, L: l, W: w,
+		WidthL: width, HeightL: height,
+		// A value travels down its producer's row and up the consumer's
+		// column: bounded by width + height.
+		MaxWireL:  width + height,
+		GateDelay: ultra2GateDelay(n, l, w, mode),
+	}, nil
+}
+
+// Ultra2WrapModel builds the wrap-around variant of the Ultrascalar II
+// the paper mentions in Section 4: per-station refill like the
+// Ultrascalar I ("The Ultrascalar II can easily be modified to handle
+// wrap-around, but ... it appears to cost nearly a factor of two in area
+// to implement the wrap-around mechanism"). Cycle-level behaviour is the
+// engine at granularity 1; physically, each dimension grows by √2 so the
+// area doubles.
+func Ultra2WrapModel(n, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Model, error) {
+	md, err := Ultra2Model(n, l, w, m, t, mode)
+	if err != nil {
+		return nil, err
+	}
+	const sqrt2 = 1.4142135623730951
+	md.Name = "ultrascalar-2-wrap-" + mode.String()
+	md.WidthL *= sqrt2
+	md.HeightL *= sqrt2
+	md.MaxWireL *= sqrt2
+	return md, nil
+}

@@ -1,0 +1,510 @@
+package vlsi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ultrascalar/internal/circuit"
+	"ultrascalar/internal/memory"
+)
+
+func TestTechConversions(t *testing.T) {
+	tech := Tech035()
+	if got := tech.MM(5000); math.Abs(got-1.0) > 1e-9 { // 5000λ × 0.2µm = 1mm
+		t.Errorf("MM(5000) = %f, want 1", got)
+	}
+	if got := tech.CM(50000); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("CM(50000) = %f, want 1", got)
+	}
+	// 1 cm² in λ²: (50000)².
+	if got := tech.AreaCM2(50000 * 50000); math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("AreaCM2 = %f, want 1", got)
+	}
+}
+
+func TestUltraIRequiresPowerOfTwo(t *testing.T) {
+	if _, err := UltraIModel(12, 8, 8, memory.MConst(1), Tech035(), UltraIOptions{}); err == nil {
+		t.Error("n=12 should be rejected")
+	}
+	if _, err := UltraIModel(0, 8, 8, memory.MConst(1), Tech035(), UltraIOptions{}); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+}
+
+// TestUltraIGeometry verifies the emitted floorplan: stations and wiring
+// channels fit in the bounding box and do not overlap.
+func TestUltraIGeometry(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 64} {
+		md, err := UltraIModel(n, 8, 8, memory.MPow(1, 0.5), Tech035(), UltraIOptions{EmitBlocks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stations := 0
+		for _, r := range md.Blocks {
+			if r.X < -1e-6 || r.Y < -1e-6 || r.X+r.W > md.WidthL+1e-6 || r.Y+r.H > md.HeightL+1e-6 {
+				t.Errorf("n=%d: block %s out of bounds", n, r.Name)
+			}
+			if len(r.Name) > 7 && r.Name[:7] == "station" {
+				stations++
+			}
+		}
+		if stations != n {
+			t.Errorf("n=%d: %d stations placed", n, stations)
+		}
+		for i := 0; i < len(md.Blocks); i++ {
+			for j := i + 1; j < len(md.Blocks); j++ {
+				a, b := md.Blocks[i], md.Blocks[j]
+				if a.X < b.X+b.W-1e-6 && b.X < a.X+a.W-1e-6 &&
+					a.Y < b.Y+b.H-1e-6 && b.Y < a.Y+a.H-1e-6 {
+					t.Errorf("n=%d: blocks %s and %s overlap", n, a.Name, b.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestUltraISqrtScaling: with M(n) = O(n^{1/2-ε}), the side grows as
+// Θ(√n·L) — quadrupling n doubles the side (paper Case 1).
+func TestUltraISqrtScaling(t *testing.T) {
+	tech := Tech035()
+	var sides []float64
+	for _, n := range []int{64, 256, 1024, 4096} {
+		md, err := UltraIModel(n, 32, 32, memory.MConst(1), tech, UltraIOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sides = append(sides, math.Sqrt(md.AreaL2()))
+	}
+	for i := 1; i < len(sides); i++ {
+		ratio := sides[i] / sides[i-1]
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("side ratio per 4x n = %.3f, want about 2 (Θ(√n))", ratio)
+		}
+	}
+}
+
+// TestUltraILinearInL: at fixed n, the Ultrascalar I side is Θ(L) — the
+// wire bundles dominate (paper: "For a 64 64-bit register Ultrascalar I,
+// each node of our H-tree floorplan would require area comparable to the
+// entire area of one of today's processors!").
+func TestUltraILinearInL(t *testing.T) {
+	tech := Tech035()
+	side := func(l int) float64 {
+		md, err := UltraIModel(64, l, 32, memory.MConst(1), tech, UltraIOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return md.SideL()
+	}
+	r := side(64) / side(32)
+	if r < 1.7 || r > 2.2 {
+		t.Errorf("doubling L scales side by %.2f, want about 2", r)
+	}
+}
+
+// TestUltraIMemoryDominates: with M(n) = n the side grows linearly
+// (paper Case 3: "If processors require memory bandwidth linear in the
+// number of outstanding instructions, the wire delays must also grow
+// linearly").
+func TestUltraIMemoryDominates(t *testing.T) {
+	tech := Tech035()
+	var sides []float64
+	for _, n := range []int{256, 1024, 4096} {
+		md, err := UltraIModel(n, 8, 8, memory.MLinear(), tech, UltraIOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sides = append(sides, math.Sqrt(md.AreaL2()))
+	}
+	for i := 1; i < len(sides); i++ {
+		ratio := sides[i] / sides[i-1]
+		if ratio < 3.0 {
+			t.Errorf("with M(n)=n side ratio per 4x n = %.2f, want near 4 (Θ(n))", ratio)
+		}
+	}
+}
+
+func TestUltraIIScalingLinear(t *testing.T) {
+	tech := Tech035()
+	side := func(n int) float64 {
+		md, err := Ultra2Model(n, 32, 32, memory.MConst(1), tech, Ultra2Linear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return md.SideL()
+	}
+	// Θ(n+L): for n >> L, doubling n roughly doubles the side.
+	r := side(2048) / side(1024)
+	if r < 1.8 || r > 2.2 {
+		t.Errorf("UltraII side ratio per 2x n = %.2f, want about 2", r)
+	}
+	// The mesh-of-trees variant costs a log factor in side.
+	lin, _ := Ultra2Model(1024, 32, 32, memory.MConst(1), tech, Ultra2Linear)
+	tr, _ := Ultra2Model(1024, 32, 32, memory.MConst(1), tech, Ultra2Tree)
+	mix, _ := Ultra2Model(1024, 32, 32, memory.MConst(1), tech, Ultra2Mixed)
+	if tr.SideL() < 1.5*lin.SideL() {
+		t.Errorf("tree side %.0f should exceed linear %.0f by a log factor", tr.SideL(), lin.SideL())
+	}
+	if mix.SideL() > 1.1*lin.SideL() {
+		t.Errorf("mixed side %.0f should be close to linear %.0f", mix.SideL(), lin.SideL())
+	}
+	// Gate delays: linear >> tree; mixed close to tree.
+	if lin.GateDelay < 4*tr.GateDelay {
+		t.Errorf("linear gate delay %d should dwarf tree %d at n=1024", lin.GateDelay, tr.GateDelay)
+	}
+	if mix.GateDelay > tr.GateDelay+16 {
+		t.Errorf("mixed gate delay %d should be near tree %d", mix.GateDelay, tr.GateDelay)
+	}
+}
+
+func TestGateDelayScaling(t *testing.T) {
+	// Ultrascalar I: Θ(log n) gate delay.
+	d64 := ultra1GateDelay(64, 32)
+	d4096 := ultra1GateDelay(4096, 32)
+	if d4096-d64 > 40 {
+		t.Errorf("UltraI gate delay grew %d -> %d; should be logarithmic", d64, d4096)
+	}
+	if d4096 <= d64 {
+		t.Errorf("gate delay should still grow: %d -> %d", d64, d4096)
+	}
+	// Ultrascalar II linear: Θ(n+L); extrapolation must agree with the
+	// slope of measured sizes.
+	d32 := ultra2GridDepth(32, 8, false)
+	d64l := ultra2GridDepth(64, 8, false)
+	d128 := ultra2GridDepth(128, 8, false) // extrapolated
+	slopeMeasured := float64(d64l-d32) / 32
+	slopeExtrap := float64(d128-d64l) / 64
+	if math.Abs(slopeMeasured-slopeExtrap) > 0.5 {
+		t.Errorf("linear-depth extrapolation slope %.2f deviates from measured %.2f",
+			slopeExtrap, slopeMeasured)
+	}
+	// Tree: small increments per doubling.
+	t256 := ultra2GridDepth(256, 8, true)
+	t4096 := ultra2GridDepth(4096, 8, true)
+	if t4096-t256 > 30 {
+		t.Errorf("tree depth grew %d -> %d over 16x; should be logarithmic", t256, t4096)
+	}
+}
+
+func TestHybridDominates(t *testing.T) {
+	tech := Tech035()
+	m := memory.MConst(1)
+	n, l := 4096, 32
+	u1, err := UltraIModel(n, l, 32, m, tech, UltraIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Ultra2Model(n, l, 32, m, tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := HybridModel(n, l, l, 32, m, tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hy.AreaL2() >= u1.AreaL2() || hy.AreaL2() >= u2.AreaL2() {
+		t.Errorf("hybrid area %.3g should beat UltraI %.3g and UltraII %.3g",
+			hy.AreaL2(), u1.AreaL2(), u2.AreaL2())
+	}
+	if hy.MaxWireL >= u1.MaxWireL || hy.MaxWireL >= u2.MaxWireL {
+		t.Errorf("hybrid wire %.3g should beat UltraI %.3g and UltraII %.3g",
+			hy.MaxWireL, u1.MaxWireL, u2.MaxWireL)
+	}
+}
+
+// TestCrossoverAtLSquared reproduces the paper's comparison: "for smaller
+// processors (n < O(L²)) the Ultrascalar II dominates the Ultrascalar I
+// ... but for larger processors the Ultrascalar I dominates."
+func TestCrossoverAtLSquared(t *testing.T) {
+	tech := Tech035()
+	m := memory.MConst(1)
+	l := 32 // L² = 1024
+	area := func(n int, two bool) float64 {
+		if two {
+			md, _ := Ultra2Model(n, l, 32, m, tech, Ultra2Linear)
+			return md.AreaL2()
+		}
+		md, _ := UltraIModel(n, l, 32, m, tech, UltraIOptions{})
+		return md.AreaL2()
+	}
+	if !(area(64, true) < area(64, false)) {
+		t.Error("at n=64 << L², Ultrascalar II should dominate")
+	}
+	if !(area(4096, false) < area(4096, true)) {
+		t.Error("at n=4096 >> L², Ultrascalar I should dominate")
+	}
+}
+
+// TestOptimalClusterIsL reproduces Section 6: "it is not a coincidence
+// that C = L" — the sweep minimum lands at Θ(L).
+func TestOptimalClusterIsL(t *testing.T) {
+	tech := Tech035()
+	for _, l := range []int{8, 32, 64} {
+		c, _, err := OptimalClusterSize(4096, l, 32, memory.MConst(1), tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < l/2 || c > 2*l {
+			t.Errorf("L=%d: optimal C=%d, want Θ(L) within [L/2, 2L]", l, c)
+		}
+	}
+}
+
+// TestFigure12 reproduces the paper's empirical comparison: a
+// 64-station Ultrascalar I register datapath versus a 128-station
+// 4-cluster hybrid in 0.35 µm, with the hybrid about 11 times denser
+// (paper: 13,000 vs 150,000 processors per square meter, i.e. 11.5x).
+func TestFigure12(t *testing.T) {
+	tech := Tech035()
+	m := memory.MConst(1) // the paper left space only for M(n) = O(1)
+	u1, err := UltraIModel(64, 32, 32, m, tech, UltraIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := HybridModel(128, 32, 32, 32, m, tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within 2x of the paper's absolute sizes (7cm and ~3cm sides).
+	if s := tech.CM(u1.SideL()); s < 3.5 || s > 14 {
+		t.Errorf("UltraI side %.2f cm, paper 7 cm", s)
+	}
+	if s := tech.CM(hy.SideL()); s < 1.5 || s > 6.4 {
+		t.Errorf("hybrid side %.2f cm, paper about 3 cm", s)
+	}
+	ratio := hy.DensityPerM2(tech) / u1.DensityPerM2(tech)
+	if ratio < 8 || ratio > 16 {
+		t.Errorf("density ratio %.1f, paper about 11.5", ratio)
+	}
+}
+
+func TestHybridErrors(t *testing.T) {
+	tech := Tech035()
+	if _, err := HybridModel(64, 5, 8, 8, memory.MConst(1), tech, Ultra2Linear); err == nil {
+		t.Error("cluster size not dividing n should fail")
+	}
+	if _, err := HybridModel(96, 32, 8, 8, memory.MConst(1), tech, Ultra2Linear); err == nil {
+		t.Error("non-power-of-two cluster count should fail")
+	}
+	if _, err := Ultra2Model(0, 8, 8, memory.MConst(1), tech, Ultra2Linear); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestRecurrences(t *testing.T) {
+	// X(n) with M constant solves to Θ(√n L): quadrupling n doubles X.
+	m := memory.MConst(1)
+	x1 := XRecurrence(1024, 32, m, 1, 1)
+	x4 := XRecurrence(4096, 32, m, 1, 1)
+	if r := x4 / x1; r < 1.9 || r > 2.1 {
+		t.Errorf("X recurrence ratio %.2f, want 2", r)
+	}
+	// With M(n)=n it becomes linear.
+	xm1 := XRecurrence(1024, 32, memory.MLinear(), 1, 1)
+	xm4 := XRecurrence(4096, 32, memory.MLinear(), 1, 1)
+	if r := xm4 / xm1; r < 3.0 {
+		t.Errorf("X with M=n ratio %.2f, want near 4", r)
+	}
+	// U(n) with C=L beats X(n) for large n.
+	u := URecurrence(4096, 32, 32, m, 1, 1)
+	if u >= x4 {
+		t.Errorf("U(4096)=%.0f should beat X(4096)=%.0f", u, x4)
+	}
+}
+
+func TestThreeD(t *testing.T) {
+	m := memory.MConst(1)
+	// Hybrid 3D optimal cluster is Θ(L^{3/4}).
+	h := Hybrid3D(4096, 256, m)
+	if h.Cluster < 32 || h.Cluster > 128 { // 256^{3/4} = 64
+		t.Errorf("3D optimal cluster %d, want about 64", h.Cluster)
+	}
+	// Volumes: hybrid n·L^{3/4} beats UltraI n·L^{3/2} at large L.
+	u1 := UltraI3D(4096, 256, m)
+	if h.Volume >= u1.Volume {
+		t.Errorf("3D hybrid volume %.3g should beat UltraI %.3g", h.Volume, u1.Volume)
+	}
+	// UltraII 3D volume is Θ(n²+L²).
+	u2a := UltraII3D(1024, 32, m)
+	u2b := UltraII3D(2048, 32, m)
+	if r := u2b.Volume / u2a.Volume; r < 3.9 || r > 4.1 {
+		t.Errorf("UltraII 3D volume ratio %.2f, want 4", r)
+	}
+	for _, v := range []Volume3D{u1, u2a, h} {
+		if v.Wire <= 0 || v.Name == "" {
+			t.Errorf("bad 3D summary %+v", v)
+		}
+	}
+}
+
+func TestClockModel(t *testing.T) {
+	tech := Tech035()
+	md, err := UltraIModel(64, 32, 32, memory.MConst(1), tech, UltraIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.GateDelayPs(tech) <= 0 || md.WireDelayPs(tech) <= 0 {
+		t.Error("delays should be positive")
+	}
+	if md.ClockPs(tech) != md.GateDelayPs(tech)+md.WireDelayPs(tech) {
+		t.Error("clock should be the sum of gate and wire paths")
+	}
+	if md.DensityPerM2(tech) <= 0 {
+		t.Error("density should be positive")
+	}
+	if md.SideL() != math.Max(md.WidthL, md.HeightL) {
+		t.Error("SideL wrong")
+	}
+}
+
+// TestUltra2WrapDoublesArea: the Section 4 wrap-around remark ("nearly a
+// factor of two in area").
+func TestUltra2WrapDoublesArea(t *testing.T) {
+	tech := Tech035()
+	base, err := Ultra2Model(64, 32, 32, memory.MConst(1), tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrap, err := Ultra2WrapModel(64, 32, 32, memory.MConst(1), tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := wrap.AreaL2() / base.AreaL2()
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("wrap-around area ratio %.2f, want about 2", ratio)
+	}
+	if wrap.GateDelay != base.GateDelay {
+		t.Error("wrap variant keeps the grid's gate delay")
+	}
+	if _, err := Ultra2WrapModel(0, 8, 8, memory.MConst(1), tech, Ultra2Linear); err == nil {
+		t.Error("bad n should propagate the error")
+	}
+}
+
+// TestHybridGeometry: emitted hybrid blocks (clusters and channels) fit
+// in the bounding box without overlaps.
+func TestHybridGeometry(t *testing.T) {
+	tech := Tech035()
+	md, err := HybridModelBlocks(128, 32, 32, 32, memory.MConst(1), tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := 0
+	for _, r := range md.Blocks {
+		if r.X < -1e-6 || r.Y < -1e-6 || r.X+r.W > md.WidthL+1e-6 || r.Y+r.H > md.HeightL+1e-6 {
+			t.Errorf("block %s out of bounds (%.0f,%.0f %0.fx%.0f vs %.0fx%.0f)",
+				r.Name, r.X, r.Y, r.W, r.H, md.WidthL, md.HeightL)
+		}
+		if r.Name == "cluster" {
+			clusters++
+		}
+	}
+	if clusters != 4 {
+		t.Errorf("%d cluster blocks, want 4", clusters)
+	}
+	for i := 0; i < len(md.Blocks); i++ {
+		for j := i + 1; j < len(md.Blocks); j++ {
+			a, b := md.Blocks[i], md.Blocks[j]
+			if a.X < b.X+b.W-1e-6 && b.X < a.X+a.W-1e-6 &&
+				a.Y < b.Y+b.H-1e-6 && b.Y < a.Y+a.H-1e-6 {
+				t.Errorf("blocks %s and %s overlap", a.Name, b.Name)
+			}
+		}
+	}
+	// Plain HybridModel emits no blocks.
+	bare, _ := HybridModel(128, 32, 32, 32, memory.MConst(1), tech, Ultra2Linear)
+	if bare.Blocks != nil {
+		t.Error("plain model should not emit blocks")
+	}
+	// And the SVG renders the clusters.
+	svg := RenderSVG(md, tech)
+	if strings.Count(svg, "cluster") != 4 {
+		t.Error("SVG missing cluster rects")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	tech := Tech035()
+	md, err := UltraIModel(16, 8, 8, memory.MConst(1), tech, UltraIOptions{EmitBlocks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := RenderSVG(md, tech)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	if strings.Count(svg, "station") != 16 {
+		t.Errorf("want 16 station rects, got %d", strings.Count(svg, "station"))
+	}
+	if !strings.Contains(svg, "channel") {
+		t.Error("missing wiring channels")
+	}
+	// Without blocks, still a valid document.
+	bare, _ := Ultra2Model(8, 8, 8, memory.MConst(1), tech, Ultra2Linear)
+	if svg := RenderSVG(bare, tech); !strings.Contains(svg, "</svg>") {
+		t.Error("bare model should render too")
+	}
+}
+
+// TestUltraIAreaBreakdown: the wiring channels are a large share of the
+// Ultrascalar I layout — the paper's "each node of our H-tree floorplan
+// would require area comparable to the entire area of one of today's
+// processors" — and the share grows with L.
+func TestUltraIAreaBreakdown(t *testing.T) {
+	tech := Tech035()
+	share := func(l int) float64 {
+		md, err := UltraIModel(64, l, 32, memory.MConst(1), tech, UltraIOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md.StationAreaL2 <= 0 || md.ChannelAreaL2 <= 0 {
+			t.Fatal("breakdown missing")
+		}
+		return md.ChannelShare()
+	}
+	// The wiring channels dominate: both stations and channels are
+	// register-bundle-bound (∝ L), so the share is large at every L.
+	for _, l := range []int{8, 32, 64} {
+		if s := share(l); s < 0.4 || s > 0.95 {
+			t.Errorf("L=%d: channel share %.2f, want wiring-dominated layout", l, s)
+		}
+	}
+	// Models without the split report zero share.
+	u2, _ := Ultra2Model(16, 8, 8, memory.MConst(1), tech, Ultra2Linear)
+	if u2.ChannelShare() != 0 {
+		t.Error("UltraII model should report no split")
+	}
+}
+
+// TestNetlistAreaScaling: the register CSPP netlist's cell area grows
+// about linearly in n at fixed width, and the ALU's in W.
+func TestNetlistAreaScaling(t *testing.T) {
+	tech := Tech035()
+	a16 := NetlistArea(circuit.RegisterCSPP(16, 33, true), tech)
+	a64 := NetlistArea(circuit.RegisterCSPP(64, 33, true), tech)
+	if a16 <= 0 {
+		t.Fatal("area should be positive")
+	}
+	if r := a64 / a16; r < 3.5 || r > 5.5 {
+		t.Errorf("CSPP area ratio for 4x n = %.2f, want about 4 (plus log factor)", r)
+	}
+	alu16 := NetlistArea(circuit.ALU(16, true), tech)
+	alu32 := NetlistArea(circuit.ALU(32, true), tech)
+	if r := alu32 / alu16; r < 1.6 || r > 3.0 {
+		t.Errorf("ALU area ratio for 2x W = %.2f, want about 2", r)
+	}
+	// The netlist ALU area is the same order as the library's per-bit
+	// constant (ALUBitArea x W) — the two models agree.
+	libArea := float64(32) * tech.ALUBitArea
+	if alu32 < libArea/8 || alu32 > libArea*8 {
+		t.Errorf("netlist ALU area %.3g vs library model %.3g: more than 8x apart", alu32, libArea)
+	}
+}
+
+func TestUltra2ModeString(t *testing.T) {
+	if Ultra2Linear.String() != "linear" || Ultra2Tree.String() != "mesh-of-trees" ||
+		Ultra2Mixed.String() != "mixed" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,319 @@
+// Package workload provides programs for evaluating the Ultrascalar
+// processors: hand-written assembly kernels with known results, and
+// synthetic instruction-stream generators with controlled instruction-level
+// parallelism, memory intensity, and branch behaviour.
+package workload
+
+import (
+	"fmt"
+
+	"ultrascalar/internal/asm"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+)
+
+// Workload is a runnable program plus its initial data memory.
+type Workload struct {
+	Name        string
+	Description string
+	Prog        []isa.Inst
+	// InitMem returns a fresh copy of the initial data memory.
+	InitMem func() *memory.Flat
+}
+
+// Mem returns the initial memory (an empty one when InitMem is nil).
+func (w Workload) Mem() *memory.Flat {
+	if w.InitMem == nil {
+		return memory.NewFlat()
+	}
+	return w.InitMem()
+}
+
+func kernel(name, desc, src string) Workload {
+	return Workload{Name: name, Description: desc, Prog: asm.MustAssemble(src).Insts}
+}
+
+// Fib computes fib(k) iteratively into r3.
+func Fib(k int) Workload {
+	return kernel("fib", fmt.Sprintf("iterative fibonacci(%d)", k), fmt.Sprintf(`
+		li r1, %d     ; counter
+		li r2, 0      ; fib(i-1)
+		li r3, 1      ; fib(i)
+		beq r1, r0, done
+	loop:
+		add r4, r2, r3
+		mov r2, r3
+		mov r3, r4
+		addi r1, r1, -1
+		bne r1, r0, loop
+	done:
+		halt
+	`, k))
+}
+
+// VecSum sums k words starting at address base into r3.
+func VecSum(k int) Workload {
+	w := kernel("vecsum", fmt.Sprintf("sum of %d-element vector", k), fmt.Sprintf(`
+		li r1, 1000   ; base
+		li r2, %d     ; count
+		li r3, 0      ; sum
+	loop:
+		lw r4, (r1)
+		add r3, r3, r4
+		addi r1, r1, 1
+		addi r2, r2, -1
+		bne r2, r0, loop
+		halt
+	`, k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(i+1))
+		}
+		return m
+	}
+	return w
+}
+
+// DotProduct computes the dot product of two k-element vectors into r3.
+func DotProduct(k int) Workload {
+	w := kernel("dotprod", fmt.Sprintf("dot product of %d-element vectors", k), fmt.Sprintf(`
+		li r1, 1000   ; base a
+		li r2, 2000   ; base b
+		li r5, %d     ; count
+		li r3, 0      ; acc
+	loop:
+		lw r6, (r1)
+		lw r7, (r2)
+		mul r8, r6, r7
+		add r3, r3, r8
+		addi r1, r1, 1
+		addi r2, r2, 1
+		addi r5, r5, -1
+		bne r5, r0, loop
+		halt
+	`, k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(i+1))
+			m.Store(isa.Word(2000+i), isa.Word(2*i+1))
+		}
+		return m
+	}
+	return w
+}
+
+// MatMul multiplies two k×k matrices (row major at 1000 and 3000) into
+// 5000, with the classic triple loop.
+func MatMul(k int) Workload {
+	w := kernel("matmul", fmt.Sprintf("%dx%d matrix multiply", k, k), fmt.Sprintf(`
+		li r10, %d    ; k
+		li r1, 0      ; i
+	iloop:
+		li r2, 0      ; j
+	jloop:
+		li r3, 0      ; kk
+		li r4, 0      ; acc
+	kloop:
+		; a[i][kk] = mem[1000 + i*k + kk]
+		mul r5, r1, r10
+		add r5, r5, r3
+		addi r5, r5, 0
+		li r6, 1000
+		add r5, r5, r6
+		lw r7, (r5)
+		; b[kk][j] = mem[3000 + kk*k + j]
+		mul r5, r3, r10
+		add r5, r5, r2
+		li r6, 3000
+		add r5, r5, r6
+		lw r8, (r5)
+		mul r9, r7, r8
+		add r4, r4, r9
+		addi r3, r3, 1
+		bne r3, r10, kloop
+		; c[i][j] = mem[5000 + i*k + j]
+		mul r5, r1, r10
+		add r5, r5, r2
+		li r6, 5000
+		add r5, r5, r6
+		sw r4, (r5)
+		addi r2, r2, 1
+		bne r2, r10, jloop
+		addi r1, r1, 1
+		bne r1, r10, iloop
+		halt
+	`, k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k*k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(i%7+1))
+			m.Store(isa.Word(3000+i), isa.Word(i%5+1))
+		}
+		return m
+	}
+	return w
+}
+
+// BubbleSort sorts k words at 1000 ascending.
+func BubbleSort(k int) Workload {
+	w := kernel("sort", fmt.Sprintf("bubble sort of %d elements", k), fmt.Sprintf(`
+		li r10, %d      ; k
+		addi r9, r10, -1 ; outer = k-1
+	outer:
+		li r1, 0        ; i
+		li r8, 1000
+	inner:
+		lw r2, (r8)
+		lw r3, 1(r8)
+		bge r3, r2, noswap
+		sw r3, (r8)
+		sw r2, 1(r8)
+	noswap:
+		addi r8, r8, 1
+		addi r1, r1, 1
+		bne r1, r9, inner
+		addi r9, r9, -1
+		bne r9, r0, outer
+		halt
+	`, k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word((i*37+11)%97))
+		}
+		return m
+	}
+	return w
+}
+
+// GCD computes gcd(a, b) by repeated remainder into r1.
+func GCD(a, b int) Workload {
+	return kernel("gcd", fmt.Sprintf("gcd(%d,%d) by Euclid", a, b), fmt.Sprintf(`
+		li r1, %d
+		li r2, %d
+	loop:
+		beq r2, r0, done
+		rem r3, r1, r2
+		mov r1, r2
+		mov r2, r3
+		j loop
+	done:
+		halt
+	`, a, b))
+}
+
+// MemCopy copies k words from 1000 to 4000.
+func MemCopy(k int) Workload {
+	w := kernel("memcpy", fmt.Sprintf("copy %d words", k), fmt.Sprintf(`
+		li r1, 1000
+		li r2, 4000
+		li r3, %d
+	loop:
+		lw r4, (r1)
+		sw r4, (r2)
+		addi r1, r1, 1
+		addi r2, r2, 1
+		addi r3, r3, -1
+		bne r3, r0, loop
+		halt
+	`, k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(i*i+3))
+		}
+		return m
+	}
+	return w
+}
+
+// RepeatedScan sums the same k-word vector `passes` times — a workload
+// with temporal reuse, for the distributed cluster-cache experiment
+// (paper Section 7).
+func RepeatedScan(k, passes int) Workload {
+	w := kernel("rescan", fmt.Sprintf("%d passes over a %d-word vector", passes, k), fmt.Sprintf(`
+		li r1, %d     ; passes
+		li r5, 0      ; sum
+	outer:
+		li r2, 1000   ; base
+		li r3, %d     ; count
+	inner:
+		lw r4, (r2)
+		add r5, r5, r4
+		addi r2, r2, 1
+		addi r3, r3, -1
+		bne r3, r0, inner
+		addi r1, r1, -1
+		bne r1, r0, outer
+		halt
+	`, passes, k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(i+1))
+		}
+		return m
+	}
+	return w
+}
+
+// Collatz counts steps of the Collatz iteration from seed into r2.
+func Collatz(seed int) Workload {
+	return kernel("collatz", fmt.Sprintf("collatz steps from %d", seed), fmt.Sprintf(`
+		li r1, %d
+		li r2, 0     ; steps
+		li r5, 1
+		li r6, 2
+		li r7, 3
+	loop:
+		beq r1, r5, done
+		rem r3, r1, r6
+		beq r3, r0, even
+		mul r1, r1, r7
+		addi r1, r1, 1
+		j next
+	even:
+		div r1, r1, r6
+	next:
+		addi r2, r2, 1
+		j loop
+	done:
+		halt
+	`, seed))
+}
+
+// Figure3Sequence is the paper's eight-instruction example from Figures 1
+// and 3 (station 6 holds the first instruction in program order). Initial
+// register values are materialized by a prologue of LI instructions; the
+// simulators also accept a pre-set window for the exact Figure 3 timing
+// reproduction (see internal/core).
+func Figure3Sequence() Workload {
+	return kernel("figure3", "the paper's Figure 1/3 instruction sequence", `
+		div r3, r1, r2
+		add r0, r0, r3
+		add r1, r5, r6
+		add r1, r0, r1
+		mul r2, r5, r6
+		add r2, r2, r4
+		sub r0, r5, r6
+		add r4, r0, r7
+		halt
+	`)
+}
+
+// Kernels returns the standard kernel suite at moderate sizes, used by the
+// cross-validation tests and the IPC experiments.
+func Kernels() []Workload {
+	return []Workload{
+		Fib(20),
+		VecSum(50),
+		DotProduct(30),
+		MatMul(4),
+		BubbleSort(12),
+		GCD(1071, 462),
+		MemCopy(40),
+		Collatz(27),
+	}
+}

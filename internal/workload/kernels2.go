@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"fmt"
+
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+)
+
+// Additional kernels broadening the evaluation suite: search, checksums,
+// array manipulation and a sieve, covering pointer-chasing, data-
+// dependent branching and mixed integer work.
+
+// BinarySearch searches a sorted k-word array at 1000 for target,
+// leaving the index in r10 (or -1).
+func BinarySearch(k, target int) Workload {
+	w := kernel("bsearch", fmt.Sprintf("binary search of %d elements", k), fmt.Sprintf(`
+		li r1, 0       ; lo
+		li r2, %d      ; hi (exclusive)
+		li r3, %d      ; target
+		li r10, -1     ; result
+		li r9, 1000    ; base
+		li r8, 2
+	loop:
+		bge r1, r2, done
+		add r4, r1, r2
+		div r4, r4, r8 ; mid
+		add r5, r9, r4
+		lw r6, (r5)
+		beq r6, r3, found
+		blt r6, r3, right
+		mov r2, r4     ; hi = mid
+		j loop
+	right:
+		addi r1, r4, 1 ; lo = mid+1
+		j loop
+	found:
+		mov r10, r4
+	done:
+		halt
+	`, k, target))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(3*i+1))
+		}
+		return m
+	}
+	return w
+}
+
+// Checksum computes a rotating-XOR checksum over k words into r3.
+func Checksum(k int) Workload {
+	w := kernel("checksum", fmt.Sprintf("rotate-xor checksum of %d words", k), fmt.Sprintf(`
+		li r1, 1000
+		li r2, %d
+		li r3, 0
+		li r6, 1
+		li r7, 31
+	loop:
+		lw r4, (r1)
+		; r3 = rotl(r3, 1) ^ r4
+		sll r5, r3, r6
+		srl r8, r3, r7
+		or r3, r5, r8
+		xor r3, r3, r4
+		addi r1, r1, 1
+		addi r2, r2, -1
+		bne r2, r0, loop
+		halt
+	`, k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(i*2654435761))
+		}
+		return m
+	}
+	return w
+}
+
+// Reverse reverses a k-word array at 1000 in place.
+func Reverse(k int) Workload {
+	w := kernel("reverse", fmt.Sprintf("reverse %d words in place", k), fmt.Sprintf(`
+		li r1, 1000        ; left
+		li r2, %d          ; right
+	loop:
+		bge r1, r2, done
+		lw r3, (r1)
+		lw r4, (r2)
+		sw r4, (r1)
+		sw r3, (r2)
+		addi r1, r1, 1
+		addi r2, r2, -1
+		j loop
+	done:
+		halt
+	`, 1000+k-1))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(i+1))
+		}
+		return m
+	}
+	return w
+}
+
+// Sieve marks composites up to k (memory at 2000+i holds 1 if composite)
+// and counts primes >= 2 into r10.
+func Sieve(k int) Workload {
+	return kernel("sieve", fmt.Sprintf("prime sieve up to %d", k), fmt.Sprintf(`
+		li r9, %d
+		li r1, 2        ; i
+	outer:
+		mul r2, r1, r1
+		blt r9, r2, count
+		li r3, 2000
+		add r3, r3, r1
+		lw r4, (r3)
+		bne r4, r0, next ; already composite
+		; mark multiples i*i, i*i+i, ...
+		mov r5, r2      ; m = i*i
+	mark:
+		blt r9, r5, next
+		li r6, 2000
+		add r6, r6, r5
+		li r7, 1
+		sw r7, (r6)
+		add r5, r5, r1
+		j mark
+	next:
+		addi r1, r1, 1
+		j outer
+	count:
+		li r10, 0
+		li r1, 2
+	cloop:
+		blt r9, r1, done
+		li r3, 2000
+		add r3, r3, r1
+		lw r4, (r3)
+		bne r4, r0, cnext
+		addi r10, r10, 1
+	cnext:
+		addi r1, r1, 1
+		j cloop
+	done:
+		halt
+	`, k))
+}
+
+// PopCountLoop counts the set bits of k words into r3 (software popcount,
+// heavy on data-dependent branches).
+func PopCountLoop(k int) Workload {
+	w := kernel("popcount", fmt.Sprintf("software popcount of %d words", k), fmt.Sprintf(`
+		li r1, 1000
+		li r2, %d
+		li r3, 0
+		li r7, 1
+	loop:
+		lw r4, (r1)
+	bits:
+		beq r4, r0, nextw
+		and r5, r4, r7
+		add r3, r3, r5
+		srl r4, r4, r7
+		j bits
+	nextw:
+		addi r1, r1, 1
+		addi r2, r2, -1
+		bne r2, r0, loop
+		halt
+	`, k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word(i*0x9E3779B9+7))
+		}
+		return m
+	}
+	return w
+}
+
+// QuickSort sorts k words at 1000 with genuinely recursive quicksort:
+// a software call stack at 8000 (stack pointer r29), call/ret through
+// r31, Lomuto partition. It stresses JAL/JALR, the return-target BTB and
+// deep speculation.
+func QuickSort(k int) Workload {
+	w := kernel("quicksort", fmt.Sprintf("recursive quicksort of %d elements", k), fmt.Sprintf(`
+		li r29, 8000        ; stack pointer (grows up)
+		li r1, 1000         ; lo
+		li r2, %d           ; hi (inclusive)
+		call qsort
+		halt
+
+	; qsort(lo=r1, hi=r2), clobbers r3-r10
+	qsort:
+		bge r1, r2, qret    ; size <= 1
+		; save lo, hi, return address
+		sw r1, 0(r29)
+		sw r2, 1(r29)
+		sw r31, 2(r29)
+		addi r29, r29, 3
+		; partition: pivot = a[hi]; i = lo-1
+		lw r3, (r2)         ; pivot
+		addi r4, r1, -1     ; i
+		mov r5, r1          ; j
+	ploop:
+		bge r5, r2, pdone   ; j < hi
+		lw r6, (r5)
+		bgt r6, r3, pskip   ; a[j] <= pivot?
+		inc r4
+		lw r7, (r4)
+		sw r6, (r4)
+		sw r7, (r5)
+	pskip:
+		inc r5
+		j ploop
+	pdone:
+		inc r4              ; pivot position p
+		lw r7, (r4)
+		sw r3, (r4)
+		sw r7, (r2)
+		; left recursion: qsort(lo, p-1); push p first (frame is now
+		; [lo hi ra p], sp = base+4)
+		sw r4, 0(r29)
+		addi r29, r29, 1
+		addi r2, r4, -1
+		call qsort
+		; pop p, reload hi from the frame, recurse right: qsort(p+1, hi)
+		addi r29, r29, -1
+		lw r4, 0(r29)       ; p   (base+3)
+		lw r2, -2(r29)      ; hi  (base+1)
+		addi r1, r4, 1
+		call qsort
+		; epilogue: restore ra, lo, hi and pop the frame
+		addi r29, r29, -3
+		lw r31, 2(r29)
+		lw r1, 0(r29)
+		lw r2, 1(r29)
+	qret:
+		ret
+	`, 1000+k-1))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			m.Store(isa.Word(1000+i), isa.Word((i*131+37)%251))
+		}
+		return m
+	}
+	return w
+}
+
+// Hanoi counts the moves of an n-disk Towers of Hanoi solved recursively
+// (call stack at 8000, counter in r10): 2^n - 1 moves.
+func Hanoi(n int) Workload {
+	return kernel("hanoi", fmt.Sprintf("towers of hanoi, %d disks", n), fmt.Sprintf(`
+		li r29, 8000
+		li r1, %d       ; disks
+		li r10, 0       ; moves
+		call hanoi
+		halt
+	; hanoi(n=r1): if n == 0 return; hanoi(n-1); move++; hanoi(n-1)
+	hanoi:
+		beq r1, r0, hret
+		sw r1, 0(r29)
+		sw r31, 1(r29)
+		addi r29, r29, 2
+		addi r1, r1, -1
+		call hanoi
+		inc r10
+		lw r1, -2(r29)  ; reload n
+		addi r1, r1, -1
+		call hanoi
+		addi r29, r29, -2
+		lw r31, 1(r29)
+		lw r1, 0(r29)
+	hret:
+		ret
+	`, n))
+}
+
+// ExtendedKernels returns the broadened suite: the standard kernels plus
+// the search/checksum/array workloads.
+func ExtendedKernels() []Workload {
+	return append(Kernels(),
+		BinarySearch(64, 3*41+1),
+		Checksum(40),
+		Reverse(25),
+		Sieve(60),
+		PopCountLoop(12),
+		RepeatedScan(16, 6),
+		JumpyLoop(30),
+		QuickSort(24),
+		Hanoi(7),
+		PointerChase(32, 5),
+	)
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math/bits"
+	"testing"
+
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/ref"
+)
+
+// coreRun executes a workload on the engine and returns its cycle count.
+func coreRun(w Workload, window int) (int64, error) {
+	res, err := core.Run(w.Prog, w.Mem(), core.Config{Window: window, Granularity: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.Stats.Cycles, nil
+}
+
+func TestBinarySearchFinds(t *testing.T) {
+	// Array holds 3i+1; search for i=41's value.
+	res := runRef(t, BinarySearch(64, 3*41+1))
+	if res.Regs[10] != 41 {
+		t.Errorf("found index %d, want 41", int32(res.Regs[10]))
+	}
+}
+
+func TestBinarySearchMisses(t *testing.T) {
+	res := runRef(t, BinarySearch(64, 2)) // 2 is not of the form 3i+1
+	if int32(res.Regs[10]) != -1 {
+		t.Errorf("found index %d, want -1", int32(res.Regs[10]))
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	res := runRef(t, Checksum(40))
+	var want isa.Word
+	for i := 0; i < 40; i++ {
+		want = bits.RotateLeft32(want, 1) ^ isa.Word(i*2654435761)
+	}
+	if res.Regs[3] != want {
+		t.Errorf("checksum %#x, want %#x", res.Regs[3], want)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	k := 25
+	res := runRef(t, Reverse(k))
+	for i := 0; i < k; i++ {
+		if got := res.Mem.Load(isa.Word(1000 + i)); got != isa.Word(k-i) {
+			t.Errorf("a[%d] = %d, want %d", i, got, k-i)
+		}
+	}
+}
+
+func TestSieve(t *testing.T) {
+	res := runRef(t, Sieve(60))
+	// Primes <= 60: 2,3,5,7,11,13,17,19,23,29,31,37,41,43,47,53,59 = 17.
+	if res.Regs[10] != 17 {
+		t.Errorf("primes = %d, want 17", res.Regs[10])
+	}
+}
+
+func TestPopCountLoop(t *testing.T) {
+	res := runRef(t, PopCountLoop(12))
+	want := 0
+	for i := 0; i < 12; i++ {
+		want += bits.OnesCount32(uint32(i*0x9E3779B9 + 7))
+	}
+	if res.Regs[3] != isa.Word(want) {
+		t.Errorf("popcount %d, want %d", res.Regs[3], want)
+	}
+}
+
+func TestQuickSort(t *testing.T) {
+	k := 24
+	res := runRef(t, QuickSort(k))
+	prev := isa.Word(0)
+	var gotSum, wantSum isa.Word
+	for i := 0; i < k; i++ {
+		v := res.Mem.Load(isa.Word(1000 + i))
+		if v < prev {
+			t.Fatalf("not sorted at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+		gotSum += v
+		wantSum += isa.Word((i*131 + 37) % 251)
+	}
+	if gotSum != wantSum {
+		t.Errorf("element sum changed: %d != %d", gotSum, wantSum)
+	}
+}
+
+func TestHanoi(t *testing.T) {
+	res := runRef(t, Hanoi(7))
+	if res.Regs[10] != 127 { // 2^7 - 1
+		t.Errorf("hanoi moves = %d, want 127", res.Regs[10])
+	}
+}
+
+func TestPointerChase(t *testing.T) {
+	k := 32
+	res := runRef(t, PointerChase(k, 5))
+	if res.Regs[3] != isa.Word(k*(k+1)/2) {
+		t.Errorf("chase sum = %d, want %d", res.Regs[3], k*(k+1)/2)
+	}
+	if res.Loads != 2*k {
+		t.Errorf("loads = %d, want %d", res.Loads, 2*k)
+	}
+}
+
+// TestPointerChaseLatencyBound: a big window barely helps the chase — the
+// serial address chain bounds throughput.
+func TestPointerChaseLatencyBound(t *testing.T) {
+	w := PointerChase(64, 7)
+	small, err := ref.Run(w.Prog, w.Mem(), ref.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = small
+	cyc := func(n int) int64 {
+		res, err := coreRun(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Once the window holds a whole iteration, growing it buys nothing:
+	// the serial next-pointer chain (64 loads x 2-cycle latency) is the
+	// bound.
+	c16, c64 := cyc(16), cyc(64)
+	if float64(c64) < 0.95*float64(c16) {
+		t.Errorf("window 64 (%d cycles) should not beat window 16 (%d) on a chase", c64, c16)
+	}
+	if c64 < 2*64 {
+		t.Errorf("cycles %d below the serial latency bound %d", c64, 2*64)
+	}
+}
+
+func TestExtendedKernelsRun(t *testing.T) {
+	ws := ExtendedKernels()
+	if len(ws) < 14 {
+		t.Fatalf("extended suite has %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		res := runRef(t, w)
+		if res.Executed == 0 {
+			t.Errorf("%s executed nothing", w.Name)
+		}
+	}
+}

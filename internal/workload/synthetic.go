@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+)
+
+// Synthetic instruction-stream generators. These produce straight-line
+// programs (terminated by HALT) whose dependence structure is controlled,
+// for the ILP and self-timed-locality experiments (paper Section 7).
+
+// Chain generates a serial dependence chain of length k: every instruction
+// consumes the previous one's result, so ILP is 1 regardless of window
+// size.
+func Chain(k int) Workload {
+	prog := []isa.Inst{{Op: isa.OpLi, Rd: 1, Imm: 1}}
+	for i := 0; i < k; i++ {
+		prog = append(prog, isa.Inst{Op: isa.OpAddi, Rd: 1, Rs1: 1, Imm: 1})
+	}
+	prog = append(prog, isa.Inst{Op: isa.OpHalt})
+	return Workload{
+		Name:        "chain",
+		Description: fmt.Sprintf("serial dependence chain of %d adds", k),
+		Prog:        prog,
+	}
+}
+
+// Parallel generates k mutually independent instructions spread over nregs
+// registers: ILP is limited only by the window.
+func Parallel(k, nregs int) Workload {
+	prog := make([]isa.Inst, 0, k+2)
+	for i := 0; i < k; i++ {
+		rd := uint8(1 + i%(nregs-1))
+		prog = append(prog, isa.Inst{Op: isa.OpLi, Rd: rd, Imm: int32(i)})
+	}
+	prog = append(prog, isa.Inst{Op: isa.OpHalt})
+	return Workload{
+		Name:        "parallel",
+		Description: fmt.Sprintf("%d independent instructions", k),
+		Prog:        prog,
+	}
+}
+
+// MixedILP generates k instructions where each reads registers written a
+// bounded distance back, yielding a tunable dependence structure: distance
+// 1 approximates Chain, large distances approximate Parallel.
+func MixedILP(k, nregs, maxDist int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	prog := make([]isa.Inst, 0, k+nregs+1)
+	for r := 1; r < nregs; r++ {
+		prog = append(prog, isa.Inst{Op: isa.OpLi, Rd: uint8(r), Imm: int32(r)})
+	}
+	// writer[r] is the index of the last instruction writing r.
+	ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpXor, isa.OpOr, isa.OpAnd, isa.OpMul}
+	for i := 0; i < k; i++ {
+		idx := len(prog)
+		// Choose sources among registers written within maxDist.
+		lo := idx - maxDist
+		if lo < 0 {
+			lo = 0
+		}
+		pick := func() uint8 {
+			j := lo + rng.Intn(idx-lo)
+			if d, ok := prog[j].Writes(); ok && d != 0 {
+				return d
+			}
+			return uint8(1 + rng.Intn(nregs-1))
+		}
+		prog = append(prog, isa.Inst{
+			Op:  ops[rng.Intn(len(ops))],
+			Rd:  uint8(1 + rng.Intn(nregs-1)),
+			Rs1: pick(),
+			Rs2: pick(),
+		})
+	}
+	prog = append(prog, isa.Inst{Op: isa.OpHalt})
+	return Workload{
+		Name:        "mixed-ilp",
+		Description: fmt.Sprintf("%d instructions, dependence distance <= %d", k, maxDist),
+		Prog:        prog,
+	}
+}
+
+// MemStream generates k alternating store/load pairs over a linear address
+// stream: one memory operation per two instructions, exercising the
+// fat-tree and the load/store serialization CSPPs.
+func MemStream(k int) Workload {
+	prog := []isa.Inst{
+		{Op: isa.OpLi, Rd: 1, Imm: 1000}, // base
+		{Op: isa.OpLi, Rd: 2, Imm: 7},    // value
+	}
+	for i := 0; i < k; i++ {
+		prog = append(prog,
+			isa.Inst{Op: isa.OpSw, Rs1: 1, Rs2: 2, Imm: int32(i)},
+			isa.Inst{Op: isa.OpLw, Rd: 3, Rs1: 1, Imm: int32(i)},
+		)
+	}
+	prog = append(prog, isa.Inst{Op: isa.OpHalt})
+	return Workload{
+		Name:        "memstream",
+		Description: fmt.Sprintf("%d store/load pairs over a linear stream", k),
+		Prog:        prog,
+	}
+}
+
+// LoadBurst generates k independent loads from consecutive addresses: the
+// pure bandwidth workload for the M(n) experiments (every instruction is a
+// memory operation).
+func LoadBurst(k, nregs int) Workload {
+	prog := []isa.Inst{{Op: isa.OpLi, Rd: 1, Imm: 1000}}
+	for i := 0; i < k; i++ {
+		rd := uint8(2 + i%(nregs-2))
+		prog = append(prog, isa.Inst{Op: isa.OpLw, Rd: rd, Rs1: 1, Imm: int32(i)})
+	}
+	prog = append(prog, isa.Inst{Op: isa.OpHalt})
+	w := Workload{
+		Name:        "loadburst",
+		Description: fmt.Sprintf("%d independent loads", k),
+		Prog:        prog,
+	}
+	return w
+}
+
+// JumpyLoop generates a counted loop whose body is split by always-taken
+// forward jumps. Execution can sustain one iteration per cycle, but a
+// conventional block fetcher needs one cycle per taken transfer — three
+// per iteration — so fetch bandwidth, not ILP, becomes the bottleneck.
+// This is the workload shape that motivates the trace cache the paper
+// cites for feeding a wide window.
+func JumpyLoop(iters int) Workload {
+	return kernel("jumpy", fmt.Sprintf("%d iterations split by taken jumps", iters),
+		fmt.Sprintf(`
+		li r1, %d
+	loop:
+		add r2, r2, r3
+		add r4, r4, r5
+		j b1
+		nop           ; skipped: makes the jump a real taken transfer
+		nop
+	b1:
+		add r6, r6, r7
+		add r8, r8, r9
+		j b2
+		nop
+		nop
+	b2:
+		add r10, r10, r11
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt
+	`, iters))
+}
+
+// PointerChase builds a shuffled singly-linked list of k nodes and walks
+// it, summing payloads into r3. Every load's address depends on the
+// previous load — the latency-bound workload where no amount of window,
+// bandwidth or renaming helps, only memory latency.
+func PointerChase(k int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(k)
+	// node i lives at base + 2*perm[i]: [next, payload].
+	const base = 1000
+	w := kernel("ptrchase", fmt.Sprintf("walk a %d-node shuffled linked list", k), fmt.Sprintf(`
+		li r1, %d      ; current node address
+		li r2, %d      ; count
+		li r3, 0       ; sum
+	loop:
+		lw r4, 1(r1)   ; payload
+		add r3, r3, r4
+		lw r1, 0(r1)   ; next
+		addi r2, r2, -1
+		bne r2, r0, loop
+		halt
+	`, base+2*perm[0], k))
+	w.InitMem = func() *memory.Flat {
+		m := memory.NewFlat()
+		for i := 0; i < k; i++ {
+			addr := isa.Word(base + 2*perm[i])
+			next := isa.Word(base + 2*perm[(i+1)%k])
+			m.Store(addr, next)
+			m.Store(addr+1, isa.Word(i+1))
+		}
+		return m
+	}
+	return w
+}
+
+// Branchy generates a loop whose body branches on a data-dependent
+// condition; predictable selects a fixed pattern (period two) versus a
+// pseudo-random one.
+func Branchy(iters int, predictable bool) Workload {
+	// r1 counts down; r2 alternates (predictable) or follows a linear
+	// congruential sequence (unpredictable); r3 accumulates.
+	cond := "rem r4, r2, r6" // r4 = r2 % 2
+	step := "addi r2, r2, 1"
+	if !predictable {
+		step = "mul r2, r2, r7\naddi r2, r2, 12345\n" // LCG-ish
+	}
+	src := fmt.Sprintf(`
+		li r1, %d
+		li r2, 1
+		li r3, 0
+		li r6, 2
+		li32 r7, 1103515245
+	loop:
+		%s
+		%s
+		beq r4, r0, even
+		addi r3, r3, 1
+		j next
+	even:
+		addi r3, r3, 2
+	next:
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt
+	`, iters, step, cond)
+	name := "branchy-predictable"
+	if !predictable {
+		name = "branchy-random"
+	}
+	return kernel(name, fmt.Sprintf("%d data-dependent branches", iters), src)
+}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"testing"
+
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/ref"
+)
+
+func runRef(t *testing.T, w Workload) *ref.Result {
+	t.Helper()
+	res, err := ref.Run(w.Prog, w.Mem(), ref.Config{})
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res
+}
+
+func TestFib(t *testing.T) {
+	res := runRef(t, Fib(20))
+	// fib with fib(0)=1 convention after k decrements: sequence 1,1,2,...
+	// Fib(20) leaves the 21st Fibonacci number (1-indexed from 1) in r3.
+	want := []isa.Word{1, 1}
+	for len(want) <= 21 {
+		want = append(want, want[len(want)-1]+want[len(want)-2])
+	}
+	if res.Regs[3] != want[20] {
+		t.Errorf("fib r3 = %d, want %d", res.Regs[3], want[20])
+	}
+}
+
+func TestVecSum(t *testing.T) {
+	res := runRef(t, VecSum(50))
+	if res.Regs[3] != 50*51/2 {
+		t.Errorf("vecsum = %d, want %d", res.Regs[3], 50*51/2)
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	res := runRef(t, DotProduct(30))
+	var want isa.Word
+	for i := 0; i < 30; i++ {
+		want += isa.Word((i + 1) * (2*i + 1))
+	}
+	if res.Regs[3] != want {
+		t.Errorf("dotprod = %d, want %d", res.Regs[3], want)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	k := 4
+	res := runRef(t, MatMul(k))
+	a := func(i, j int) int { return (i*k+j)%7 + 1 }
+	b := func(i, j int) int { return (i*k+j)%5 + 1 }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			want := 0
+			for kk := 0; kk < k; kk++ {
+				want += a(i, kk) * b(kk, j)
+			}
+			got := res.Mem.Load(isa.Word(5000 + i*k + j))
+			if got != isa.Word(want) {
+				t.Errorf("c[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestBubbleSort(t *testing.T) {
+	k := 12
+	res := runRef(t, BubbleSort(k))
+	prev := isa.Word(0)
+	for i := 0; i < k; i++ {
+		v := res.Mem.Load(isa.Word(1000 + i))
+		if v < prev {
+			t.Fatalf("not sorted at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+	}
+	// Same multiset: compare sums.
+	var gotSum, wantSum isa.Word
+	for i := 0; i < k; i++ {
+		gotSum += res.Mem.Load(isa.Word(1000 + i))
+		wantSum += isa.Word((i*37 + 11) % 97)
+	}
+	if gotSum != wantSum {
+		t.Errorf("element sum changed: %d != %d", gotSum, wantSum)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	res := runRef(t, GCD(1071, 462))
+	if res.Regs[1] != 21 {
+		t.Errorf("gcd = %d, want 21", res.Regs[1])
+	}
+}
+
+func TestMemCopy(t *testing.T) {
+	k := 40
+	res := runRef(t, MemCopy(k))
+	for i := 0; i < k; i++ {
+		if got := res.Mem.Load(isa.Word(4000 + i)); got != isa.Word(i*i+3) {
+			t.Errorf("copy[%d] = %d, want %d", i, got, i*i+3)
+		}
+	}
+}
+
+func TestRepeatedScan(t *testing.T) {
+	res := runRef(t, RepeatedScan(16, 5))
+	want := isa.Word(5 * 16 * 17 / 2)
+	if res.Regs[5] != want {
+		t.Errorf("rescan sum = %d, want %d", res.Regs[5], want)
+	}
+	if res.Loads != 5*16 {
+		t.Errorf("loads = %d, want %d", res.Loads, 5*16)
+	}
+}
+
+func TestJumpyLoop(t *testing.T) {
+	res := runRef(t, JumpyLoop(10))
+	// Six adds per iteration on distinct registers; r1 counts to zero.
+	if res.Regs[1] != 0 {
+		t.Errorf("counter = %d, want 0", res.Regs[1])
+	}
+	if res.Executed < 10*8 {
+		t.Errorf("executed %d, want at least 80", res.Executed)
+	}
+}
+
+func TestCollatz(t *testing.T) {
+	res := runRef(t, Collatz(27))
+	if res.Regs[2] != 111 { // well-known: 27 reaches 1 in 111 steps
+		t.Errorf("collatz(27) steps = %d, want 111", res.Regs[2])
+	}
+}
+
+func TestFigure3Sequence(t *testing.T) {
+	w := Figure3Sequence()
+	if len(w.Prog) != 9 { // 8 instructions + halt
+		t.Fatalf("figure3 has %d instructions", len(w.Prog))
+	}
+	if w.Prog[0].Op != isa.OpDiv || w.Prog[4].Op != isa.OpMul {
+		t.Error("figure3 sequence mismatched")
+	}
+}
+
+func TestChainSerial(t *testing.T) {
+	res := runRef(t, Chain(100))
+	if res.Regs[1] != 101 {
+		t.Errorf("chain r1 = %d, want 101", res.Regs[1])
+	}
+}
+
+func TestParallelIndependent(t *testing.T) {
+	w := Parallel(64, 32)
+	// No instruction (other than the implicit fetch order) depends on any
+	// other: all sources are absent (LI reads nothing).
+	for _, in := range w.Prog {
+		if len(in.Reads()) != 0 {
+			t.Fatalf("parallel workload has a reading instruction: %v", in)
+		}
+	}
+	runRef(t, w)
+}
+
+func TestMixedILPRespectsDistance(t *testing.T) {
+	w := MixedILP(200, 16, 4, 42)
+	res := runRef(t, w)
+	if res.Executed != len(w.Prog) {
+		t.Errorf("executed %d, want %d (straight line)", res.Executed, len(w.Prog))
+	}
+	// Determinism: same seed, same program.
+	w2 := MixedILP(200, 16, 4, 42)
+	for i := range w.Prog {
+		if w.Prog[i] != w2.Prog[i] {
+			t.Fatal("MixedILP not deterministic for equal seeds")
+		}
+	}
+	w3 := MixedILP(200, 16, 4, 43)
+	same := true
+	for i := range w.Prog {
+		if w.Prog[i] != w3.Prog[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMemStream(t *testing.T) {
+	res := runRef(t, MemStream(20))
+	if res.Loads != 20 || res.Stores != 20 {
+		t.Errorf("loads %d stores %d, want 20/20", res.Loads, res.Stores)
+	}
+	if res.Mem.Load(1005) != 7 {
+		t.Errorf("mem[1005] = %d, want 7", res.Mem.Load(1005))
+	}
+}
+
+func TestLoadBurst(t *testing.T) {
+	w := LoadBurst(30, 32)
+	res := runRef(t, w)
+	if res.Loads != 30 {
+		t.Errorf("loads = %d, want 30", res.Loads)
+	}
+}
+
+func TestBranchy(t *testing.T) {
+	p := runRef(t, Branchy(50, true))
+	r := runRef(t, Branchy(50, false))
+	if p.Branches < 50 || r.Branches < 50 {
+		t.Errorf("branch counts %d/%d too low", p.Branches, r.Branches)
+	}
+	// The accumulator counts 1 per odd parity, 2 per even parity over 50
+	// iterations; both must halt with a plausible total.
+	if p.Regs[3] < 50 || p.Regs[3] > 100 {
+		t.Errorf("predictable branchy r3 = %d out of range", p.Regs[3])
+	}
+}
+
+func TestKernelsSuiteRuns(t *testing.T) {
+	for _, w := range Kernels() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res := runRef(t, w)
+			if res.Executed == 0 {
+				t.Error("no instructions executed")
+			}
+			if w.Description == "" {
+				t.Error("missing description")
+			}
+		})
+	}
+}
+
+func TestWorkloadMemDefault(t *testing.T) {
+	w := Workload{Name: "x"}
+	if w.Mem() == nil || w.Mem().Len() != 0 {
+		t.Error("default memory should be empty, non-nil")
+	}
+	// Mem returns fresh copies.
+	v := VecSum(3)
+	m1, m2 := v.Mem(), v.Mem()
+	m1.Store(1000, 99)
+	if m2.Load(1000) == 99 {
+		t.Error("Mem must return independent copies")
+	}
+	_ = memory.NewFlat()
+}

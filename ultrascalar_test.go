@@ -1,0 +1,295 @@
+package ultrascalar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstart(t *testing.T) {
+	prog, err := Assemble(`
+		li r1, 6
+		li r2, 7
+		mul r3, r1, r2
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []Arch{UltraI, UltraII, Hybrid} {
+		p, err := New(arch, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(prog.Insts, NewMemory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regs[3] != 42 {
+			t.Errorf("%s: r3 = %d, want 42", arch, res.Regs[3])
+		}
+	}
+}
+
+func TestArchNames(t *testing.T) {
+	if UltraI.String() == "" || UltraII.String() == "" || Hybrid.String() == "" {
+		t.Error("arch names empty")
+	}
+	if !strings.Contains(Arch(99).String(), "99") {
+		t.Error("unknown arch should render its number")
+	}
+}
+
+func TestClusterSizes(t *testing.T) {
+	p1, _ := New(UltraI, 64)
+	p2, _ := New(UltraII, 64)
+	ph, _ := New(Hybrid, 64, WithClusterSize(16))
+	if p1.ClusterSize() != 1 || p2.ClusterSize() != 64 || ph.ClusterSize() != 16 {
+		t.Errorf("cluster sizes %d/%d/%d", p1.ClusterSize(), p2.ClusterSize(), ph.ClusterSize())
+	}
+	// Default hybrid cluster is min(L, n) — the paper's C = L.
+	phd, _ := New(Hybrid, 64)
+	if phd.ClusterSize() != 32 {
+		t.Errorf("default cluster %d, want 32", phd.ClusterSize())
+	}
+	small, _ := New(Hybrid, 8)
+	if small.ClusterSize() != 8 {
+		t.Errorf("default cluster for n=8 is %d, want 8", small.ClusterSize())
+	}
+}
+
+func TestOptions(t *testing.T) {
+	prog, _ := Assemble("lw r1, 0(r0)\nhalt")
+	mem := NewMemory()
+	mem.Store(0, 99)
+	p, err := New(UltraI, 16,
+		WithRegisters(16),
+		WithRegisterWidth(16),
+		WithBandwidth(ConstBandwidth(2)),
+		WithMemoryTiming(),
+		WithPredictor(GShare(8, 4)),
+		WithLatencies(DefaultLatencies()),
+		WithTimeline(),
+		WithMaxCycles(100000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(prog.Insts, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[1] != 99 {
+		t.Errorf("r1 = %d, want 99", res.Regs[1])
+	}
+	if len(res.Timeline) == 0 {
+		t.Error("timeline requested but empty")
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	if _, err := New(UltraI, 0); err == nil {
+		t.Error("window 0 should fail")
+	}
+	if _, err := New(Hybrid, 8, WithClusterSize(3)); err == nil {
+		t.Error("cluster not dividing window should fail")
+	}
+	if _, err := New(Hybrid, 8, WithClusterSize(0)); err == nil {
+		t.Error("cluster 0 should fail")
+	}
+	if _, err := New(UltraII, 8, WithUltra2Mode(5)); err == nil {
+		t.Error("bad mode should fail")
+	}
+	if _, err := New(UltraI, 8, WithRegisterWidth(0)); err == nil {
+		t.Error("width 0 should fail")
+	}
+}
+
+func TestPhysicalModels(t *testing.T) {
+	tech := DefaultTech()
+	for _, tc := range []struct {
+		arch Arch
+		opts []Option
+	}{
+		{UltraI, nil},
+		{UltraII, nil},
+		{UltraII, []Option{WithUltra2Mode(1)}},
+		{UltraII, []Option{WithUltra2Mode(2)}},
+		{Hybrid, []Option{WithClusterSize(32)}},
+	} {
+		p, err := New(tc.arch, 64, tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, err := p.Physical(tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md.AreaL2() <= 0 || md.GateDelay <= 0 || md.MaxWireL <= 0 {
+			t.Errorf("%s: implausible model %+v", tc.arch, md)
+		}
+	}
+}
+
+func TestReferenceAgreesWithProcessors(t *testing.T) {
+	for _, w := range Kernels() {
+		want, err := Reference(w.Prog, w.Mem())
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		p, _ := New(Hybrid, 32, WithClusterSize(8))
+		got, err := p.Run(w.Prog, w.Mem())
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for r := range want {
+			if got.Regs[r] != want[r] {
+				t.Errorf("%s: r%d = %d, want %d", w.Name, r, got.Regs[r], want[r])
+			}
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	prog, _ := Assemble("add r1, r2, r3\nhalt")
+	text := Disassemble(prog.Insts)
+	if !strings.Contains(text, "add r1, r2, r3") {
+		t.Errorf("disassembly: %s", text)
+	}
+}
+
+func TestBandwidthConstructors(t *testing.T) {
+	if ConstBandwidth(4).Of(100) != 4 || LinearBandwidth().Of(7) != 7 {
+		t.Error("bandwidth constructors wrong")
+	}
+	if PowerBandwidth(1, 0.5).Of(64) != 8 {
+		t.Error("power bandwidth wrong")
+	}
+}
+
+func TestPredictorConstructors(t *testing.T) {
+	for _, p := range []Predictor{Bimodal(4), GShare(4, 2), StaticPredictor(true)} {
+		if p.Name() == "" {
+			t.Error("predictor name empty")
+		}
+	}
+}
+
+func TestExtensionOptions(t *testing.T) {
+	w := Kernels()[0]
+	p, err := New(Hybrid, 32, WithClusterSize(8),
+		WithSharedALUs(4),
+		WithSelfTimedForwarding(nil),
+		WithMemoryRenaming(),
+		WithFetchModel(FetchTrace),
+		WithFetchWidth(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(w.Prog, w.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference(w.Prog, w.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		if res.Regs[r] != want[r] {
+			t.Errorf("r%d = %d, want %d", r, res.Regs[r], want[r])
+		}
+	}
+	if _, err := New(UltraI, 8, WithSharedALUs(0)); err == nil {
+		t.Error("0 shared ALUs should fail")
+	}
+	if _, err := New(UltraI, 8, WithFetchWidth(0)); err == nil {
+		t.Error("0 fetch width should fail")
+	}
+}
+
+func TestUltra2WrapAround(t *testing.T) {
+	// The wrap-around variant refills per station: on the batch-penalty
+	// workload it matches the Ultrascalar I's cycle count, at about twice
+	// the grid area.
+	w := Kernels()[2] // dotprod
+	wrap, err := New(UltraII, 16, WithUltra2WrapAround())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrap.ClusterSize() != 1 {
+		t.Errorf("wrap variant cluster size %d, want 1", wrap.ClusterSize())
+	}
+	rw, err := wrap.Run(w.Prog, w.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, _ := New(UltraI, 16)
+	r1, err := u1.Run(w.Prog, w.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Stats.Cycles != r1.Stats.Cycles {
+		t.Errorf("wrap-around UltraII %d cycles, UltraI %d — should match", rw.Stats.Cycles, r1.Stats.Cycles)
+	}
+	tech := DefaultTech()
+	base, _ := New(UltraII, 16)
+	mdWrap, err := wrap.Physical(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdBase, err := base.Physical(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mdWrap.AreaL2() / mdBase.AreaL2(); r < 1.9 || r > 2.1 {
+		t.Errorf("wrap area ratio %.2f, want about 2", r)
+	}
+	if _, err := New(UltraI, 8, WithUltra2WrapAround()); err == nil {
+		t.Error("wrap-around on UltraI should fail")
+	}
+}
+
+func TestClusterCacheOption(t *testing.T) {
+	p, err := New(Hybrid, 16, WithClusterSize(4), WithClusterCaches(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Kernels()[1] // vecsum
+	res, err := p.Run(w.Prog, w.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference(w.Prog, w.Mem())
+	if res.Regs[3] != want[3] {
+		t.Errorf("r3 = %d, want %d", res.Regs[3], want[3])
+	}
+}
+
+func TestRunGateLevel(t *testing.T) {
+	w := Kernels()[0] // fib
+	want, err := Reference(w.Prog, w.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []Arch{UltraI, UltraII, Hybrid} {
+		res, err := RunGateLevel(arch, w.Prog, w.Mem(), 4, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		for r := range want {
+			if res.Regs[r] != want[r] {
+				t.Errorf("%s: r%d = %d, want %d", arch, r, res.Regs[r], want[r])
+			}
+		}
+	}
+	if _, err := RunGateLevel(Arch(9), w.Prog, w.Mem(), 4, 2); err == nil {
+		t.Error("unknown arch should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p, _ := New(Hybrid, 32, WithClusterSize(8))
+	if p.Arch() != Hybrid || p.Window() != 32 {
+		t.Error("accessors wrong")
+	}
+}
