@@ -1,0 +1,168 @@
+// Command usbench measures the simulation hot path and the experiment
+// sweeps and writes the results as machine-readable JSON (default
+// BENCH_engine.json), so the performance trajectory is tracked across
+// changes: nanoseconds and heap allocations per simulated cycle for each
+// architecture on the kernel suite, the steady-state figures on a long
+// loop workload, and the serial-versus-parallel sweep wall-clock.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/exp"
+	"ultrascalar/internal/profiling"
+	"ultrascalar/internal/vlsi"
+	"ultrascalar/internal/workload"
+)
+
+// EngineResult is the hot-path measurement for one configuration.
+type EngineResult struct {
+	Name           string  `json:"name"`
+	Window         int     `json:"window"`
+	Granularity    int     `json:"granularity"`
+	Cycles         int64   `json:"simulated_cycles"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+}
+
+// SweepResult compares serial and parallel experiment-sweep wall-clock.
+type SweepResult struct {
+	Workers    int     `json:"workers"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the written JSON document.
+type Report struct {
+	Date        string         `json:"date"`
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Engine      []EngineResult `json:"engine"`
+	SteadyState EngineResult   `json:"steady_state"`
+	Sweep       SweepResult    `json:"sweep"`
+}
+
+// benchEngine runs the kernel suite repeatedly at the given configuration
+// for roughly the given duration and reports per-cycle cost.
+func benchEngine(name string, cfg core.Config, ws []workload.Workload, d time.Duration) (EngineResult, error) {
+	var cycles int64
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < d {
+		w := ws[iters%len(ws)]
+		res, err := core.Run(w.Prog, w.Mem(), cfg)
+		if err != nil {
+			return EngineResult{}, fmt.Errorf("%s on %s: %w", w.Name, name, err)
+		}
+		cycles += res.Stats.Cycles
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return EngineResult{
+		Name: name, Window: cfg.Window, Granularity: cfg.Granularity,
+		Cycles:         cycles,
+		NsPerCycle:     float64(elapsed.Nanoseconds()) / float64(cycles),
+		AllocsPerCycle: float64(ms1.Mallocs-ms0.Mallocs) / float64(cycles),
+	}, nil
+}
+
+// benchSweep times one full experiment-sweep workload (the IPC table plus
+// the Figure 11 fits) at the given worker count.
+func benchSweep(workers int) (time.Duration, error) {
+	prev := exp.SetSweepWorkers(workers)
+	defer exp.SetSweepWorkers(prev)
+	t := vlsi.Tech035()
+	start := time.Now()
+	if _, err := exp.IPC(64, 16); err != nil {
+		return 0, err
+	}
+	if _, err := exp.Figure11(32, 32, 64, 1024, t); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output file (- for stdout)")
+	dur := flag.Duration("d", 2*time.Second, "measurement duration per engine configuration")
+	flag.Parse()
+	stopProfiling, err := profiling.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiling()
+
+	rep := Report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	ws := workload.Kernels()
+	for _, arch := range []struct {
+		name string
+		g    int
+	}{{"ultra1", 1}, {"hybrid", 32}, {"ultra2", 256}} {
+		r, err := benchEngine(arch.name, core.Config{Window: 256, Granularity: arch.g}, ws, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Engine = append(rep.Engine, r)
+	}
+	steady, err := benchEngine("ultra1/repeated-scan",
+		core.Config{Window: 256, Granularity: 1},
+		[]workload.Workload{workload.RepeatedScan(64, 50)}, *dur)
+	if err != nil {
+		fatal(err)
+	}
+	rep.SteadyState = steady
+
+	// Warm the model memo the same way for both timings, then measure.
+	if _, err := benchSweep(1); err != nil {
+		fatal(err)
+	}
+	serial, err := benchSweep(1)
+	if err != nil {
+		fatal(err)
+	}
+	parallel, err := benchSweep(0)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Sweep = SweepResult{
+		Workers:    exp.SweepWorkers(),
+		SerialMs:   float64(serial.Microseconds()) / 1e3,
+		ParallelMs: float64(parallel.Microseconds()) / 1e3,
+		Speedup:    float64(serial) / float64(parallel),
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "usbench:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 
 	"ultrascalar"
 	"ultrascalar/internal/exp"
+	"ultrascalar/internal/profiling"
 )
 
 func main() {
@@ -30,6 +31,11 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print a Figure 3 style Gantt chart of the run")
 	showRegs := flag.Bool("showregs", true, "print nonzero final registers")
 	flag.Parse()
+	stopProfiling, err := profiling.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiling()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: usim [flags] prog.s   (or - for stdin)")

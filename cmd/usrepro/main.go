@@ -11,12 +11,21 @@ import (
 	"time"
 
 	"ultrascalar/internal/exp"
+	"ultrascalar/internal/profiling"
 	"ultrascalar/internal/vlsi"
 )
 
 func main() {
 	nMax := flag.Int("nmax", 4096, "largest station count in the sweeps (power of 4)")
+	workers := flag.Int("workers", 0, "experiment sweep goroutines (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	stopProfiling, err := profiling.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "usrepro:", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
+	exp.SetSweepWorkers(*workers)
 	t := vlsi.Tech035()
 	start := time.Now()
 

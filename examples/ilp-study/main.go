@@ -69,10 +69,3 @@ func main() {
 			w.Description[:min(22, len(w.Description))], cycles[0], cycles[1], cycles[2])
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -21,16 +21,9 @@ func PopCount(c *Circuit, xs []int) Bus {
 	mid := len(xs) / 2
 	left := PopCount(c, xs[:mid])
 	right := PopCount(c, xs[mid:])
-	w := maxLen(left, right) + 1
+	w := max(len(left), len(right)) + 1
 	sum, cout := RippleAdder(c, padBus(c, left, w-1), padBus(c, right, w-1), c.Const(false))
 	return append(sum, cout)
-}
-
-func maxLen(a, b Bus) int {
-	if len(a) > len(b) {
-		return len(a)
-	}
-	return len(b)
 }
 
 func padBus(c *Circuit, b Bus, w int) Bus {

@@ -12,7 +12,7 @@ import (
 func (c *Circuit) Verilog(module string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "module %s(\n  input wire [%d:0] in,\n  output wire [%d:0] out\n);\n",
-		module, maxInt(c.NumInputs()-1, 0), maxInt(c.NumOutputs()-1, 0))
+		module, max(c.NumInputs()-1, 0), max(c.NumOutputs()-1, 0))
 
 	name := make([]string, len(c.gates))
 	inIdx := 0
@@ -53,11 +53,4 @@ func (c *Circuit) Verilog(module string) string {
 	}
 	b.WriteString("endmodule\n")
 	return b.String()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

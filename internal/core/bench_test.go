@@ -1,0 +1,76 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"ultrascalar/internal/workload"
+)
+
+// BenchmarkEngineCycles measures the engine hot path on the kernel suite
+// at n=256: nanoseconds and heap allocations per simulated cycle. The
+// optimized engine allocates only at Run setup (scratch buffers plus one
+// station per window slot), so allocs/cycle amortizes to ~0 in steady
+// state; the seed engine allocated four register-file-sized slices per
+// cycle plus a station per fetch.
+func BenchmarkEngineCycles(b *testing.B) {
+	for _, arch := range []struct {
+		name        string
+		granularity int
+	}{
+		{"ultra1", 1},
+		{"hybrid", 32},
+		{"ultra2", 256},
+	} {
+		b.Run(arch.name, func(b *testing.B) {
+			ws := workload.Kernels()
+			cfg := Config{Window: 256, Granularity: arch.granularity}
+			var cycles int64
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := ws[i%len(ws)]
+				res, err := Run(w.Prog, w.Mem(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			if cycles > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+				b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(cycles), "allocs/cycle")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSteadyState measures a single long run (RepeatedScan, a
+// loop workload with thousands of cycles) so the per-Run setup
+// allocations are fully amortized: allocs/cycle here is the steady-state
+// figure the zero-allocation hot path targets.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	w := workload.RepeatedScan(64, 50)
+	cfg := Config{Window: 256, Granularity: 1}
+	var cycles int64
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(w.Prog, w.Mem(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Stats.Cycles
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	if cycles > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(cycles), "allocs/cycle")
+	}
+}

@@ -9,6 +9,41 @@ import (
 	"ultrascalar/internal/tracecache"
 )
 
+// Instruction-class bits, computed once at fetch so the per-cycle phases
+// avoid re-dispatching on the opcode.
+const (
+	clsLoad uint8 = 1 << iota
+	clsStore
+	clsBranch
+	clsJump
+	clsHalt
+	clsNop
+)
+
+const (
+	clsMem   = clsLoad | clsStore
+	clsFlow  = clsBranch | clsJump
+	clsNoALU = clsMem | clsHalt | clsNop
+)
+
+func classify(in isa.Inst) uint8 {
+	switch {
+	case in.IsLoad():
+		return clsLoad
+	case in.IsStore():
+		return clsStore
+	case in.IsBranch():
+		return clsBranch
+	case in.IsJump():
+		return clsJump
+	case in.IsHalt():
+		return clsHalt
+	case in.Op == isa.OpNop:
+		return clsNop
+	}
+	return 0
+}
+
 // station is one occupied execution station.
 type station struct {
 	seq  int64
@@ -18,6 +53,7 @@ type station struct {
 
 	writes bool
 	dest   uint8
+	class  uint8
 
 	predictedNext int // -1: unknown (JALR with a cold BTB)
 
@@ -54,9 +90,9 @@ type station struct {
 // effects and may retire once it reaches the head of the window.
 func (s *station) finished() bool {
 	switch {
-	case s.inst.IsStore():
+	case s.class&clsStore != 0:
 		return s.memDone
-	case s.inst.ChangesFlow():
+	case s.class&clsFlow != 0:
 		return s.resolved
 	default:
 		return s.done
@@ -86,9 +122,24 @@ type engine struct {
 	commitProducer []int64
 	commitDoneAt   []int64
 
-	window  []*station // age order, oldest first
+	// slab holds all cfg.Window execution stations in one allocation,
+	// indexed by slot: a slot's reuse (tracked by slots at the configured
+	// granularity) IS the station's reuse, exactly the hardware's scheme.
+	// window lists the live stations' slots in age order, oldest first. It
+	// is always anchored at windowBuf[0] (retire copies survivors down),
+	// so fetch appends never reallocate; holding indices instead of
+	// pointers keeps the per-cycle copies free of GC write barriers.
+	slab      []station
+	window    []int32
+	windowBuf []int32
+	// srcBuf backs every station's srcDist (two entries each), so the
+	// operand-distance slices never allocate.
+	srcBuf  []int
 	slots   []slotState
 	nextSeq int64
+	// memCount is the number of loads and stores in the window; the
+	// completion and memory phases are skipped when it is zero.
+	memCount int
 
 	fetchPC  int
 	haltStop bool
@@ -98,9 +149,40 @@ type engine struct {
 	traceBuild *tracecache.Builder
 	ras        *branch.RAS
 
+	// Forwarding scratch (length NumRegs), reused every scan instead of
+	// allocating four register-file-sized slices per cycle.
+	fwdVals       []isa.Word
+	fwdReady      []bool
+	fwdWriter     []int64
+	fwdWriterDone []int64
+	// fwdDirty marks that register-producer state changed since the last
+	// forwarding scan (completion, retirement, fetch, or squash). On clean
+	// cycles the scan's inputs are bit-identical to the previous cycle's,
+	// so forward() skips the full-window rescan. scanEveryCycle disables
+	// the fast path (used by the equivalence tests; also forced when
+	// ForwardLatency is set, since self-timed availability depends on the
+	// cycle number, not only on producer state).
+	fwdDirty       bool
+	scanEveryCycle bool
+
+	// memoryPhase scratch, reused every cycle.
+	memReqs  []memory.Request
+	memCands []memCand
+
+	// operandDist is the hot-path operand-distance histogram; it is
+	// converted to Stats.OperandFromStation when the run completes.
+	operandDist []int64
+
 	cycle    int64
 	stats    Stats
 	timeline []InstRecord
+}
+
+// memCand pairs an eligible memory station with its effective address for
+// the grant phase.
+type memCand struct {
+	s    *station
+	addr isa.Word
 }
 
 // Run executes prog on the configured processor with the given data
@@ -117,6 +199,20 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 		commitProducer: make([]int64, cfg.NumRegs),
 		commitDoneAt:   make([]int64, cfg.NumRegs),
 		slots:          make([]slotState, cfg.Window),
+		slab:           make([]station, cfg.Window),
+		windowBuf:      make([]int32, cfg.Window),
+		srcBuf:         make([]int, 2*cfg.Window),
+		fwdVals:        make([]isa.Word, cfg.NumRegs),
+		fwdReady:       make([]bool, cfg.NumRegs),
+		fwdWriter:      make([]int64, cfg.NumRegs),
+		fwdWriterDone:  make([]int64, cfg.NumRegs),
+		operandDist:    make([]int64, cfg.Window+1),
+		fwdDirty:       true,
+		scanEveryCycle: cfg.ForwardLatency != nil || scanEveryCycleForTests,
+	}
+	e.window = e.windowBuf[:0]
+	for i := range e.slab {
+		e.slab[i].srcDist = e.srcBuf[2*i : 2*i : 2*i+2]
 	}
 	for r := range e.commitProducer {
 		e.commitProducer[r] = -1
@@ -126,6 +222,9 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 	}
 	e.stats.OperandFromStation = make(map[int]int64)
 	e.stats.Occupancy = make([]int64, cfg.Window+1)
+	if cfg.KeepTimeline {
+		e.timeline = make([]InstRecord, 0, 4*cfg.Window)
+	}
 	if cfg.Fetch == FetchTrace {
 		e.trace = tracecache.New(cfg.TraceSetBits, cfg.TraceLen)
 		e.traceBuild = tracecache.NewBuilder(e.trace)
@@ -159,6 +258,7 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 		e.recover()
 		if halted := e.retire(); halted {
 			e.stats.Cycles = e.cycle + 1
+			e.finishStats()
 			return &Result{Regs: e.commit, Mem: e.mem, Stats: e.stats, Timeline: e.timeline}, nil
 		}
 		e.fetch()
@@ -166,13 +266,34 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 	return nil, ErrNoHalt
 }
 
+// scanEveryCycleForTests disables the incremental-forwarding fast path
+// for every subsequent Run, forcing the full-window scan each cycle (the
+// seed semantics). It exists for the golden equivalence tests; set it
+// before starting runs, never concurrently with them.
+var scanEveryCycleForTests bool
+
+// finishStats materializes the operand-distance histogram into the
+// public Stats map once the run completes.
+func (e *engine) finishStats() {
+	for d, c := range e.operandDist {
+		if c != 0 {
+			e.stats.OperandFromStation[d] = c
+		}
+	}
+}
+
 // completions makes memory data that arrived at the end of the previous
 // cycle visible.
 func (e *engine) completions() {
-	for _, s := range e.window {
+	if e.memCount == 0 {
+		return
+	}
+	for _, si := range e.window {
+		s := &e.slab[si]
 		if s.memInFlight && !s.memDone && s.memDoneAt <= e.cycle {
 			s.memDone = true
 			s.done = true
+			e.fwdDirty = true
 		}
 	}
 }
@@ -181,12 +302,25 @@ func (e *engine) completions() {
 // each source register, the (value, ready) pair inserted by the nearest
 // preceding modifier, or the committed register file at the oldest station
 // (paper Figure 1/4 semantics; one full-window propagation per cycle).
+//
+// Fast path: the scan's inputs are the committed register file and the
+// per-station (writes, dest, result, done, seq, doneAt) fields, all of
+// which change only on completion, retirement, fetch, or squash. On cycles
+// with none of those events the previous scan's outputs (opsReady, a, b,
+// srcDist) are still exact, so the whole rescan is skipped. The hardware
+// analogy holds: a CSPP whose inputs are unchanged settles to the same
+// outputs. Self-timed configurations (ForwardLatency) gate availability on
+// the cycle number as well, so they scan every cycle.
 func (e *engine) forward() error {
+	if !e.fwdDirty && !e.scanEveryCycle {
+		return nil
+	}
+	e.fwdDirty = false
 	n := e.cfg.NumRegs
-	vals := make([]isa.Word, n)
-	ready := make([]bool, n)
-	writer := make([]int64, n)     // seq of the value's producer, -1 = initial
-	writerDone := make([]int64, n) // cycle the value became visible
+	vals := e.fwdVals
+	ready := e.fwdReady
+	writer := e.fwdWriter         // seq of the value's producer, -1 = initial
+	writerDone := e.fwdWriterDone // cycle the value became visible
 	copy(vals, e.commit)
 	copy(writer, e.commitProducer)
 	copy(writerDone, e.commitDoneAt)
@@ -194,12 +328,17 @@ func (e *engine) forward() error {
 		ready[r] = true
 	}
 	fl := e.cfg.ForwardLatency
-	for _, s := range e.window {
+	for _, si := range e.window {
+		s := &e.slab[si]
 		if !s.started {
-			reads := s.inst.Reads()
+			r1, r2, nr := s.inst.ReadRegs()
 			s.opsReady = true
 			s.srcDist = s.srcDist[:0]
-			for k, r := range reads {
+			for k := 0; k < nr; k++ {
+				r := r1
+				if k == 1 {
+					r = r2
+				}
 				if int(r) >= n {
 					return fmt.Errorf("core: %s reads r%d but machine has %d registers", s.inst, r, n)
 				}
@@ -241,33 +380,29 @@ func (e *engine) forward() error {
 	return nil
 }
 
-// needsALU reports whether an instruction occupies one of the shared
-// arithmetic units while executing.
-func needsALU(in isa.Inst) bool {
-	return !in.IsMem() && !in.IsHalt() && in.Op != isa.OpNop
-}
-
 // execute progresses ALU, jump and branch stations. With a shared-ALU
 // pool configured, at most NumALUs instructions execute concurrently,
 // allocated oldest first — the priority the CSPP scheduler implements.
 func (e *engine) execute() error {
 	budget := e.cfg.NumALUs
 	if budget > 0 {
-		for _, s := range e.window {
-			if needsALU(s.inst) && s.started && !s.done {
+		for _, si := range e.window {
+			s := &e.slab[si]
+			if s.class&clsNoALU == 0 && s.started && !s.done {
 				budget--
 			}
 		}
 	}
-	for _, s := range e.window {
-		if s.inst.IsMem() {
+	for _, si := range e.window {
+		s := &e.slab[si]
+		if s.class&clsMem != 0 {
 			continue // handled by memoryPhase
 		}
 		if !s.started {
 			if !s.opsReady {
 				continue
 			}
-			if e.cfg.NumALUs > 0 && needsALU(s.inst) {
+			if e.cfg.NumALUs > 0 && s.class&clsNoALU == 0 {
 				if budget <= 0 {
 					e.stats.ALUStarved++
 					continue
@@ -291,32 +426,40 @@ func (e *engine) execute() error {
 		// Completes at the end of this cycle; consumers see it next cycle.
 		s.done = true
 		s.doneAt = e.cycle + 1
-		in := s.inst
+		e.fwdDirty = true
 		switch {
-		case in.IsBranch():
+		case s.class&clsBranch != 0:
 			s.resolved = true
-			s.actualNext = isa.NextPC(in, s.pc, s.a, s.b)
-		case in.IsJump():
+			s.actualNext = isa.NextPC(s.inst, s.pc, s.a, s.b)
+		case s.class&clsJump != 0:
 			s.resolved = true
-			s.actualNext = isa.NextPC(in, s.pc, s.a, s.b)
+			s.actualNext = isa.NextPC(s.inst, s.pc, s.a, s.b)
 			s.result = isa.Word(s.pc + 1) // link
-		case in.IsHalt() || in.Op == isa.OpNop:
+		case s.class&(clsHalt|clsNop) != 0:
 			// no result
 		default:
-			s.result = isa.ALUOp(in, s.a, s.b)
+			s.result = isa.ALUOp(s.inst, s.a, s.b)
 		}
 	}
 	return nil
 }
 
-// recordSources accounts operand producer distances at issue time.
+// recordSources accounts operand producer distances at issue time. The
+// histogram is a dense slice (distances from committed producers can
+// exceed the window, so it grows on demand); it becomes the public
+// Stats.OperandFromStation map when the run completes.
 func (e *engine) recordSources(s *station) {
 	for _, d := range s.srcDist {
 		if d < 0 {
 			e.stats.OperandFromCommitted++
-		} else {
-			e.stats.OperandFromStation[d]++
+			continue
 		}
+		if d >= len(e.operandDist) {
+			grown := make([]int64, max(d+1, 2*len(e.operandDist)))
+			copy(grown, e.operandDist)
+			e.operandDist = grown
+		}
+		e.operandDist[d]++
 	}
 }
 
@@ -328,6 +471,9 @@ func (e *engine) recordSources(s *station) {
 // preceding loads and stores have finished" and "A station cannot modify
 // memory ... until all preceding stations have committed."
 func (e *engine) memoryPhase() {
+	if e.memCount == 0 {
+		return
+	}
 	// Running AND-prefixes over the window in age order — the functional
 	// equivalent of the three 1-bit CSPPs of Figure 5 with the oldest
 	// station's segment bit high.
@@ -335,17 +481,13 @@ func (e *engine) memoryPhase() {
 	memDone := true    // all earlier loads and stores finished
 	committed := true  // all earlier branches confirmed
 
-	type cand struct {
-		s    *station
-		addr isa.Word
-	}
-	var reqs []memory.Request
-	var cands []cand
-	for idx, s := range e.window {
-		in := s.inst
+	reqs := e.memReqs[:0]
+	cands := e.memCands[:0]
+	for idx, si := range e.window {
+		s := &e.slab[si]
 		eligible := !s.started && s.opsReady
-		if eligible && in.IsLoad() {
-			addr := isa.EffAddr(in, s.a)
+		if eligible && s.class&clsLoad != 0 {
+			addr := isa.EffAddr(s.inst, s.a)
 			switch {
 			case e.cfg.MemRenaming:
 				// Memory renaming (Section 7): search the window for the
@@ -361,41 +503,43 @@ func (e *engine) memoryPhase() {
 					s.doneAt = e.cycle + 1
 					s.issue = e.cycle
 					s.result = v
+					e.fwdDirty = true
 					e.recordSources(s)
 					e.stats.Loads++
 					e.stats.LoadsForwarded++
 				} else if !blocked {
 					reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq})
-					cands = append(cands, cand{s, addr})
+					cands = append(cands, memCand{s, addr})
 				}
 			case storesDone:
 				reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq})
-				cands = append(cands, cand{s, addr})
+				cands = append(cands, memCand{s, addr})
 			}
 		}
-		if eligible && in.IsStore() && memDone && committed {
-			addr := isa.EffAddr(in, s.a)
+		if eligible && s.class&clsStore != 0 && memDone && committed {
+			addr := isa.EffAddr(s.inst, s.a)
 			reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Store: true, Age: s.seq})
-			cands = append(cands, cand{s, addr})
+			cands = append(cands, memCand{s, addr})
 		}
-		if in.IsStore() {
+		if s.class&clsStore != 0 {
 			storesDone = storesDone && s.memDone
 			memDone = memDone && s.memDone
 		}
-		if in.IsLoad() {
+		if s.class&clsLoad != 0 {
 			memDone = memDone && s.memDone
 		}
-		if in.ChangesFlow() {
+		if s.class&clsFlow != 0 {
 			// "Committed" requires the branch resolved on the predicted
 			// path: a mispredicted branch squashes its younger stations in
 			// this cycle's recovery phase, so they must not touch memory.
 			committed = committed && s.resolved && s.actualNext == s.predictedNext
 		}
 	}
+	e.memReqs, e.memCands = reqs, cands // keep grown scratch for reuse
 	if len(reqs) == 0 {
 		return
 	}
-	grant := func(c cand, latency int) {
+	grant := func(c memCand, latency int) {
 		s := c.s
 		s.started = true
 		s.memInFlight = true
@@ -403,7 +547,7 @@ func (e *engine) memoryPhase() {
 		s.memDoneAt = e.cycle + int64(latency)
 		s.doneAt = s.memDoneAt
 		e.recordSources(s)
-		if s.inst.IsStore() {
+		if s.class&clsStore != 0 {
 			e.mem.Store(c.addr, s.b)
 			e.stats.Stores++
 		} else {
@@ -417,12 +561,15 @@ func (e *engine) memoryPhase() {
 		}
 		return
 	}
-	bySeq := make(map[int64]cand, len(cands))
-	for _, c := range cands {
-		bySeq[c.s.seq] = c
-	}
+	// Candidates are few and age-ordered; a linear scan replaces the
+	// per-cycle map the seed engine built to pair grants with stations.
 	for _, g := range e.cfg.MemSystem.Arbitrate(reqs) {
-		grant(bySeq[g.Req.Age], g.Latency)
+		for _, c := range cands {
+			if c.s.seq == g.Req.Age {
+				grant(c, g.Latency)
+				break
+			}
+		}
 	}
 }
 
@@ -432,8 +579,8 @@ func (e *engine) memoryPhase() {
 // load must wait for disambiguation).
 func (e *engine) forwardFromStore(idx int, addr isa.Word) (v isa.Word, hit, blocked bool) {
 	for j := idx - 1; j >= 0; j-- {
-		t := e.window[j]
-		if !t.inst.IsStore() {
+		t := &e.slab[e.window[j]]
+		if t.class&clsStore == 0 {
 			continue
 		}
 		if !t.opsReady {
@@ -453,13 +600,12 @@ func (e *engine) forwardFromStore(idx int, addr isa.Word) (v isa.Word, hit, bloc
 // instructions from the correct program path").
 func (e *engine) recover() {
 	for i := 0; i < len(e.window); i++ {
-		s := e.window[i]
+		s := &e.slab[e.window[i]]
 		if !s.resolved || s.flowDone {
 			continue
 		}
 		s.flowDone = true
-		in := s.inst
-		if in.IsBranch() {
+		if s.class&clsBranch != 0 {
 			e.stats.Branches++
 			taken := s.actualNext != s.pc+1
 			if s.usedSpec {
@@ -469,7 +615,7 @@ func (e *engine) recover() {
 				e.cfg.Predictor.Update(s.pc, taken)
 			}
 		}
-		if in.Op == isa.OpJalr {
+		if s.inst.Op == isa.OpJalr {
 			e.cfg.BTB.Update(s.pc, s.actualNext)
 		}
 		if s.actualNext != s.predictedNext {
@@ -483,15 +629,21 @@ func (e *engine) recover() {
 	}
 }
 
-// squashAfter removes all stations younger than age index i.
+// squashAfter removes all stations younger than age index i. Squashing
+// needs no forwarding rescan: the surviving prefix's scan state is
+// unaffected (the scan is a strict age-order prefix computation), and the
+// squashed stations' outputs are discarded.
 func (e *engine) squashAfter(i int) {
-	victims := e.window[i+1:]
-	for _, v := range victims {
+	for _, vi := range e.window[i+1:] {
+		v := &e.slab[vi]
 		e.slots[v.slot] = slotFree
 		e.stats.Squashed++
+		if v.class&clsMem != 0 {
+			e.memCount--
+		}
 	}
 	e.window = e.window[:i+1]
-	e.nextSeq = e.window[i].seq + 1
+	e.nextSeq = e.slab[e.window[i]].seq + 1
 }
 
 // retire commits finished instructions in order from the head of the
@@ -499,9 +651,10 @@ func (e *engine) squashAfter(i int) {
 // true when a halt commits.
 func (e *engine) retire() bool {
 	g := e.cfg.Granularity
-	for len(e.window) > 0 && e.window[0].finished() {
-		s := e.window[0]
-		e.window = e.window[1:]
+	popped := 0
+	for popped < len(e.window) && e.slab[e.window[popped]].finished() {
+		s := &e.slab[e.window[popped]]
+		popped++
 		e.stats.Retired++
 		if e.traceBuild != nil {
 			e.traceBuild.Retire(s.pc)
@@ -517,8 +670,11 @@ func (e *engine) retire() bool {
 			e.commitProducer[s.dest] = s.seq
 			e.commitDoneAt[s.dest] = s.doneAt
 		}
-		if s.inst.IsHalt() {
+		if s.class&clsHalt != 0 {
 			return true
+		}
+		if s.class&clsMem != 0 {
+			e.memCount--
 		}
 		// Slot reuse at granularity g: the slot drains, and frees only
 		// when its whole group has drained (group = aligned block of g
@@ -539,6 +695,16 @@ func (e *engine) retire() bool {
 				e.slots[k] = slotFree
 			}
 		}
+	}
+	if popped > 0 {
+		// Copy the survivors down so the window stays anchored at
+		// windowBuf[0] and fetch appends stay allocation-free. Retirement
+		// needs no forwarding rescan: a retiring writer's committed state
+		// (value, producer seq, doneAt) is exactly the contribution its
+		// station made to the scan, so younger stations' inputs are
+		// unchanged.
+		m := copy(e.windowBuf, e.window[popped:])
+		e.window = e.windowBuf[:m]
 	}
 	return false
 }
@@ -621,8 +787,11 @@ func (e *engine) fetchOne(forcedNext int) (*station, bool) {
 	}
 	pc := e.fetchPC
 	in := e.prog[pc]
-	s := &station{seq: e.nextSeq, pc: pc, inst: in, slot: slot}
+	s := &e.slab[slot]
+	*s = station{srcDist: s.srcDist[:0]}
+	s.seq, s.pc, s.inst, s.slot = e.nextSeq, pc, in, slot
 	s.dest, s.writes = in.Writes()
+	s.class = classify(in)
 	switch {
 	case in.IsHalt():
 		e.haltStop = true
@@ -668,9 +837,13 @@ func (e *engine) fetchOne(forcedNext int) (*station, bool) {
 		s.predictedNext = pc + 1
 	}
 	e.slots[slot] = slotOccupied
-	e.window = append(e.window, s)
+	e.window = append(e.window, int32(slot))
 	e.nextSeq++
 	e.stats.Fetched++
+	if s.class&clsMem != 0 {
+		e.memCount++
+	}
+	e.fwdDirty = true
 	if e.haltStop || e.jalrWait {
 		return s, false
 	}

@@ -141,38 +141,56 @@ func predictions(a ArchKind, p float64, q string) (string, float64) {
 }
 
 // Figure11 sweeps n over [nMin, nMax] (powers of 4) at fixed L and fits
-// the growth of every Figure 11 cell.
+// the growth of every Figure 11 cell. Each (regime, architecture) column
+// is an independent model sweep, fanned out across the sweep pool; cell
+// order is regime-major, architecture-minor, quantity-last, as before.
 func Figure11(l, w, nMin, nMax int, t vlsi.Tech) ([]Figure11Cell, error) {
-	var cells []Figure11Cell
+	type column struct {
+		reg Regime
+		a   ArchKind
+	}
+	var cols []column
 	for _, reg := range Regimes() {
 		for _, a := range []ArchKind{ArchUltra1, ArchUltra2Linear, ArchUltra2Log, ArchHybrid} {
-			var ns, gate, wire, total, area []float64
-			for n := nMin; n <= nMax; n *= 4 {
-				md, err := model(a, n, l, w, reg.M, t)
-				if err != nil {
-					return nil, err
-				}
-				ns = append(ns, float64(n))
-				gate = append(gate, float64(md.GateDelay))
-				wire = append(wire, md.MaxWireL)
-				total = append(total, md.ClockPs(t))
-				area = append(area, md.AreaL2())
-			}
-			for _, q := range []struct {
-				name string
-				ys   []float64
-			}{{"gate", gate}, {"wire", wire}, {"total", total}, {"area", area}} {
-				fit, err := analysis.FitPower(ns, q.ys)
-				if err != nil {
-					return nil, err
-				}
-				pred, pexp := predictions(a, reg.P, q.name)
-				cells = append(cells, Figure11Cell{
-					Arch: a, Regime: reg.Label, Quantity: q.name,
-					Fit: fit, Predicted: pred, PredictedExp: pexp,
-				})
-			}
+			cols = append(cols, column{reg, a})
 		}
+	}
+	perCol, err := parMap(cols, func(c column) ([]Figure11Cell, error) {
+		var ns, gate, wire, total, area []float64
+		for n := nMin; n <= nMax; n *= 4 {
+			md, err := model(c.a, n, l, w, c.reg.M, t)
+			if err != nil {
+				return nil, err
+			}
+			ns = append(ns, float64(n))
+			gate = append(gate, float64(md.GateDelay))
+			wire = append(wire, md.MaxWireL)
+			total = append(total, md.ClockPs(t))
+			area = append(area, md.AreaL2())
+		}
+		var cells []Figure11Cell
+		for _, q := range []struct {
+			name string
+			ys   []float64
+		}{{"gate", gate}, {"wire", wire}, {"total", total}, {"area", area}} {
+			fit, err := analysis.FitPower(ns, q.ys)
+			if err != nil {
+				return nil, err
+			}
+			pred, pexp := predictions(c.a, c.reg.P, q.name)
+			cells = append(cells, Figure11Cell{
+				Arch: c.a, Regime: c.reg.Label, Quantity: q.name,
+				Fit: fit, Predicted: pred, PredictedExp: pexp,
+			})
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cells []Figure11Cell
+	for _, cs := range perCol {
+		cells = append(cells, cs...)
 	}
 	return cells, nil
 }

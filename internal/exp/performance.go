@@ -33,31 +33,30 @@ type IPCRow struct {
 }
 
 // IPC runs the kernel suite on all three processors at window n with
-// hybrid clusters of c.
+// hybrid clusters of c. The per-workload runs fan out across the sweep
+// pool; row order matches workload.Kernels.
 func IPC(n, c int) ([]IPCRow, error) {
-	var rows []IPCRow
-	for _, w := range workload.Kernels() {
+	return parMap(workload.Kernels(), func(w workload.Workload) (IPCRow, error) {
 		r1, err := ultra1.Run(w.Prog, w.Mem(), n)
 		if err != nil {
-			return nil, fmt.Errorf("%s on UltraI: %w", w.Name, err)
+			return IPCRow{}, fmt.Errorf("%s on UltraI: %w", w.Name, err)
 		}
 		rh, err := hybrid.Run(w.Prog, w.Mem(), n, c)
 		if err != nil {
-			return nil, fmt.Errorf("%s on hybrid: %w", w.Name, err)
+			return IPCRow{}, fmt.Errorf("%s on hybrid: %w", w.Name, err)
 		}
 		r2, err := ultra2.Run(w.Prog, w.Mem(), n)
 		if err != nil {
-			return nil, fmt.Errorf("%s on UltraII: %w", w.Name, err)
+			return IPCRow{}, fmt.Errorf("%s on UltraII: %w", w.Name, err)
 		}
-		rows = append(rows, IPCRow{
+		return IPCRow{
 			Workload: w.Name,
 			CyclesU1: r1.Stats.Cycles, CyclesHy: rh.Stats.Cycles, CyclesU2: r2.Stats.Cycles,
 			IPCU1: r1.Stats.IPC(), IPCHy: rh.Stats.IPC(), IPCU2: r2.Stats.IPC(),
 			OccU1: r1.Stats.MeanOccupancy(), OccHy: rh.Stats.MeanOccupancy(),
 			OccU2: r2.Stats.MeanOccupancy(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // IPCReport renders E8.
@@ -95,10 +94,10 @@ type LocalityRow struct {
 }
 
 // Locality runs the kernels on an n-station Ultrascalar I and aggregates
-// operand producer distances.
+// operand producer distances. The per-kernel runs fan out across the
+// sweep pool.
 func Locality(n int) ([]LocalityRow, error) {
-	var rows []LocalityRow
-	for _, w := range workload.Kernels() {
+	perKernel, err := parMap(workload.Kernels(), func(w workload.Workload) (*LocalityRow, error) {
 		res, err := ultra1.Run(w.Prog, w.Mem(), n)
 		if err != nil {
 			return nil, err
@@ -117,25 +116,27 @@ func Locality(n int) ([]LocalityRow, error) {
 		init := res.Stats.OperandFromCommitted
 		all := total + init
 		if all == 0 {
-			continue
+			return nil, nil
 		}
-		rows = append(rows, LocalityRow{
+		return &LocalityRow{
 			Workload:     w.Name,
 			FromPrevious: float64(prev) / float64(all),
 			FromNear:     float64(near) / float64(all),
 			FromInitial:  float64(init) / float64(all),
-			MeanDistance: float64(sum) / float64(maxI64(total, 1)),
-		})
+			MeanDistance: float64(sum) / float64(max(total, 1)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []LocalityRow
+	for _, r := range perKernel {
+		if r != nil {
+			rows = append(rows, *r)
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Workload < rows[j].Workload })
 	return rows, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // LocalityReport renders E9.
@@ -174,50 +175,49 @@ type EndToEndRow struct {
 }
 
 // EndToEnd runs a mixed workload and combines it with the clock model.
-// The hybrid uses C = min(L, n).
+// The hybrid uses C = min(L, n). Every (n, architecture) point is an
+// independent simulation plus layout build, fanned out across the sweep
+// pool; row order is ns-major, architecture-minor, as before.
 func EndToEnd(l, w int, ns []int, t vlsi.Tech) ([]EndToEndRow, error) {
 	m := memory.MPow(1, 0.5)
 	wk := workload.MixedILP(2000, 16, 12, 99)
-	var rows []EndToEndRow
+	type arch struct {
+		name string
+		cfg  core.Config
+		md   func() (*vlsi.Model, error)
+	}
+	var points []arch
 	for _, n := range ns {
-		c := l
-		if c > n {
-			c = n
-		}
-		type arch struct {
-			name string
-			cfg  core.Config
-			md   func() (*vlsi.Model, error)
-		}
-		archs := []arch{
-			{ultra1.Name, ultra1.EngineConfig(n), func() (*vlsi.Model, error) {
+		n := n
+		c := min(l, n)
+		points = append(points,
+			arch{ultra1.Name, ultra1.EngineConfig(n), func() (*vlsi.Model, error) {
 				return vlsi.UltraIModel(n, l, w, m, t, vlsi.UltraIOptions{})
 			}},
-			{hybrid.Name, hybrid.EngineConfig(n, c), func() (*vlsi.Model, error) {
+			arch{hybrid.Name, hybrid.EngineConfig(n, c), func() (*vlsi.Model, error) {
 				return vlsi.HybridModel(n, c, l, w, m, t, vlsi.Ultra2Linear)
 			}},
-			{ultra2.Name + " (mixed)", ultra2.EngineConfig(n), func() (*vlsi.Model, error) {
+			arch{ultra2.Name + " (mixed)", ultra2.EngineConfig(n), func() (*vlsi.Model, error) {
 				return vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Mixed)
 			}},
-		}
-		for _, a := range archs {
-			res, err := core.Run(wk.Prog, wk.Mem(), a.cfg)
-			if err != nil {
-				return nil, err
-			}
-			md, err := a.md()
-			if err != nil {
-				return nil, err
-			}
-			clock := md.ClockPs(t)
-			rows = append(rows, EndToEndRow{
-				N: n, Arch: a.name, Cycles: res.Stats.Cycles,
-				ClockPs: clock,
-				TimeUs:  float64(res.Stats.Cycles) * clock / 1e6,
-			})
-		}
+		)
 	}
-	return rows, nil
+	return parMap(points, func(a arch) (EndToEndRow, error) {
+		res, err := core.Run(wk.Prog, wk.Mem(), a.cfg)
+		if err != nil {
+			return EndToEndRow{}, err
+		}
+		md, err := a.md()
+		if err != nil {
+			return EndToEndRow{}, err
+		}
+		clock := md.ClockPs(t)
+		return EndToEndRow{
+			N: a.cfg.Window, Arch: a.name, Cycles: res.Stats.Cycles,
+			ClockPs: clock,
+			TimeUs:  float64(res.Stats.Cycles) * clock / 1e6,
+		}, nil
+	})
 }
 
 // CrossoverRow records the fastest architecture at one scale.

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment sweeps — (arch × workload × n) simulation points and
+// (arch × regime × n) layout points — are embarrassingly parallel: every
+// point builds its own engine and model, and the only shared inputs
+// (programs, technology constants) are read-only. parMap fans the points
+// out across a bounded worker pool while keeping results (and error
+// selection) deterministic, so a parallel sweep is byte-identical to a
+// serial one.
+
+// sweepWorkers holds the configured worker count; 0 means GOMAXPROCS.
+var sweepWorkers atomic.Int32
+
+// SetSweepWorkers sets the number of goroutines experiment sweeps fan out
+// over. n <= 0 restores the default, runtime.GOMAXPROCS(0). It returns
+// the previous setting. SetSweepWorkers(1) forces fully serial sweeps.
+func SetSweepWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(sweepWorkers.Swap(int32(n)))
+}
+
+// SweepWorkers returns the effective worker count for sweeps.
+func SweepWorkers() int {
+	if n := int(sweepWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parMap applies f to every item across SweepWorkers goroutines and
+// returns the results in item order. Determinism: results[i] depends only
+// on items[i], and when any calls fail the error reported is the one with
+// the lowest index — the same error a serial loop would have returned
+// first — so callers cannot observe the scheduling.
+func parMap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
+	n := len(items)
+	results := make([]R, n)
+	workers := SweepWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			r, err := f(it)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = f(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

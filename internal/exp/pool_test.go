@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ultrascalar/internal/vlsi"
+)
+
+func TestParMapOrderAndErrors(t *testing.T) {
+	prev := SetSweepWorkers(8)
+	defer SetSweepWorkers(prev)
+
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := parMap(items, func(i int) (int, error) { return 2 * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 2*i {
+			t.Fatalf("results out of order: got[%d] = %d", i, v)
+		}
+	}
+
+	// When several items fail, the reported error must be the
+	// lowest-index one — what a serial loop would have returned —
+	// regardless of scheduling.
+	_, err = parMap(items, func(i int) (int, error) {
+		if i >= 17 {
+			return 0, fmt.Errorf("item %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "item 17" {
+		t.Fatalf("want lowest-index error \"item 17\", got %v", err)
+	}
+
+	// An empty input is a no-op.
+	empty, err := parMap(nil, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty input: got %v, %v", empty, err)
+	}
+}
+
+func TestSetSweepWorkers(t *testing.T) {
+	prev := SetSweepWorkers(3)
+	defer SetSweepWorkers(prev)
+	if got := SweepWorkers(); got != 3 {
+		t.Fatalf("SweepWorkers() = %d, want 3", got)
+	}
+	if old := SetSweepWorkers(0); old != 3 {
+		t.Fatalf("SetSweepWorkers returned %d, want previous value 3", old)
+	}
+	if got := SweepWorkers(); got < 1 {
+		t.Fatalf("default SweepWorkers() = %d, want >= 1", got)
+	}
+}
+
+// The parallel sweeps must be byte-identical to serial runs: same rows,
+// same order, on every experiment rewired onto the pool. Under -race this
+// test also exercises the pool across concurrent engine runs and memoized
+// model builds.
+func TestParallelSweepsMatchSerial(t *testing.T) {
+	tech := vlsi.Tech035()
+	runs := []struct {
+		name string
+		f    func() (any, error)
+	}{
+		{"IPC", func() (any, error) { return IPC(16, 4) }},
+		{"Locality", func() (any, error) { return Locality(16) }},
+		{"Figure11", func() (any, error) { return Figure11(32, 32, 64, 1024, tech) }},
+		{"Ultra2Scaling", func() (any, error) { return Ultra2Scaling(32, 32, 64, 256, tech) }},
+		{"ClusterSweep", func() (any, error) {
+			rows, bestC, err := ClusterSweep(1024, 32, 32, tech)
+			return struct {
+				Rows  []ClusterSweepRow
+				BestC int
+			}{rows, bestC}, err
+		}},
+		{"EndToEnd", func() (any, error) { return EndToEnd(32, 32, []int{64, 256}, tech) }},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			prev := SetSweepWorkers(1)
+			serial, err := r.f()
+			if err != nil {
+				SetSweepWorkers(prev)
+				t.Fatalf("serial: %v", err)
+			}
+			SetSweepWorkers(8)
+			parallel, err := r.f()
+			SetSweepWorkers(prev)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("parallel result diverges from serial:\n serial   %+v\n parallel %+v", serial, parallel)
+			}
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the experiment-sweep wall-clock serial
+// vs fanned out — the speedup tracks available cores (identical on a
+// single-core machine; the determinism tests above guarantee identical
+// output either way).
+func BenchmarkSweepParallel(b *testing.B) {
+	tech := vlsi.Tech035()
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := SetSweepWorkers(mode.workers)
+			defer SetSweepWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := IPC(64, 16); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Figure11(32, 32, 64, 1024, tech); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

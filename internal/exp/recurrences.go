@@ -89,29 +89,31 @@ type Ultra2Row struct {
 	GateLin, GateLog, GateMixed int
 }
 
-// Ultra2Scaling sweeps n (powers of 2).
+// Ultra2Scaling sweeps n (powers of 2), one sweep-pool task per n.
 func Ultra2Scaling(l, w, nMin, nMax int, t vlsi.Tech) ([]Ultra2Row, error) {
 	m := memory.MPow(1, 0.5)
-	var rows []Ultra2Row
+	var ns []int
 	for n := nMin; n <= nMax; n *= 2 {
+		ns = append(ns, n)
+	}
+	return parMap(ns, func(n int) (Ultra2Row, error) {
 		lin, err := vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Linear)
 		if err != nil {
-			return nil, err
+			return Ultra2Row{}, err
 		}
 		lg, err := vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Tree)
 		if err != nil {
-			return nil, err
+			return Ultra2Row{}, err
 		}
 		mx, err := vlsi.Ultra2Model(n, l, w, m, t, vlsi.Ultra2Mixed)
 		if err != nil {
-			return nil, err
+			return Ultra2Row{}, err
 		}
-		rows = append(rows, Ultra2Row{
+		return Ultra2Row{
 			N: n, SideLin: lin.SideL(), SideLog: lg.SideL(), SideMixed: mx.SideL(),
 			GateLin: lin.GateDelay, GateLog: lg.GateDelay, GateMixed: mx.GateDelay,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Ultra2ScalingReport renders E5.
@@ -142,23 +144,32 @@ type ClusterSweepRow struct {
 	Side float64 // sqrt(area), λ
 }
 
-// ClusterSweep returns the sweep and the arg-min cluster size.
+// ClusterSweep returns the sweep and the arg-min cluster size. The
+// cluster sizes fan out across the sweep pool; the arg-min is taken over
+// the ordered results, so ties resolve to the smallest C as before.
 func ClusterSweep(n, l, w int, t vlsi.Tech) ([]ClusterSweepRow, int, error) {
 	m := memory.MConst(1)
-	var rows []ClusterSweepRow
-	bestC, best := 0, math.Inf(1)
+	var cs []int
 	for c := 1; c <= n; c *= 2 {
 		if (n/c)&(n/c-1) != 0 {
 			continue
 		}
+		cs = append(cs, c)
+	}
+	rows, err := parMap(cs, func(c int) (ClusterSweepRow, error) {
 		md, err := vlsi.HybridModel(n, c, l, w, m, t, vlsi.Ultra2Linear)
 		if err != nil {
-			return nil, 0, err
+			return ClusterSweepRow{}, err
 		}
-		side := math.Sqrt(md.AreaL2())
-		rows = append(rows, ClusterSweepRow{C: c, Side: side})
-		if side < best {
-			best, bestC = side, c
+		return ClusterSweepRow{C: c, Side: math.Sqrt(md.AreaL2())}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	bestC, best := 0, math.Inf(1)
+	for _, r := range rows {
+		if r.Side < best {
+			best, bestC = r.Side, r.C
 		}
 	}
 	return rows, bestC, nil

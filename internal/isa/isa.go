@@ -166,6 +166,20 @@ func (in Inst) Reads() []uint8 {
 	}
 }
 
+// ReadRegs is the allocation-free form of Reads for per-cycle hot paths:
+// it returns the source registers (r1, and r2 when n == 2) and the source
+// count n in {0, 1, 2}, in the same order as Reads.
+func (in Inst) ReadRegs() (r1, r2 uint8, n int) {
+	switch FormatOf(in.Op) {
+	case FormatR, FormatB:
+		return in.Rs1, in.Rs2, 2
+	case FormatI:
+		return in.Rs1, 0, 1
+	default:
+		return 0, 0, 0
+	}
+}
+
 // Writes returns the destination register and whether the instruction
 // writes one at all. Every instruction writes at most one register.
 func (in Inst) Writes() (uint8, bool) {

@@ -1,0 +1,56 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile
+// flags into the command-line tools so engine hot-path regressions can be
+// diagnosed with go tool pprof:
+//
+//	usrepro -cpuprofile cpu.out && go tool pprof cpu.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
+// Start begins CPU profiling when -cpuprofile was given. The returned
+// stop function ends the CPU profile and, when -memprofile was given,
+// writes the heap profile; call it on the way out of main (note that a
+// stop skipped by os.Exit simply loses the profiles). Call after
+// flag.Parse.
+func Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		cpuFile, err = os.Create(*cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

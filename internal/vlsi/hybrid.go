@@ -20,9 +20,16 @@ import (
 
 // HybridModel builds the physical model of an n-station hybrid with
 // clusters of size c. n/c must be a power of two. The clusters use the
-// linear-gate-delay grid, as in the paper's Section 6 analysis.
+// linear-gate-delay grid, as in the paper's Section 6 analysis. Builds
+// are memoized on (mode, n, c, L, W, M(n), t).
 func HybridModel(n, c, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Model, error) {
-	return hybridModel(n, c, l, w, m, t, mode, false)
+	if c < 1 || n%c != 0 {
+		return nil, fmt.Errorf("vlsi: cluster size %d must divide n=%d", c, n)
+	}
+	k := modelKey{kind: "hybrid", mode: mode, n: n, c: c, l: l, w: w, mOfN: m.Of(n), t: t}
+	return memoModel(k, func() (*Model, error) {
+		return hybridModel(n, c, l, w, m, t, mode, false)
+	})
 }
 
 // HybridModelBlocks is HybridModel with placed rectangles emitted for
@@ -42,7 +49,7 @@ func hybridModel(n, c, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode, emit b
 	}
 	mOfN := m.Of(n)
 
-	cl, err := Ultra2Model(c, l, w, memory.MConst(minInt(c, mOfN)), t, mode)
+	cl, err := Ultra2Model(c, l, w, memory.MConst(min(c, mOfN)), t, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -141,11 +148,4 @@ func OptimalClusterSize(n, l, w int, m memory.MFunc, t Tech) (bestC int, bestSid
 		}
 	}
 	return bestC, bestSide, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

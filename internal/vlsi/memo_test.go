@@ -1,0 +1,90 @@
+package vlsi
+
+import (
+	"reflect"
+	"testing"
+
+	"ultrascalar/internal/memory"
+)
+
+// Memoized builds must be indistinguishable from fresh ones, and callers
+// must be able to mutate a returned model (Ultra2WrapModel does) without
+// corrupting the cache.
+func TestModelMemoReturnsIndependentCopies(t *testing.T) {
+	tech := Tech035()
+	m := memory.MPow(1, 0.5)
+
+	a, err := UltraIModel(64, 32, 32, m, tech, UltraIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UltraIModel(64, 32, 32, m, tech, UltraIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("memo returned the same *Model twice; copies required")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("cached rebuild differs:\n first  %+v\n second %+v", a, b)
+	}
+
+	// Mutate the first result the way Ultra2WrapModel mutates its base
+	// model; a fresh build must not see the mutation.
+	saved := *b
+	a.WidthL *= 2
+	a.Name = "mutated"
+	c, err := UltraIModel(64, 32, 32, m, tech, UltraIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*c, saved) {
+		t.Fatalf("mutating a returned model corrupted the cache:\n got  %+v\n want %+v", *c, saved)
+	}
+}
+
+// Wrap models double the base area; with the base build memoized the wrap
+// must still come out scaled, not cached-unscaled.
+func TestUltra2WrapModelWithMemo(t *testing.T) {
+	tech := Tech035()
+	m := memory.MPow(1, 0.5)
+	base, err := Ultra2Model(64, 32, 32, m, tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrap, err := Ultra2WrapModel(64, 32, 32, m, tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := wrap.AreaL2() / base.AreaL2()
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("wrap-around area ratio = %.4f, want 2 (paper Section 4)", ratio)
+	}
+	// And the base must be untouched by the wrap build.
+	again, err := Ultra2Model(64, 32, 32, m, tech, Ultra2Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, again) {
+		t.Fatal("building the wrap model mutated the cached base model")
+	}
+}
+
+// Different bandwidth regimes with the same M(n) at one point may share a
+// cache entry only when M(n) actually coincides; different M(n) must not
+// collide.
+func TestModelMemoKeysOnBandwidth(t *testing.T) {
+	tech := Tech035()
+	lo, err := UltraIModel(256, 32, 32, memory.MConst(1), tech, UltraIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := UltraIModel(256, 32, 32, memory.MLinear(), tech, UltraIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.AreaL2() >= hi.AreaL2() {
+		t.Fatalf("M(n)=1 area %.0f should be below M(n)=n area %.0f; memo key may be collapsing regimes",
+			lo.AreaL2(), hi.AreaL2())
+	}
+}

@@ -53,11 +53,22 @@ type UltraIOptions struct {
 }
 
 // UltraIModel builds the physical model of an n-station Ultrascalar I.
-// n must be a power of two.
+// n must be a power of two. Block-free builds are memoized on
+// (n, L, W, M(n), t).
 func UltraIModel(n, L, W int, m memory.MFunc, t Tech, opt UltraIOptions) (*Model, error) {
 	if n < 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("vlsi: Ultrascalar I requires a power-of-two station count, got %d", n)
 	}
+	if !opt.EmitBlocks {
+		k := modelKey{kind: "ultra1", n: n, l: L, w: W, mOfN: m.Of(n), t: t}
+		return memoModel(k, func() (*Model, error) {
+			return buildUltraIModel(n, L, W, m, t, opt)
+		})
+	}
+	return buildUltraIModel(n, L, W, m, t, opt)
+}
+
+func buildUltraIModel(n, L, W int, m memory.MFunc, t Tech, opt UltraIOptions) (*Model, error) {
 	mOfN := m.Of(n)
 	s0 := stationSideL(L, W, t)
 

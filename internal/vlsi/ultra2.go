@@ -28,11 +28,19 @@ func lanePitchL(l, w int, t Tech) float64 {
 }
 
 // Ultra2Model builds the physical model of an n-station, L-register
-// Ultrascalar II in the given datapath mode.
+// Ultrascalar II in the given datapath mode. Builds are memoized on
+// (mode, n, L, W, M(n), t).
 func Ultra2Model(n, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Model, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("vlsi: Ultrascalar II requires n >= 1, got %d", n)
 	}
+	k := modelKey{kind: "ultra2", mode: mode, n: n, l: l, w: w, mOfN: m.Of(n), t: t}
+	return memoModel(k, func() (*Model, error) {
+		return buildUltra2Model(n, l, w, m, t, mode)
+	})
+}
+
+func buildUltra2Model(n, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Model, error) {
 	lane := lanePitchL(l, w, t)
 	s := ultra2StationSideL(w, t)
 
