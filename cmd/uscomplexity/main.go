@@ -2,6 +2,13 @@
 // Figure 11 comparison table, the Section 3 X(n) recurrence cases, the
 // Section 5 Ultrascalar II implementation comparison, the Section 6
 // cluster-size optimum, and the Section 7 three-dimensional bounds.
+//
+// With -check it instead runs the netlist design-rule suite (see
+// internal/circuit.Check): every generated CSPP, Ultrascalar II grid and
+// hybrid OR-plane netlist at n ∈ {4, 16, 64} is checked for combinational
+// cycles, floating ports, fan-out bounds, stranded logic, and an exact
+// gate-count match against the construction recurrences. Exit status is 1
+// if any netlist violates a rule.
 package main
 
 import (
@@ -20,8 +27,30 @@ func main() {
 	nMin := flag.Int("nmin", 64, "smallest station count (power of 4)")
 	nMax := flag.Int("nmax", 4096, "largest station count (power of 4)")
 	verilog := flag.String("verilog", "", "write the 8-station register-CSPP netlist as Verilog to this file and exit")
+	check := flag.Bool("check", false, "run the netlist design-rule suite and exit")
 	flag.Parse()
 	t := vlsi.Tech035()
+
+	if *check {
+		failed := 0
+		for _, r := range circuit.DRCSuite([]int{4, 16, 64}) {
+			status := "ok"
+			if !r.OK() {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("%-4s %-18s n=%-3d gates=%-7d maxfanout=%-4d dead=%d\n",
+				status, r.Name, r.N, r.Result.Gates, r.Result.MaxFanout, r.Result.DeadGates)
+			for _, v := range r.Result.Violations {
+				fmt.Printf("     %s\n", v)
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "uscomplexity: %d netlist(s) violate design rules\n", failed)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *verilog != "" {
 		c := circuit.RegisterCSPP(8, *w+1, true)

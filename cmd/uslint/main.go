@@ -1,0 +1,48 @@
+// Command uslint runs the repository's custom static-analysis suite (see
+// internal/lint): hotpathalloc (the engine's per-cycle path must not
+// allocate), detorder (experiment sweeps must be deterministic) and
+// techonly (vlsi models must take technology constants from vlsi.Tech).
+//
+// Usage:
+//
+//	uslint [-list] [packages]
+//
+// With no packages, ./... is linted. Exit status is 1 when any analyzer
+// reports a finding, 2 on a load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ultrascalar/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, az := range analyzers {
+			fmt.Printf("%-14s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	prog, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uslint:", err)
+		os.Exit(2)
+	}
+	diags := prog.Lint(analyzers...)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "uslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -129,7 +129,7 @@ func (r *RAS) Push(addr int) {
 		r.stack[len(r.stack)-1] = addr
 		return
 	}
-	r.stack = append(r.stack, addr)
+	r.stack = append(r.stack, addr) //uslint:allow hotpathalloc -- grows only until the fixed RAS depth, then stops
 }
 
 // Pop predicts (and consumes) the most recent return address; ok is false

@@ -1,0 +1,185 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDRCSuite is the acceptance gate: every generated family passes its
+// design rules at the paper's plot sizes.
+func TestDRCSuite(t *testing.T) {
+	for _, r := range DRCSuite([]int{4, 16, 64}) {
+		if !r.OK() {
+			t.Errorf("%s n=%d: %d violation(s): %v", r.Name, r.N, len(r.Result.Violations), r.Result.Violations)
+		}
+	}
+}
+
+// TestDRCExpectedCounts holds the closed-form recurrences exactly equal
+// to the generators' emitted gate counts, including non-power-of-two and
+// odd sizes where the tree splits unevenly.
+func TestDRCExpectedCounts(t *testing.T) {
+	ns := []int{1, 2, 3, 5, 7, 8, 12, 16, 31, 64}
+	ws := []int{1, 3, 8}
+	for _, n := range ns {
+		for _, w := range ws {
+			for _, tree := range []bool{false, true} {
+				if got, want := RegisterCSPP(n, w, tree).NumGates(), ExpectedGatesRegisterCSPP(n, w, tree); got != want {
+					t.Errorf("RegisterCSPP(n=%d, w=%d, tree=%v): built %d gates, recurrence %d", n, w, tree, got, want)
+				}
+			}
+		}
+		for _, tree := range []bool{false, true} {
+			if got, want := Figure5CSPP(n, tree).NumGates(), ExpectedGatesFigure5(n, tree); got != want {
+				t.Errorf("Figure5CSPP(n=%d, tree=%v): built %d gates, recurrence %d", n, tree, got, want)
+			}
+		}
+	}
+	for _, n := range []int{1, 3, 8, 16} {
+		for _, l := range []int{3, 8, 16} {
+			for _, tree := range []bool{false, true} {
+				c, _ := Ultra2Grid(n, l, 4, tree)
+				if got, want := c.NumGates(), ExpectedGatesUltra2Grid(n, l, 4, tree); got != want {
+					t.Errorf("Ultra2Grid(n=%d, l=%d, tree=%v): built %d gates, recurrence %d", n, l, tree, got, want)
+				}
+				if got, want := HybridModifiedBits(n, l, tree).NumGates(), ExpectedGatesHybridModified(n, l, tree); got != want {
+					t.Errorf("HybridModifiedBits(n=%d, l=%d, tree=%v): built %d gates, recurrence %d", n, l, tree, got, want)
+				}
+			}
+		}
+	}
+}
+
+// hasRule reports whether the result contains a violation of the rule.
+func hasRule(r CheckResult, rule string) bool {
+	for _, v := range r.Violations {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// smallFixture builds a clean little netlist: two inputs, an AND, a
+// buffered copy, one output.
+func smallFixture() *Circuit {
+	c := New()
+	a, b := c.NewInput(), c.NewInput()
+	x := c.And(a, b)
+	c.Output(c.Buf(x))
+	return c
+}
+
+func TestCheckCleanFixture(t *testing.T) {
+	r := smallFixture().Check(CheckOptions{MaxFanout: 4, MaxDead: 1, ExpectedGates: 4})
+	if !r.OK() {
+		t.Fatalf("clean fixture violates: %v", r.Violations)
+	}
+	if r.Gates != 4 || r.Inputs != 2 || r.Outputs != 1 {
+		t.Fatalf("fixture stats wrong: %+v", r)
+	}
+}
+
+// TestCheckBrokenCycle rewires a gate to depend on a later gate — the
+// kind of loop add() forbids but a mutated or deserialized netlist could
+// carry — and expects the cycle rule to fire.
+func TestCheckBrokenCycle(t *testing.T) {
+	c := smallFixture()
+	// The AND (gate 2) now reads the buffer (gate 3) that reads it back.
+	c.gates[2].in[1] = 3
+	r := c.Check(CheckOptions{})
+	if !hasRule(r, "cycle") {
+		t.Fatalf("forward-wired netlist passed the cycle rule: %v", r.Violations)
+	}
+}
+
+// TestCheckBrokenFloatingInput declares an input nothing consumes.
+func TestCheckBrokenFloatingInput(t *testing.T) {
+	c := smallFixture()
+	c.NewInput()
+	r := c.Check(CheckOptions{})
+	if !hasRule(r, "floating-input") {
+		t.Fatalf("unconnected input passed: %v", r.Violations)
+	}
+}
+
+// TestCheckBrokenOperand plants an out-of-range operand and a value in
+// an unused slot.
+func TestCheckBrokenOperand(t *testing.T) {
+	c := smallFixture()
+	c.gates[3].in[0] = 99
+	r := c.Check(CheckOptions{})
+	if !hasRule(r, "operand") {
+		t.Fatalf("out-of-range operand passed: %v", r.Violations)
+	}
+
+	c = smallFixture()
+	c.gates[3].in[2] = 1 // Buf has arity 1; slot 2 must stay unset
+	r = c.Check(CheckOptions{})
+	if !hasRule(r, "operand") {
+		t.Fatalf("spurious operand passed: %v", r.Violations)
+	}
+}
+
+func TestCheckFanoutBound(t *testing.T) {
+	c := New()
+	a := c.NewInput()
+	c.Output(c.And(c.Buf(a), c.Not(a))) // a drives 2 consumers
+	if r := c.Check(CheckOptions{MaxFanout: 1}); !hasRule(r, "fanout") {
+		t.Fatalf("fanout 2 passed bound 1: %v", r.Violations)
+	}
+	if r := c.Check(CheckOptions{MaxFanout: 2}); hasRule(r, "fanout") {
+		t.Fatalf("fanout 2 violated bound 2: %v", r.Violations)
+	}
+}
+
+func TestCheckDeadLogic(t *testing.T) {
+	c := smallFixture()
+	// An OR chain feeding nothing.
+	d := c.Or(0, 1)
+	c.Or(d, 1)
+	r := c.Check(CheckOptions{MaxDead: 1})
+	if !hasRule(r, "dead") {
+		t.Fatalf("2 dead gates passed bound 1: %v", r.Violations)
+	}
+	if r.DeadGates != 2 {
+		t.Fatalf("DeadGates = %d, want 2", r.DeadGates)
+	}
+}
+
+func TestCheckGateCountMismatch(t *testing.T) {
+	c := smallFixture()
+	c.Buf(0) // one gate the recurrence does not predict
+	r := c.Check(CheckOptions{ExpectedGates: 4})
+	if !hasRule(r, "gate-count") {
+		t.Fatalf("count mismatch passed: %v", r.Violations)
+	}
+	if !strings.Contains(r.Violations[len(r.Violations)-1].Detail, "5") {
+		t.Fatalf("violation does not name the actual count: %v", r.Violations)
+	}
+}
+
+// TestCheckCatchesBrokenGenerator mutates a real generated netlist — a
+// 16-station CSPP tree with one operand rewired forward — and expects
+// the suite options that pass on the pristine netlist to fail on it.
+func TestCheckCatchesBrokenGenerator(t *testing.T) {
+	c := RegisterCSPP(16, 8, true)
+	opt := CheckOptions{
+		MaxFanout:     csppFanoutBound(16, 8),
+		MaxDead:       csppDeadBound(16, 8),
+		ExpectedGates: ExpectedGatesRegisterCSPP(16, 8, true),
+	}
+	if r := c.Check(opt); !r.OK() {
+		t.Fatalf("pristine netlist violates: %v", r.Violations)
+	}
+	// Find a mid-netlist mux and wire its selector to the last gate.
+	for id := c.NumGates() / 2; id < c.NumGates(); id++ {
+		if c.gates[id].kind == Mux2 {
+			c.gates[id].in[0] = int32(c.NumGates() - 1)
+			break
+		}
+	}
+	if r := c.Check(opt); !hasRule(r, "cycle") {
+		t.Fatalf("rewired generator netlist passed: %v", r.Violations)
+	}
+}

@@ -284,6 +284,8 @@ func (e *engine) finishStats() {
 
 // completions makes memory data that arrived at the end of the previous
 // cycle visible.
+//
+//uslint:hotpath
 func (e *engine) completions() {
 	if e.memCount == 0 {
 		return
@@ -311,6 +313,8 @@ func (e *engine) completions() {
 // analogy holds: a CSPP whose inputs are unchanged settles to the same
 // outputs. Self-timed configurations (ForwardLatency) gate availability on
 // the cycle number as well, so they scan every cycle.
+//
+//uslint:hotpath
 func (e *engine) forward() error {
 	if !e.fwdDirty && !e.scanEveryCycle {
 		return nil
@@ -340,7 +344,7 @@ func (e *engine) forward() error {
 					r = r2
 				}
 				if int(r) >= n {
-					return fmt.Errorf("core: %s reads r%d but machine has %d registers", s.inst, r, n)
+					return fmt.Errorf("core: %s reads r%d but machine has %d registers", s.inst, r, n) //uslint:allow hotpathalloc -- cold error path, terminates the run
 				}
 				avail := ready[r]
 				if avail && fl != nil && writer[r] >= 0 {
@@ -361,15 +365,15 @@ func (e *engine) forward() error {
 					s.b = v
 				}
 				if writer[r] < 0 {
-					s.srcDist = append(s.srcDist, -1)
+					s.srcDist = append(s.srcDist, -1) //uslint:allow hotpathalloc -- srcDist is backed by the station's fixed cap-2 srcBuf
 				} else {
-					s.srcDist = append(s.srcDist, int(s.seq-writer[r]))
+					s.srcDist = append(s.srcDist, int(s.seq-writer[r])) //uslint:allow hotpathalloc -- srcDist is backed by the station's fixed cap-2 srcBuf
 				}
 			}
 		}
 		if s.writes {
 			if int(s.dest) >= n {
-				return fmt.Errorf("core: %s writes r%d but machine has %d registers", s.inst, s.dest, n)
+				return fmt.Errorf("core: %s writes r%d but machine has %d registers", s.inst, s.dest, n) //uslint:allow hotpathalloc -- cold error path, terminates the run
 			}
 			vals[s.dest] = s.result
 			ready[s.dest] = s.done
@@ -383,6 +387,8 @@ func (e *engine) forward() error {
 // execute progresses ALU, jump and branch stations. With a shared-ALU
 // pool configured, at most NumALUs instructions execute concurrently,
 // allocated oldest first — the priority the CSPP scheduler implements.
+//
+//uslint:hotpath
 func (e *engine) execute() error {
 	budget := e.cfg.NumALUs
 	if budget > 0 {
@@ -455,7 +461,7 @@ func (e *engine) recordSources(s *station) {
 			continue
 		}
 		if d >= len(e.operandDist) {
-			grown := make([]int64, max(d+1, 2*len(e.operandDist)))
+			grown := make([]int64, max(d+1, 2*len(e.operandDist))) //uslint:allow hotpathalloc -- amortized histogram growth, not per-cycle
 			copy(grown, e.operandDist)
 			e.operandDist = grown
 		}
@@ -470,6 +476,8 @@ func (e *engine) recordSources(s *station) {
 // stores have finished. A station cannot store to memory until all
 // preceding loads and stores have finished" and "A station cannot modify
 // memory ... until all preceding stations have committed."
+//
+//uslint:hotpath
 func (e *engine) memoryPhase() {
 	if e.memCount == 0 {
 		return
@@ -508,18 +516,18 @@ func (e *engine) memoryPhase() {
 					e.stats.Loads++
 					e.stats.LoadsForwarded++
 				} else if !blocked {
-					reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq})
-					cands = append(cands, memCand{s, addr})
+					reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq}) //uslint:allow hotpathalloc -- reusable scratch, kept across cycles via e.memReqs
+					cands = append(cands, memCand{s, addr})                                      //uslint:allow hotpathalloc -- reusable scratch, kept across cycles via e.memCands
 				}
 			case storesDone:
-				reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq})
-				cands = append(cands, memCand{s, addr})
+				reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq}) //uslint:allow hotpathalloc -- reusable scratch, kept across cycles via e.memReqs
+				cands = append(cands, memCand{s, addr})                                      //uslint:allow hotpathalloc -- reusable scratch, kept across cycles via e.memCands
 			}
 		}
 		if eligible && s.class&clsStore != 0 && memDone && committed {
 			addr := isa.EffAddr(s.inst, s.a)
-			reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Store: true, Age: s.seq})
-			cands = append(cands, memCand{s, addr})
+			reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Store: true, Age: s.seq}) //uslint:allow hotpathalloc -- reusable scratch, kept across cycles via e.memReqs
+			cands = append(cands, memCand{s, addr})                                                   //uslint:allow hotpathalloc -- reusable scratch, kept across cycles via e.memCands
 		}
 		if s.class&clsStore != 0 {
 			storesDone = storesDone && s.memDone
@@ -539,7 +547,7 @@ func (e *engine) memoryPhase() {
 	if len(reqs) == 0 {
 		return
 	}
-	grant := func(c memCand, latency int) {
+	grant := func(c memCand, latency int) { //uslint:allow hotpathalloc -- non-escaping closure; the zero-alloc benchmark pins it
 		s := c.s
 		s.started = true
 		s.memInFlight = true
@@ -598,6 +606,8 @@ func (e *engine) forwardFromStore(idx int, addr isa.Word) (v isa.Word, hit, bloc
 // and redirects fetch — the paper's single-cycle recovery ("Nothing needs
 // to be done to recover from misprediction except to fetch new
 // instructions from the correct program path").
+//
+//uslint:hotpath
 func (e *engine) recover() {
 	for i := 0; i < len(e.window); i++ {
 		s := &e.slab[e.window[i]]
@@ -649,6 +659,8 @@ func (e *engine) squashAfter(i int) {
 // retire commits finished instructions in order from the head of the
 // window, freeing station slots at the configured granularity. It returns
 // true when a halt commits.
+//
+//uslint:hotpath
 func (e *engine) retire() bool {
 	g := e.cfg.Granularity
 	popped := 0
@@ -660,7 +672,7 @@ func (e *engine) retire() bool {
 			e.traceBuild.Retire(s.pc)
 		}
 		if e.cfg.KeepTimeline {
-			e.timeline = append(e.timeline, InstRecord{
+			e.timeline = append(e.timeline, InstRecord{ //uslint:allow hotpathalloc -- opt-in timeline (cfg.KeepTimeline), off in measured runs
 				Seq: s.seq, PC: s.pc, Inst: s.inst, Slot: s.slot,
 				Issue: s.issue, Done: e.doneCycle(s),
 			})
@@ -717,6 +729,8 @@ func (e *engine) doneCycle(s *station) int64 { return s.doneAt }
 // width defaults to the window size ("the issue width and the
 // instruction-fetch width scale together"); the fetch model decides how
 // taken branches limit a cycle's fetch.
+//
+//uslint:hotpath
 func (e *engine) fetch() {
 	width := e.cfg.FetchWidth
 	if width <= 0 {
@@ -837,7 +851,7 @@ func (e *engine) fetchOne(forcedNext int) (*station, bool) {
 		s.predictedNext = pc + 1
 	}
 	e.slots[slot] = slotOccupied
-	e.window = append(e.window, int32(slot))
+	e.window = append(e.window, int32(slot)) //uslint:allow hotpathalloc -- window is backed by the fixed-capacity windowBuf
 	e.nextSeq++
 	e.stats.Fetched++
 	if s.class&clsMem != 0 {

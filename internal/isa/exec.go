@@ -65,7 +65,7 @@ func ALUOp(in Inst, a, b Word) Word {
 	case OpNop:
 		return 0
 	default:
-		panic("isa.ALUOp: not an ALU operation: " + in.String())
+		panic("isa.ALUOp: not an ALU operation: " + in.String()) //uslint:allow hotpathalloc -- cold panic path
 	}
 }
 
@@ -81,7 +81,7 @@ func BranchTaken(in Inst, a, b Word) bool {
 	case OpBge:
 		return int32(a) >= int32(b)
 	default:
-		panic("isa.BranchTaken: not a branch: " + in.String())
+		panic("isa.BranchTaken: not a branch: " + in.String()) //uslint:allow hotpathalloc -- cold panic path
 	}
 }
 

@@ -101,6 +101,8 @@ var opNames = [...]string{
 }
 
 // String returns the assembler mnemonic for the operation.
+//
+//uslint:allow hotpathalloc -- cold formatting, reached from the hot path only through panic messages
 func (o Op) String() string {
 	if int(o) < len(opNames) && opNames[o] != "" {
 		return opNames[o]
@@ -219,6 +221,8 @@ func (in Inst) IsMem() bool { return in.IsLoad() || in.IsStore() }
 func (in Inst) IsHalt() bool { return in.Op == OpHalt }
 
 // String renders the instruction in assembler syntax.
+//
+//uslint:allow hotpathalloc -- cold formatting, reached from the hot path only through panic and error messages
 func (in Inst) String() string {
 	switch FormatOf(in.Op) {
 	case FormatR:

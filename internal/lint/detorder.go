@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetOrder enforces the deterministic-sweep contract of internal/exp (a
+// parallel sweep must be byte-identical to a serial one) and keeps the
+// command-line tools honest about wall-clock and randomness. It applies
+// to ultrascalar/internal/exp and every ultrascalar/cmd package.
+//
+// Flagged constructs:
+//   - time.Now — results must not depend on when they were computed. The
+//     benchmarking tools that legitimately time things carry
+//     `//uslint:allow detorder` escapes.
+//   - the global math/rand generator (rand.Intn, rand.Perm, ...) — all
+//     randomness must flow from an explicit rand.New(rand.NewSource(seed)).
+//   - appends to an outer slice while ranging over a map — the result
+//     order would follow map iteration order.
+//   - appends to a captured slice inside a `go` statement — goroutine
+//     results must be written to pre-assigned indices (keyed collection,
+//     as internal/exp's parMap does), never collected by append.
+var DetOrder = &Analyzer{
+	Name: detOrderName,
+	Doc:  "forbid nondeterministic time, randomness and ordering in internal/exp and cmd",
+	Run:  runDetOrder,
+}
+
+// detOrderScope reports whether the package is under the contract.
+func detOrderScope(path string) bool {
+	return path == "ultrascalar/internal/exp" ||
+		strings.HasPrefix(path, "ultrascalar/cmd/")
+}
+
+// globalRandAllowed lists math/rand functions that are constructors, not
+// uses of the package-global generator.
+var globalRandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDetOrder(p *Program, pkg *Package) []Diagnostic {
+	if !detOrderScope(pkg.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					switch fn.Pkg().Path() {
+					case "time":
+						if fn.Name() == "Now" {
+							out = append(out, report(p, detOrderName, n.Pos(),
+								"time.Now makes results depend on wall-clock time"))
+						}
+					case "math/rand", "math/rand/v2":
+						if _, isPkg := info.Uses[rootIdent(n.X)].(*types.PkgName); isPkg && !globalRandAllowed[fn.Name()] {
+							out = append(out, report(p, detOrderName, n.Pos(),
+								"global math/rand generator is not reproducible; use rand.New(rand.NewSource(seed))"))
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						out = append(out, outerAppends(p, info, n.Body, n,
+							"append to %q inside a range over a map orders results by map iteration")...)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					out = append(out, outerAppends(p, info, lit.Body, lit,
+						"append to captured %q in a goroutine collects results in completion order; write to a pre-assigned index instead")...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rootIdent unwraps a selector's receiver to its leftmost identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// outerAppends reports append calls inside body whose destination is a
+// variable declared outside the given region.
+func outerAppends(p *Program, info *types.Info, body ast.Node, region ast.Node, format string) []Diagnostic {
+	var out []Diagnostic
+	if body == nil {
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		dst := rootIdent(call.Args[0])
+		if dst == nil {
+			return true
+		}
+		v, ok := info.Uses[dst].(*types.Var)
+		if !ok {
+			return true
+		}
+		if v.Pos() < region.Pos() || v.Pos() > region.End() {
+			out = append(out, report(p, detOrderName, call.Pos(), format, v.Name()))
+		}
+		return true
+	})
+	return out
+}

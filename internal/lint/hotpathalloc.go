@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc flags heap-allocating constructs inside functions declared
+// //uslint:hotpath and inside their statically resolvable callees. PR 1
+// made the engine's per-cycle path (completions → forward → execute →
+// memoryPhase → recover → retire → fetch) allocation-free; this analyzer
+// keeps it that way mechanically.
+//
+// Flagged constructs:
+//   - make, new and append (append may grow its backing array)
+//   - address-taken composite literals (&T{...}) and slice/map literals
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - fmt formatting calls (Sprintf, Errorf, ...)
+//   - closures that capture enclosing variables, and goroutine launches
+//
+// Several hot-path sites allocate deliberately — amortized scratch growth,
+// cold error returns — and carry line-level `//uslint:allow hotpathalloc`
+// escapes with their justification. A doc-level allow on a function stops
+// the callee traversal at that function entirely.
+var HotPathAlloc = &Analyzer{
+	Name: hotPathAllocName,
+	Doc:  "flag heap allocations in //uslint:hotpath functions and their callees",
+	Run:  runHotPathAlloc,
+}
+
+// fmtAllocFuncs are fmt entry points that always allocate their result.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+// hotFuncs computes (once) the set of functions the hot-path contract
+// covers: every //uslint:hotpath root plus the transitive closure of
+// statically resolved callees, stopping at functions whose declaration
+// carries a doc-level allow.
+func (p *Program) hotFuncs() map[*types.Func]bool {
+	if p.hotOnce {
+		return p.hotSet
+	}
+	p.hotOnce = true
+	p.hotSet = make(map[*types.Func]bool)
+	var queue []*types.Func
+	for obj, fi := range p.funcs {
+		if fi.Hotpath {
+			p.hotSet[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		fi := p.funcs[obj]
+		if fi == nil {
+			continue
+		}
+		for _, callee := range fi.Callees {
+			cf := p.funcs[callee]
+			if cf == nil || cf.Allowed[hotPathAllocName] || p.hotSet[callee] {
+				continue
+			}
+			p.hotSet[callee] = true
+			queue = append(queue, callee)
+		}
+	}
+	return p.hotSet
+}
+
+func runHotPathAlloc(p *Program, pkg *Package) []Diagnostic {
+	hot := p.hotFuncs()
+	var out []Diagnostic
+	for obj, fi := range p.funcs {
+		if fi.Pkg != pkg || !hot[obj] || fi.Decl.Body == nil {
+			continue
+		}
+		out = append(out, checkAllocs(p, pkg, fi)...)
+	}
+	return out
+}
+
+// checkAllocs walks one hot function's body and reports allocation sites.
+func checkAllocs(p *Program, pkg *Package, fi *FuncInfo) []Diagnostic {
+	var out []Diagnostic
+	name := fi.Obj.Name()
+	add := func(pos token.Pos, format string, args ...any) {
+		args = append(args, name)
+		out = append(out, report(p, hotPathAllocName, pos, format+" in hot-path function %s", args...))
+	}
+	info := pkg.Info
+
+	// Address-taken composite literals get one finding at the & operator.
+	addrTaken := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if cl, ok := u.X.(*ast.CompositeLit); ok {
+				addrTaken[cl] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(info, n, add)
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				add(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				add(n.Pos(), "map literal allocates")
+			default:
+				if addrTaken[n] {
+					add(n.Pos(), "address-taken composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := info.Types[n]
+				if tv.Value == nil && tv.Type != nil && isString(tv.Type) {
+					add(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(info, n, fi.Decl); capt != "" {
+				add(n.Pos(), "closure capturing %q may allocate", capt)
+			}
+			return false // the literal's own body is not the hot function's
+		case *ast.GoStmt:
+			add(n.Pos(), "goroutine launch allocates")
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall reports allocating calls (builtins, fmt formatting, and
+// copying string conversions).
+func checkCall(info *types.Info, call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				add(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if fpkg := fn.Pkg(); fpkg != nil && fpkg.Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
+				add(call.Pos(), "fmt."+fn.Name()+" allocates")
+				return
+			}
+		}
+	}
+	// Conversions: string <-> []byte / []rune copy their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.Types[call.Args[0]].Type
+		if src != nil && isStringByteConv(dst, src) {
+			add(call.Pos(), "string/byte-slice conversion allocates")
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isStringByteConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isString(src))
+}
+
+// capturedVar returns the name of a variable the function literal
+// captures from its enclosing function, or "" if it captures nothing.
+// Package-level objects are shared state, not captures.
+func capturedVar(info *types.Info, lit *ast.FuncLit, encl *ast.FuncDecl) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		// Declared inside the enclosing function but outside the literal.
+		if pos >= encl.Pos() && pos <= encl.End() && (pos < lit.Pos() || pos > lit.End()) {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,324 @@
+// Package lint is a custom static-analysis suite that locks in the two
+// invariants PR 1 established by hand: the engine's per-cycle path stays
+// allocation-free, and experiment sweeps stay deterministic. A third
+// analyzer keeps the vlsi package's delay/area formulas honest about
+// where technology numbers come from.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) but is built on the standard library
+// only — go/parser, go/types and the source importer — because the
+// build environment is hermetic. Packages are enumerated with
+// `go list -json` and type-checked from source, so analyzers see full
+// type information including cross-package function objects.
+//
+// Directives (comments, in the source under analysis):
+//
+//	//uslint:hotpath
+//	    On a function declaration's doc comment: the function is a
+//	    hot-path root. hotpathalloc checks it and every statically
+//	    resolvable callee for heap allocations.
+//
+//	//uslint:allow <analyzer> [-- reason]
+//	    Suppresses one analyzer. Placement decides scope: in a file's
+//	    header (before the package clause) it exempts the whole file;
+//	    in a function declaration's doc comment it exempts the function
+//	    (and stops hotpathalloc's callee traversal there); trailing on
+//	    a line, or alone on the line above, it exempts that line.
+//	    The reason is required by convention: an allow is a reviewed,
+//	    justified escape, not an off switch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+
+	pos token.Pos // for suppression scoping
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run receives the whole program (for
+// cross-package analyses like the hot-path callee traversal) and the
+// package whose declarations it should report on; diagnostics it returns
+// for other packages are dropped, so each finding is reported exactly
+// once, by its defining package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, pkg *Package) []Diagnostic
+}
+
+// All returns the uslint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{HotPathAlloc, DetOrder, TechOnly}
+}
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	Path  string // import path
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FuncInfo is a function declaration with its lint-relevant metadata.
+type FuncInfo struct {
+	Pkg     *Package
+	Decl    *ast.FuncDecl
+	Obj     *types.Func
+	Hotpath bool            // declared //uslint:hotpath
+	Allowed map[string]bool // analyzers allowed (doc-level //uslint:allow)
+	Callees []*types.Func   // statically resolved calls, deduplicated
+}
+
+// fileDirectives records //uslint:allow scopes for one file.
+type fileDirectives struct {
+	fileAllow map[string]bool
+	lineAllow map[int]map[string]bool
+}
+
+// Program is the full set of packages under analysis plus the global
+// function index the cross-package analyses need.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	funcs map[*types.Func]*FuncInfo
+	dirs  map[string]*fileDirectives // keyed by filename
+
+	hotOnce bool
+	hotSet  map[*types.Func]bool
+}
+
+// NewProgram indexes already-type-checked packages. Load is the usual
+// entry point; NewProgram exists so tests can assemble fixture programs
+// directly.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	p := &Program{
+		Fset:  fset,
+		Pkgs:  pkgs,
+		funcs: make(map[*types.Func]*FuncInfo),
+		dirs:  make(map[string]*fileDirectives),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			p.indexDirectives(f)
+			p.indexFuncs(pkg, f)
+		}
+	}
+	return p
+}
+
+// directive parses one "//uslint:<verb> args" comment; ok is false for
+// ordinary comments.
+func directive(c *ast.Comment) (verb, args string, ok bool) {
+	const prefix = "//uslint:"
+	if !strings.HasPrefix(c.Text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(c.Text, prefix)
+	verb, args, _ = strings.Cut(rest, " ")
+	return verb, strings.TrimSpace(args), true
+}
+
+// allowName extracts the analyzer name from an allow directive's
+// arguments, dropping the "-- reason" tail.
+func allowName(args string) string {
+	name, _, _ := strings.Cut(args, "--")
+	return strings.TrimSpace(name)
+}
+
+func (p *Program) indexDirectives(f *ast.File) {
+	tf := p.Fset.File(f.Pos())
+	if tf == nil {
+		return
+	}
+	d := p.dirs[tf.Name()]
+	if d == nil {
+		d = &fileDirectives{
+			fileAllow: make(map[string]bool),
+			lineAllow: make(map[int]map[string]bool),
+		}
+		p.dirs[tf.Name()] = d
+	}
+	pkgLine := p.Fset.Position(f.Package).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			verb, args, ok := directive(c)
+			if !ok || verb != "allow" {
+				continue
+			}
+			name := allowName(args)
+			if name == "" {
+				continue
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			if line < pkgLine {
+				d.fileAllow[name] = true
+				continue
+			}
+			// Cover both the trailing-comment and the line-above styles.
+			for _, l := range []int{line, line + 1} {
+				if d.lineAllow[l] == nil {
+					d.lineAllow[l] = make(map[string]bool)
+				}
+				d.lineAllow[l][name] = true
+			}
+		}
+	}
+}
+
+func (p *Program) indexFuncs(pkg *Package, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+		if obj == nil {
+			continue
+		}
+		fi := &FuncInfo{Pkg: pkg, Decl: fd, Obj: obj, Allowed: make(map[string]bool)}
+		if fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				verb, args, ok := directive(c)
+				if !ok {
+					continue
+				}
+				switch verb {
+				case "hotpath":
+					fi.Hotpath = true
+				case "allow":
+					if name := allowName(args); name != "" {
+						fi.Allowed[name] = true
+					}
+				}
+			}
+		}
+		fi.Callees = p.callees(pkg, fd)
+		p.funcs[obj] = fi
+	}
+}
+
+// callees statically resolves the functions fd calls: direct calls and
+// concrete method calls. Interface dispatch and function values cannot be
+// resolved without whole-program pointer analysis and are skipped; the
+// engine's hot path keeps those behind configuration, not per-cycle work.
+func (p *Program) callees(pkg *Package, fd *ast.FuncDecl) []*types.Func {
+	if fd.Body == nil {
+		return nil
+	}
+	seen := make(map[*types.Func]bool)
+	var out []*types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// FuncOf returns the indexed declaration for a function object, or nil.
+func (p *Program) FuncOf(obj *types.Func) *FuncInfo { return p.funcs[obj] }
+
+// suppressed reports whether an allow directive covers the diagnostic.
+func (p *Program) suppressed(d Diagnostic) bool {
+	fd := p.dirs[d.Pos.Filename]
+	if fd == nil {
+		return false
+	}
+	if fd.fileAllow[d.Analyzer] {
+		return true
+	}
+	if fd.lineAllow[d.Pos.Line][d.Analyzer] {
+		return true
+	}
+	return p.funcAllowed(d.Analyzer, d.pos)
+}
+
+// funcAllowed reports whether the enclosing function declaration at pos
+// carries a doc-level allow for the analyzer.
+func (p *Program) funcAllowed(analyzer string, pos token.Pos) bool {
+	for _, fi := range p.funcs {
+		if fi.Allowed[analyzer] && fi.Decl.Pos() <= pos && pos <= fi.Decl.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// Lint runs the analyzers over every package, applies the allow
+// directives, and returns the surviving diagnostics in file/line order.
+func (p *Program) Lint(analyzers ...*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, az := range analyzers {
+		for _, pkg := range p.Pkgs {
+			for _, d := range az.Run(p, pkg) {
+				if !p.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// report builds a Diagnostic at an AST node.
+func report(p *Program, az string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: az,
+		Message:  fmt.Sprintf(format, args...),
+		pos:      pos,
+	}
+}
+
+// Analyzer name constants, usable from the run functions without
+// creating package-initialization cycles.
+const (
+	hotPathAllocName = "hotpathalloc"
+	detOrderName     = "detorder"
+	techOnlyName     = "techonly"
+)

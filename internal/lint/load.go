@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load enumerates the packages matching the patterns (relative to dir),
+// parses their non-test sources, and type-checks them in dependency
+// order. Module-local imports resolve to the freshly checked packages —
+// so function objects are shared across packages and the cross-package
+// call graph is exact — and standard-library imports are type-checked
+// from source, which needs no pre-built export data.
+//
+// Test files are deliberately excluded: the invariants uslint enforces
+// are production-code contracts (tests time things and build throwaway
+// slices all day, legitimately).
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+
+	imp := &moduleImporter{
+		base: importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+
+	var pkgs []*Package
+	checked := make(map[string]bool)
+	var check func(lp *listedPackage) error
+	check = func(lp *listedPackage) error {
+		if checked[lp.ImportPath] {
+			return nil
+		}
+		checked[lp.ImportPath] = true
+		// Dependencies first, so module-local imports hit imp.pkgs.
+		for _, path := range lp.Imports {
+			if dep := byPath[path]; dep != nil {
+				if err := check(dep); err != nil {
+					return err
+				}
+			}
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("lint: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		cfg := types.Config{Importer: imp}
+		tpkg, err := cfg.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+		}
+		imp.pkgs[lp.ImportPath] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+		return nil
+	}
+	for _, lp := range listed {
+		if err := check(lp); err != nil {
+			return nil, err
+		}
+	}
+	return NewProgram(fset, pkgs), nil
+}
+
+// newInfo allocates the types.Info maps the analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// goList shells out to the go tool for package enumeration — the one
+// piece of module logic not worth reimplementing.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// moduleImporter resolves module-local imports to the packages this load
+// already checked and everything else through the source importer.
+type moduleImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p := m.pkgs[path]; p != nil {
+		return p, nil
+	}
+	return m.base.Import(path)
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// TechOnly keeps the vlsi package's delay/area formulas honest: physical
+// technology numbers (λ lengths, cell areas, picosecond delays) must come
+// from a vlsi.Tech value, never appear as literals inside a model. The
+// paper's quantitative claims — 7 cm × 7 cm at 0.35 µm, the Figure 11/12
+// comparisons — are only as portable as the Tech struct; a literal 900
+// buried in a floorplan function silently pins the model to one process.
+//
+// The rule: in ultrascalar/internal/vlsi, outside tech.go (where the
+// calibrated constants live), flag
+//   - every floating-point literal except the structural values 0, 0.5,
+//     1 and 2 (halves and doublings are geometry, not technology), and
+//   - every integer literal >= 100 (tech-magnitude numbers; loop bounds
+//     and bit widths stay well below), and
+//   - every composite literal of type Tech (ad-hoc process definitions
+//     belong in tech.go next to the calibrated ones).
+//
+// Genuine model constants that are not technology — dimension exponents
+// from the paper's 3D analysis, routing-overhead fudge factors — carry
+// `//uslint:allow techonly` escapes with their justification.
+var TechOnly = &Analyzer{
+	Name: techOnlyName,
+	Doc:  "vlsi models must take technology constants from vlsi.Tech, not literals",
+	Run:  runTechOnly,
+}
+
+const techOnlyPkg = "ultrascalar/internal/vlsi"
+
+// techOnlyExemptFile reports whether a file hosts the calibrated
+// constants themselves.
+func techOnlyExemptFile(name string) bool {
+	return filepath.Base(name) == "tech.go"
+}
+
+// allowedFloats are structural values, not technology numbers.
+var allowedFloats = map[float64]bool{0: true, 0.5: true, 1: true, 2: true}
+
+const intLiteralLimit = 100
+
+func runTechOnly(p *Program, pkg *Package) []Diagnostic {
+	if pkg.Path != techOnlyPkg {
+		return nil
+	}
+	var out []Diagnostic
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		if techOnlyExemptFile(p.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				out = append(out, checkTechLit(p, n)...)
+			case *ast.CompositeLit:
+				if tv, ok := info.Types[n]; ok && tv.Type != nil {
+					if named, ok := tv.Type.(*types.Named); ok &&
+						named.Obj().Name() == "Tech" && named.Obj().Pkg() != nil &&
+						named.Obj().Pkg().Path() == techOnlyPkg {
+						out = append(out, report(p, techOnlyName, n.Pos(),
+							"ad-hoc Tech literal; define calibrated technologies in tech.go"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkTechLit(p *Program, lit *ast.BasicLit) []Diagnostic {
+	switch lit.Kind {
+	case token.FLOAT:
+		v, err := strconv.ParseFloat(strings.ReplaceAll(lit.Value, "_", ""), 64)
+		if err == nil && allowedFloats[v] {
+			return nil
+		}
+		return []Diagnostic{report(p, techOnlyName, lit.Pos(),
+			"float literal %s in a vlsi model; take technology constants from vlsi.Tech", lit.Value)}
+	case token.INT:
+		v, err := strconv.ParseInt(strings.ReplaceAll(lit.Value, "_", ""), 0, 64)
+		if err == nil && v >= intLiteralLimit {
+			return []Diagnostic{report(p, techOnlyName, lit.Pos(),
+				"integer literal %s is technology-magnitude; take it from vlsi.Tech", lit.Value)}
+		}
+	}
+	return nil
+}

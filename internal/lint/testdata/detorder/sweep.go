@@ -1,0 +1,76 @@
+// Package sweep is a detorder fixture, loaded under the path
+// ultrascalar/internal/exp so the analyzer's scope applies.
+package sweep
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want "time.Now makes results depend on wall-clock time"
+	return t.Unix()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand generator is not reproducible"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(10)
+}
+
+func methodNotPackage(r *rand.Rand) int {
+	return r.Intn(10) // method on an explicit generator, fine
+}
+
+func mapOrdered(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "inside a range over a map"
+	}
+	return out
+}
+
+func mapKeyed(keys []string, m map[string]int) []int {
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = m[k] // deterministic: indexed by a slice, not the map
+	}
+	return out
+}
+
+func goCollected(items []int) []int {
+	var out []int
+	done := make(chan bool)
+	for range items {
+		go func() {
+			out = append(out, 1) // want "in a goroutine collects results in completion order"
+			done <- true
+		}()
+	}
+	for range items {
+		<-done
+	}
+	return out
+}
+
+func goKeyed(items []int) []int {
+	out := make([]int, len(items))
+	done := make(chan bool)
+	for i, v := range items {
+		go func(i, v int) {
+			out[i] = v * v // keyed collection, fine
+			done <- true
+		}(i, v)
+	}
+	for range items {
+		<-done
+	}
+	return out
+}
+
+func allowedClock() time.Time {
+	return time.Now() //uslint:allow detorder -- fixture: progress display only
+}

@@ -1,0 +1,51 @@
+// Package hotpath is a hotpathalloc fixture: a hot root, a transitively
+// hot callee, an allow-stopped callee, and an unreachable function.
+package hotpath
+
+import "fmt"
+
+var buf []int
+var sink string
+
+//uslint:hotpath
+func step(n int) {
+	buf = append(buf, n) // want "append may grow its backing array"
+	s := make([]int, 4)  // want "make allocates"
+	m := map[int]bool{}  // want "map literal allocates"
+	p := &point{x: 1}    // want "address-taken composite literal allocates"
+	_, _, _ = s, m, p
+	helper()
+	stopped()
+	unrelated := func() {}
+	unrelated()
+	capturing := func() int { return n } // want "closure capturing"
+	capturing()
+}
+
+//uslint:hotpath
+func concat(a, b string) {
+	sink = a + b        // want "string concatenation allocates"
+	sink = a + "suffix" // want "string concatenation allocates"
+	bs := []byte(a)     // want "string/byte-slice conversion allocates"
+	_ = bs
+	sink = "constant" + "fold" // constant-folded, no allocation
+}
+
+type point struct{ x int }
+
+// helper is hot transitively: step calls it.
+func helper() error {
+	return fmt.Errorf("boom") // want "fmt.Errorf allocates"
+}
+
+// stopped is called from the hot path but reviewed as cold.
+//
+//uslint:allow hotpathalloc -- fixture: traversal stops at this declaration
+func stopped() {
+	_ = make([]int, 8)
+}
+
+// unreachable is not called from any hot root.
+func unreachable() {
+	_ = make([]int, 8)
+}

@@ -1,0 +1,25 @@
+package vlsi
+
+// Area is a model function: technology numbers must come from t.
+func Area(t Tech, n int) float64 {
+	perBit := t.BitCellArea * float64(n)
+	pinned := 900.0 * float64(n) // want "float literal 900.0 in a vlsi model"
+	feature := 0.35 * perBit     // want "float literal 0.35 in a vlsi model"
+	tracks := float64(640 * n)   // want "integer literal 640 is technology-magnitude"
+	half := 0.5 * perBit         // structural constant, fine
+	small := float64(32 * n)     // below the magnitude threshold, fine
+	return perBit + pinned + feature + tracks + half + small
+}
+
+// AdHoc defines a process outside tech.go.
+func AdHoc() Tech {
+	return Tech{ // want "ad-hoc Tech literal"
+		LambdaMicrons: 1,
+		BitCellArea:   2,
+	}
+}
+
+// Fudge carries a reviewed escape.
+func Fudge(t Tech) float64 {
+	return t.BitCellArea * 1.17 //uslint:allow techonly -- fixture: routing fudge factor
+}

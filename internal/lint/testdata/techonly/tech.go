@@ -1,0 +1,15 @@
+// Package vlsi is a techonly fixture, loaded under the path
+// ultrascalar/internal/vlsi. This file plays the role of the real
+// tech.go: it is exempt, so its literals are calibration, not findings.
+package vlsi
+
+// Tech is the fixture's technology table.
+type Tech struct {
+	LambdaMicrons float64
+	BitCellArea   float64
+}
+
+// Calibrated returns the fixture process; the literals here are legal.
+func Calibrated() Tech {
+	return Tech{LambdaMicrons: 0.35, BitCellArea: 900}
+}

@@ -1,0 +1,96 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// setFlags points the package flags at the given paths for one test and
+// restores them afterwards.
+func setFlags(t *testing.T, cpu, mem string) {
+	t.Helper()
+	oldCPU, oldMem := *cpuprofile, *memprofile
+	*cpuprofile, *memprofile = cpu, mem
+	t.Cleanup(func() { *cpuprofile, *memprofile = oldCPU, oldMem })
+}
+
+// TestStartWithoutFlags: with neither flag set, Start is a no-op that
+// still hands back a callable stop.
+func TestStartWithoutFlags(t *testing.T) {
+	setFlags(t, "", "")
+	stop, err := Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if stop == nil {
+		t.Fatal("Start returned a nil stop function")
+	}
+	stop()
+}
+
+// TestCPUProfileLifecycle: Start creates the profile file, stop
+// finalizes it with content.
+func TestCPUProfileLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	setFlags(t, path, "")
+	stop, err := Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("profile file not created while running: %v", err)
+	}
+	stop()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile file missing after stop: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("stop left an empty CPU profile")
+	}
+}
+
+// TestDoubleStart: a second Start while CPU profiling is active must
+// fail (the runtime supports one profile at a time), and profiling must
+// work again after the first stop.
+func TestDoubleStart(t *testing.T) {
+	dir := t.TempDir()
+	setFlags(t, filepath.Join(dir, "first.out"), "")
+	stop, err := Start()
+	if err != nil {
+		t.Fatalf("first Start: %v", err)
+	}
+	*cpuprofile = filepath.Join(dir, "second.out")
+	if _, err := Start(); err == nil {
+		t.Fatal("second Start while profiling succeeded, want error")
+	}
+	stop()
+	*cpuprofile = filepath.Join(dir, "third.out")
+	stop, err = Start()
+	if err != nil {
+		t.Fatalf("Start after stop: %v", err)
+	}
+	stop()
+}
+
+// TestMemProfileOnStop: the heap profile is written by stop, not Start.
+func TestMemProfileOnStop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.out")
+	setFlags(t, "", path)
+	stop, err := Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("heap profile exists before stop (err=%v)", err)
+	}
+	stop()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("heap profile missing after stop: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("stop wrote an empty heap profile")
+	}
+}

@@ -63,7 +63,7 @@ func (c *Cache) Record(trace []int) {
 	head := trace[0]
 	e := &c.sets[head&c.mask]
 	e.head = head
-	e.trace = append(e.trace[:0], trace...)
+	e.trace = append(e.trace[:0], trace...) //uslint:allow hotpathalloc -- per-set buffer, amortized and bounded by maxLen
 }
 
 // Stats returns hit and miss counts.
@@ -81,7 +81,7 @@ func NewBuilder(cache *Cache) *Builder { return &Builder{cache: cache} }
 
 // Retire observes one retired instruction address in program order.
 func (b *Builder) Retire(pc int) {
-	b.cur = append(b.cur, pc)
+	b.cur = append(b.cur, pc) //uslint:allow hotpathalloc -- builder buffer, amortized and bounded by maxLen
 	if len(b.cur) >= b.cache.maxLen {
 		b.cache.Record(b.cur)
 		b.cur = b.cur[:0]

@@ -8,22 +8,12 @@ import "ultrascalar/internal/circuit"
 // netlist-level designs (CSPP trees, grids, ALUs, schedulers, arbiters)
 // can be compared in the same units as the floorplans.
 func NetlistArea(c *circuit.Circuit, t Tech) float64 {
-	// Per-kind cell areas in λ², sized relative to the library constants:
-	// a unit 2-input gate is modeled at 4 tracks × wire pitch on a
-	// standard-cell row of 40λ height.
-	row := 40.0
-	unit := 4 * t.WirePitch * row
-	areas := map[circuit.Kind]float64{
-		circuit.Buf:  0.75 * unit,
-		circuit.Not:  0.5 * unit,
-		circuit.And2: unit,
-		circuit.Or2:  unit,
-		circuit.Xor2: 1.5 * unit,
-		circuit.Mux2: 1.5 * unit,
-	}
+	// Sum in fixed kind order: float addition is not associative, so a
+	// map-order walk would make the estimate depend on map iteration.
+	counts := c.Counts()
 	var total float64
-	for kind, n := range c.Counts() {
-		total += areas[kind] * float64(n)
+	for kind := circuit.Input; kind <= circuit.Mux2; kind++ {
+		total += t.CellArea(kind) * float64(counts[kind])
 	}
 	return total
 }

@@ -1,3 +1,5 @@
+//uslint:allow techonly -- rendering geometry (canvas pixels, strokes), not a physical model
+
 package vlsi
 
 import (

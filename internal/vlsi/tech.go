@@ -15,7 +15,11 @@
 // 3.2 cm × 2.7 cm for a 128-station 4-cluster hybrid.
 package vlsi
 
-import "math"
+import (
+	"math"
+
+	"ultrascalar/internal/circuit"
+)
 
 // Tech holds technology and cell-library parameters. All lengths are in λ
 // (half the minimum feature size); Lambda converts to physical units.
@@ -49,6 +53,9 @@ type Tech struct {
 	// WireDelayPsPerMM is the delay of one millimeter of repeatered wire,
 	// in picoseconds.
 	WireDelayPsPerMM float64
+	// CellRowHeight is the standard-cell row height, in λ. Cell areas
+	// and the constructive 3D model's stacking height derive from it.
+	CellRowHeight float64
 }
 
 // Tech035 returns the paper's empirical technology: 0.35 µm CMOS with
@@ -65,7 +72,27 @@ func Tech035() Tech {
 		PrefixBitArea:    350,
 		GateDelayPs:      90,  // roughly one FO4 at 0.35 µm
 		WireDelayPsPerMM: 100, // repeatered wire
+		CellRowHeight:    40,
 	}
+}
+
+// cellUnits gives each gate kind's standard-cell area in units of a
+// 2-input NAND-equivalent cell (4 routing tracks wide on one cell row).
+// These are library shape ratios; CellArea scales them by the process.
+var cellUnits = map[circuit.Kind]float64{
+	circuit.Buf:  0.75,
+	circuit.Not:  0.5,
+	circuit.And2: 1,
+	circuit.Or2:  1,
+	circuit.Xor2: 1.5,
+	circuit.Mux2: 1.5,
+}
+
+// CellArea returns the standard-cell area of one gate of kind k, in λ².
+// Inputs and constants occupy no cell area.
+func (t Tech) CellArea(k circuit.Kind) float64 {
+	unit := 4 * t.WirePitch * t.CellRowHeight
+	return cellUnits[k] * unit
 }
 
 // MM converts λ to millimeters.

@@ -26,8 +26,8 @@ type Volume3D struct {
 // n^{1/3}·L^{1/2} (small bandwidth) or M(n)^{1/2} (large).
 func UltraI3D(n, l int, m memory.MFunc) Volume3D {
 	nf, lf, mf := float64(n), float64(l), float64(m.Of(n))
-	vol := nf * math.Pow(lf, 1.5)
-	volMem := math.Pow(mf, 1.5)
+	vol := nf * math.Pow(lf, 1.5) //uslint:allow techonly -- paper exponent (Section 8, 3D volume n*L^{3/2})
+	volMem := math.Pow(mf, 1.5)   //uslint:allow techonly -- paper exponent (3D memory volume M^{3/2})
 	wire := math.Cbrt(nf) * math.Sqrt(lf)
 	if w2 := math.Sqrt(mf); w2 > wire {
 		wire = w2
@@ -48,11 +48,11 @@ func UltraII3D(n, l int, _ memory.MFunc) Volume3D {
 // in two dimensions. The total volume of the hybrid is O(n·L^{3/4})."
 func Hybrid3D(n, l int, m memory.MFunc) Volume3D {
 	nf, lf := float64(n), float64(l)
-	c := int(math.Round(math.Pow(lf, 0.75)))
+	c := int(math.Round(math.Pow(lf, 0.75))) //uslint:allow techonly -- paper exponent (3D optimal cluster Theta(L^{3/4}))
 	if c < 1 {
 		c = 1
 	}
-	vol := nf * math.Pow(lf, 0.75)
-	volMem := math.Pow(float64(m.Of(n)), 1.5)
+	vol := nf * math.Pow(lf, 0.75)            //uslint:allow techonly -- paper exponent (3D hybrid volume n*L^{3/4})
+	volMem := math.Pow(float64(m.Of(n)), 1.5) //uslint:allow techonly -- paper exponent (3D memory volume M^{3/2})
 	return Volume3D{Name: "hybrid-3d", Volume: vol + volMem, Wire: math.Cbrt(vol + volMem), Cluster: c}
 }

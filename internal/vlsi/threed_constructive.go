@@ -45,9 +45,8 @@ func UltraIModel3D(n, l, w int, m memory.MFunc, t Tech) (*Model3D, error) {
 	logicArea := float64(l*(w+1))*t.BitCellArea +
 		float64(w)*t.ALUBitArea + t.DecodeArea +
 		float64(l*(w+1))*t.PrefixBitArea
-	// Treat standard cells as one layer of height ~40λ stacked volume.
-	const cellHeight = 40.0
-	vol := logicArea * cellHeight
+	// Treat standard cells as one layer of row height stacked volume.
+	vol := logicArea * t.CellRowHeight
 	faceNeed := float64(regBundleWires(l, w)) * t.WirePitch * t.WirePitch
 	side := math.Cbrt(vol)
 	if side*side < faceNeed {

@@ -59,14 +59,14 @@ func buildUltra2Model(n, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Mo
 	case Ultra2Tree:
 		// Fan-out and reduction trees widen every lane by a factor of
 		// Θ(log(n+L)) in the worst case (paper: side Θ((n+L)log(n+L))).
-		f := 1 + 0.25*math.Log2(float64(n+l))
+		f := 1 + 0.25*math.Log2(float64(n+l)) //uslint:allow techonly -- routing-overhead fit factor, not a technology constant
 		width *= f
 		height *= f
 	case Ultra2Mixed:
 		// Three tree levels fit "without impacting the total layout area,
 		// since the gates were dominating the area" (Section 5).
-		width *= 1.05
-		height *= 1.05
+		width *= 1.05  //uslint:allow techonly -- Section 5 three-level overhead, not a technology constant
+		height *= 1.05 //uslint:allow techonly -- Section 5 three-level overhead, not a technology constant
 	}
 
 	return &Model{
@@ -91,10 +91,9 @@ func Ultra2WrapModel(n, l, w int, m memory.MFunc, t Tech, mode Ultra2Mode) (*Mod
 	if err != nil {
 		return nil, err
 	}
-	const sqrt2 = 1.4142135623730951
 	md.Name = "ultrascalar-2-wrap-" + mode.String()
-	md.WidthL *= sqrt2
-	md.HeightL *= sqrt2
-	md.MaxWireL *= sqrt2
+	md.WidthL *= math.Sqrt2
+	md.HeightL *= math.Sqrt2
+	md.MaxWireL *= math.Sqrt2
 	return md, nil
 }
