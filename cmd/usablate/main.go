@@ -10,16 +10,24 @@ import (
 	"os"
 
 	"ultrascalar/internal/exp"
+	"ultrascalar/internal/profiling"
 	"ultrascalar/internal/vlsi"
 )
 
 func main() {
 	window := flag.Int("n", 128, "window size for the shared-ALU sweep")
 	flag.Parse()
+	stopProfiling, err := profiling.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "usablate:", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 
 	emit := func(rep string, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "usablate:", err)
+			stopProfiling()
 			os.Exit(1)
 		}
 		fmt.Println(rep)

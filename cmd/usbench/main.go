@@ -4,6 +4,13 @@
 // changes: nanoseconds and heap allocations per simulated cycle for each
 // architecture on the kernel suite, the steady-state figures on a long
 // loop workload, and the serial-versus-parallel sweep wall-clock.
+//
+// With -compare OLD.json it additionally acts as a regression gate:
+// every section's ns/cycle is checked against the old report and the
+// process exits 1 when any section slowed down by more than -tolerance
+// (relative). With -metrics FILE it records the experiment worker-pool
+// metrics (task latency histogram, queue depth, utilization) gathered
+// during the sweep benchmark.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"ultrascalar/internal/core"
 	"ultrascalar/internal/exp"
+	"ultrascalar/internal/obs"
 	"ultrascalar/internal/profiling"
 	"ultrascalar/internal/vlsi"
 	"ultrascalar/internal/workload"
@@ -26,6 +34,7 @@ type EngineResult struct {
 	Name           string  `json:"name"`
 	Window         int     `json:"window"`
 	Granularity    int     `json:"granularity"`
+	GOMAXPROCS     int     `json:"gomaxprocs,omitempty"`
 	Cycles         int64   `json:"simulated_cycles"`
 	NsPerCycle     float64 `json:"ns_per_cycle"`
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
@@ -34,6 +43,7 @@ type EngineResult struct {
 // SweepResult compares serial and parallel experiment-sweep wall-clock.
 type SweepResult struct {
 	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
 	SerialMs   float64 `json:"serial_ms"`
 	ParallelMs float64 `json:"parallel_ms"`
 	Speedup    float64 `json:"speedup"`
@@ -44,6 +54,7 @@ type Report struct {
 	Date        string         `json:"date"`
 	GoVersion   string         `json:"go_version"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Manifest    *obs.Manifest  `json:"manifest,omitempty"`
 	Engine      []EngineResult `json:"engine"`
 	SteadyState EngineResult   `json:"steady_state"`
 	Sweep       SweepResult    `json:"sweep"`
@@ -71,6 +82,7 @@ func benchEngine(name string, cfg core.Config, ws []workload.Workload, d time.Du
 	runtime.ReadMemStats(&ms1)
 	return EngineResult{
 		Name: name, Window: cfg.Window, Granularity: cfg.Granularity,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		Cycles:         cycles,
 		NsPerCycle:     float64(elapsed.Nanoseconds()) / float64(cycles),
 		AllocsPerCycle: float64(ms1.Mallocs-ms0.Mallocs) / float64(cycles),
@@ -93,9 +105,46 @@ func benchSweep(workers int) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
+// compare checks every section of the new report against the old one and
+// returns the list of regressions: sections whose ns/cycle grew by more
+// than tol (relative). Sections absent from the old report, or with a
+// non-positive old value, are skipped — a new benchmark cannot regress.
+func compare(old, new Report, tol float64) []string {
+	var regressions []string
+	check := func(section string, oldNs, newNs float64) {
+		if oldNs <= 0 {
+			return
+		}
+		ratio := newNs/oldNs - 1
+		status := "ok"
+		if ratio > tol {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2f -> %.2f ns/cycle (%+.1f%% > %.0f%% tolerance)",
+					section, oldNs, newNs, 100*ratio, 100*tol))
+		}
+		fmt.Printf("  %-24s %8.2f -> %8.2f ns/cycle  %+6.1f%%  %s\n",
+			section, oldNs, newNs, 100*ratio, status)
+	}
+	oldEngine := make(map[string]EngineResult, len(old.Engine))
+	for _, r := range old.Engine {
+		oldEngine[r.Name] = r
+	}
+	for _, r := range new.Engine {
+		if o, ok := oldEngine[r.Name]; ok {
+			check(r.Name, o.NsPerCycle, r.NsPerCycle)
+		}
+	}
+	check("steady_state", old.SteadyState.NsPerCycle, new.SteadyState.NsPerCycle)
+	return regressions
+}
+
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (- for stdout)")
 	dur := flag.Duration("d", 2*time.Second, "measurement duration per engine configuration")
+	comparePath := flag.String("compare", "", "old report to gate against; exit 1 on ns/cycle regression")
+	tolerance := flag.Float64("tolerance", 0.25, "relative ns/cycle growth allowed by -compare")
+	metricsOut := flag.String("metrics", "", "write worker-pool metrics snapshots from the sweep benchmark to this file")
 	flag.Parse()
 	stopProfiling, err := profiling.Start()
 	if err != nil {
@@ -103,10 +152,33 @@ func main() {
 	}
 	defer stopProfiling()
 
+	// Load the baseline before any measuring (and before -o possibly
+	// overwrites the same file), and fail fast on a bad path.
+	var old Report
+	if *comparePath != "" {
+		oldBytes, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(oldBytes, &old); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *comparePath, err))
+		}
+	}
+
+	man := obs.NewManifest("usbench")
+	man.Config = fmt.Sprintf("d=%s", *dur)
 	rep := Report{
 		Date:       time.Now().UTC().Format("2006-01-02"), //uslint:allow detorder -- report date stamp, not a measured result
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Manifest:   &man,
+	}
+
+	var poolReg *obs.Registry
+	if *metricsOut != "" {
+		poolReg = obs.NewRegistry()
+		exp.SetPoolMetrics(poolReg)
+		defer exp.SetPoolMetrics(nil)
 	}
 
 	ws := workload.Kernels()
@@ -142,9 +214,24 @@ func main() {
 	}
 	rep.Sweep = SweepResult{
 		Workers:    exp.SweepWorkers(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		SerialMs:   float64(serial.Microseconds()) / 1e3,
 		ParallelMs: float64(parallel.Microseconds()) / 1e3,
 		Speedup:    float64(serial) / float64(parallel),
+	}
+
+	if poolReg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := poolReg.WriteJSON(f, man); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -154,12 +241,25 @@ func main() {
 	b = append(b, '\n')
 	if *out == "-" {
 		os.Stdout.Write(b)
-		return
+	} else {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fatal(err)
+
+	if *comparePath != "" {
+		fmt.Printf("comparing against %s (recorded %s, %s):\n", *comparePath, old.Date, old.GoVersion)
+		regressions := compare(old, rep, *tolerance)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "usbench: %d section(s) regressed beyond %.0f%%:\n", len(regressions), 100**tolerance)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("no regressions beyond tolerance")
 	}
-	fmt.Printf("wrote %s\n", *out)
 }
 
 func fatal(err error) {

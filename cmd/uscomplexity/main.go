@@ -18,6 +18,7 @@ import (
 
 	"ultrascalar/internal/circuit"
 	"ultrascalar/internal/exp"
+	"ultrascalar/internal/profiling"
 	"ultrascalar/internal/vlsi"
 )
 
@@ -29,6 +30,12 @@ func main() {
 	verilog := flag.String("verilog", "", "write the 8-station register-CSPP netlist as Verilog to this file and exit")
 	check := flag.Bool("check", false, "run the netlist design-rule suite and exit")
 	flag.Parse()
+	stopProfiling, err := profiling.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uscomplexity:", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 	t := vlsi.Tech035()
 
 	if *check {

@@ -29,6 +29,7 @@ import (
 	"ultrascalar/internal/branch"
 	"ultrascalar/internal/isa"
 	"ultrascalar/internal/memory"
+	"ultrascalar/internal/obs"
 )
 
 // Config describes one processor instance.
@@ -100,6 +101,23 @@ type Config struct {
 	// returns then predict perfectly on well-nested code, where the BTB
 	// alone mispredicts every return whose call site changed.
 	ReturnStack int
+
+	// Tracer, when non-nil, receives per-station pipeline events
+	// (fetch/issue/exec/retire/squash/forward with cycle, PC, slot and
+	// operand-distance payloads). Recording is allocation-free — events
+	// land in the tracer's preallocated slab — and a nil Tracer costs
+	// only a per-event nil check, keeping the measured hot path
+	// zero-alloc. See internal/obs.
+	Tracer *obs.Tracer
+
+	// Metrics, when non-nil, receives engine gauges (occupancy, IPC,
+	// retired/fetched/squashed/mispredict counts) snapshotted every
+	// MetricsEvery cycles and once more at halt. Snapshots are taken
+	// outside the per-cycle hot functions, so the hotpathalloc contract
+	// is unaffected.
+	Metrics *obs.Registry
+	// MetricsEvery is the snapshot period in cycles (default 1024).
+	MetricsEvery int64
 }
 
 // FetchModel selects the instruction-fetch mechanism.
@@ -181,6 +199,12 @@ func (c *Config) normalize() error {
 	}
 	if c.TraceLen == 0 {
 		c.TraceLen = 16
+	}
+	if c.MetricsEvery == 0 {
+		c.MetricsEvery = 1024
+	}
+	if c.MetricsEvery < 1 {
+		return fmt.Errorf("core: MetricsEvery must be >= 1, got %d", c.MetricsEvery)
 	}
 	return nil
 }

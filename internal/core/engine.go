@@ -6,6 +6,7 @@ import (
 	"ultrascalar/internal/branch"
 	"ultrascalar/internal/isa"
 	"ultrascalar/internal/memory"
+	"ultrascalar/internal/obs"
 	"ultrascalar/internal/tracecache"
 )
 
@@ -176,6 +177,22 @@ type engine struct {
 	cycle    int64
 	stats    Stats
 	timeline []InstRecord
+
+	// trc receives pipeline events when tracing is on (cfg.Tracer). Every
+	// hot-path hook is guarded by a nil check, so the traced path costs
+	// nothing measurable when off; obs.Tracer.Record itself is
+	// //uslint:hotpath and allocation-free.
+	trc *obs.Tracer
+	// met / metGauges drive the periodic metrics snapshots (cfg.Metrics).
+	// Snapshot ticks run from the Run loop, not from the hot-path chain.
+	met       *obs.Registry
+	metGauges engineGauges
+}
+
+// engineGauges are the engine's registered metrics instruments, resolved
+// once at Run setup so the periodic tick does no map lookups.
+type engineGauges struct {
+	occupancy, ipc, retired, fetched, squashed, mispredicts, cycleNo *obs.Gauge
 }
 
 // memCand pairs an eligible memory station with its effective address for
@@ -232,6 +249,19 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 	if cfg.ReturnStack > 0 {
 		e.ras = branch.NewRAS(cfg.ReturnStack)
 	}
+	e.trc = cfg.Tracer
+	if cfg.Metrics != nil {
+		e.met = cfg.Metrics
+		e.metGauges = engineGauges{
+			occupancy:   e.met.Gauge("core.occupancy"),
+			ipc:         e.met.Gauge("core.ipc"),
+			retired:     e.met.Gauge("core.retired"),
+			fetched:     e.met.Gauge("core.fetched"),
+			squashed:    e.met.Gauge("core.squashed"),
+			mispredicts: e.met.Gauge("core.mispredicts"),
+			cycleNo:     e.met.Gauge("core.cycle"),
+		}
+	}
 	e.fetch() // initial fill: the window is loaded before the first cycle
 
 	for e.cycle = 0; e.cycle < cfg.MaxCycles; e.cycle++ {
@@ -247,6 +277,9 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 		// Occupancy is measured as the window state entering the cycle.
 		e.stats.StationBusy += int64(len(e.window))
 		e.stats.Occupancy[len(e.window)]++
+		if e.met != nil && e.cycle%e.cfg.MetricsEvery == 0 {
+			e.metricsTick()
+		}
 		e.completions()
 		if err := e.forward(); err != nil {
 			return nil, err
@@ -259,6 +292,9 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 		if halted := e.retire(); halted {
 			e.stats.Cycles = e.cycle + 1
 			e.finishStats()
+			if e.met != nil {
+				e.metricsTick() // final snapshot at halt
+			}
 			return &Result{Regs: e.commit, Mem: e.mem, Stats: e.stats, Timeline: e.timeline}, nil
 		}
 		e.fetch()
@@ -271,6 +307,26 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 // seed semantics). It exists for the golden equivalence tests; set it
 // before starting runs, never concurrently with them.
 var scanEveryCycleForTests bool
+
+// metricsTick publishes the engine gauges and takes one registry
+// snapshot. It runs from the Run loop every MetricsEvery cycles (and
+// once at halt), outside the //uslint:hotpath chain, so snapshot
+// allocations never touch the measured per-cycle path.
+func (e *engine) metricsTick() {
+	g := e.metGauges
+	g.occupancy.Set(float64(len(e.window)))
+	g.retired.Set(float64(e.stats.Retired))
+	g.fetched.Set(float64(e.stats.Fetched))
+	g.squashed.Set(float64(e.stats.Squashed))
+	g.mispredicts.Set(float64(e.stats.Mispredicts))
+	g.cycleNo.Set(float64(e.cycle))
+	ipc := 0.0
+	if e.cycle > 0 {
+		ipc = float64(e.stats.Retired) / float64(e.cycle)
+	}
+	g.ipc.Set(ipc)
+	e.met.Snapshot(e.cycle)
+}
 
 // finishStats materializes the operand-distance histogram into the
 // public Stats map once the run completes.
@@ -296,6 +352,9 @@ func (e *engine) completions() {
 			s.memDone = true
 			s.done = true
 			e.fwdDirty = true
+			if e.trc != nil {
+				e.trc.Record(obs.EvExec, e.cycle, s.seq, int32(s.pc), int32(s.slot), 0)
+			}
 		}
 	}
 }
@@ -419,6 +478,9 @@ func (e *engine) execute() error {
 			s.remaining = e.cfg.Lat.Of(s.inst)
 			s.issue = e.cycle
 			e.recordSources(s)
+			if e.trc != nil {
+				e.trc.Record(obs.EvIssue, e.cycle, s.seq, int32(s.pc), int32(s.slot), int32(s.remaining))
+			}
 		}
 		if s.done {
 			continue
@@ -433,6 +495,9 @@ func (e *engine) execute() error {
 		s.done = true
 		s.doneAt = e.cycle + 1
 		e.fwdDirty = true
+		if e.trc != nil {
+			e.trc.Record(obs.EvExec, e.cycle, s.seq, int32(s.pc), int32(s.slot), 0)
+		}
 		switch {
 		case s.class&clsBranch != 0:
 			s.resolved = true
@@ -456,6 +521,9 @@ func (e *engine) execute() error {
 // Stats.OperandFromStation map when the run completes.
 func (e *engine) recordSources(s *station) {
 	for _, d := range s.srcDist {
+		if e.trc != nil {
+			e.trc.Record(obs.EvForward, e.cycle, s.seq, int32(s.pc), int32(s.slot), int32(d))
+		}
 		if d < 0 {
 			e.stats.OperandFromCommitted++
 			continue
@@ -515,6 +583,10 @@ func (e *engine) memoryPhase() {
 					e.recordSources(s)
 					e.stats.Loads++
 					e.stats.LoadsForwarded++
+					if e.trc != nil {
+						e.trc.Record(obs.EvIssue, e.cycle, s.seq, int32(s.pc), int32(s.slot), 0)
+						e.trc.Record(obs.EvExec, e.cycle, s.seq, int32(s.pc), int32(s.slot), 0)
+					}
 				} else if !blocked {
 					reqs = append(reqs, memory.Request{Station: s.slot, Addr: addr, Age: s.seq}) //uslint:allow hotpathalloc -- reusable scratch, kept across cycles via e.memReqs
 					cands = append(cands, memCand{s, addr})                                      //uslint:allow hotpathalloc -- reusable scratch, kept across cycles via e.memCands
@@ -555,6 +627,9 @@ func (e *engine) memoryPhase() {
 		s.memDoneAt = e.cycle + int64(latency)
 		s.doneAt = s.memDoneAt
 		e.recordSources(s)
+		if e.trc != nil {
+			e.trc.Record(obs.EvIssue, e.cycle, s.seq, int32(s.pc), int32(s.slot), int32(latency))
+		}
 		if s.class&clsStore != 0 {
 			e.mem.Store(c.addr, s.b)
 			e.stats.Stores++
@@ -644,10 +719,14 @@ func (e *engine) recover() {
 // unaffected (the scan is a strict age-order prefix computation), and the
 // squashed stations' outputs are discarded.
 func (e *engine) squashAfter(i int) {
+	byPC := int32(e.slab[e.window[i]].pc)
 	for _, vi := range e.window[i+1:] {
 		v := &e.slab[vi]
 		e.slots[v.slot] = slotFree
 		e.stats.Squashed++
+		if e.trc != nil {
+			e.trc.Record(obs.EvSquash, e.cycle, v.seq, int32(v.pc), int32(v.slot), byPC)
+		}
 		if v.class&clsMem != 0 {
 			e.memCount--
 		}
@@ -668,6 +747,9 @@ func (e *engine) retire() bool {
 		s := &e.slab[e.window[popped]]
 		popped++
 		e.stats.Retired++
+		if e.trc != nil {
+			e.trc.Record(obs.EvRetire, e.cycle, s.seq, int32(s.pc), int32(s.slot), 0)
+		}
 		if e.traceBuild != nil {
 			e.traceBuild.Retire(s.pc)
 		}
@@ -854,6 +936,9 @@ func (e *engine) fetchOne(forcedNext int) (*station, bool) {
 	e.window = append(e.window, int32(slot)) //uslint:allow hotpathalloc -- window is backed by the fixed-capacity windowBuf
 	e.nextSeq++
 	e.stats.Fetched++
+	if e.trc != nil {
+		e.trc.Record(obs.EvFetch, e.cycle, s.seq, int32(pc), int32(slot), int32(s.predictedNext))
+	}
 	if s.class&clsMem != 0 {
 		e.memCount++
 	}

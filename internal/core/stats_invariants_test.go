@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"ultrascalar/internal/workload"
+)
+
+// Conservation laws every run must satisfy, regardless of architecture or
+// workload. These are the checks the observability layer leans on: the
+// trace exporter and the metrics gauges both assume the aggregate
+// counters are internally consistent.
+
+func invariantWorkloads() []workload.Workload {
+	return []workload.Workload{
+		workload.Figure3Sequence(),
+		workload.Fib(16),
+		workload.BubbleSort(10),
+		workload.RepeatedScan(24, 4),
+	}
+}
+
+func TestStatsInvariants(t *testing.T) {
+	const n = 16
+	for archName, cfg := range archConfigs(n, 4) {
+		for _, w := range invariantWorkloads() {
+			t.Run(archName+"/"+w.Name, func(t *testing.T) {
+				res, err := Run(w.Prog, w.Mem(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := res.Stats
+
+				// Occupancy is a complete partition of time: every cycle had
+				// exactly one occupancy level.
+				if len(s.Occupancy) != n+1 {
+					t.Fatalf("len(Occupancy) = %d, want window+1 = %d", len(s.Occupancy), n+1)
+				}
+				var occCycles, weighted int64
+				for k, c := range s.Occupancy {
+					if c < 0 {
+						t.Fatalf("Occupancy[%d] = %d, negative", k, c)
+					}
+					occCycles += c
+					weighted += int64(k) * c
+				}
+				if occCycles != s.Cycles {
+					t.Errorf("sum(Occupancy) = %d, want Cycles = %d", occCycles, s.Cycles)
+				}
+				// The same partition weighted by level is the busy-station
+				// integral.
+				if weighted != s.StationBusy {
+					t.Errorf("sum(k*Occupancy[k]) = %d, want StationBusy = %d", weighted, s.StationBusy)
+				}
+
+				// Every retired or squashed instruction was fetched first.
+				if s.Retired > s.Fetched {
+					t.Errorf("Retired %d > Fetched %d", s.Retired, s.Fetched)
+				}
+				if s.Retired+s.Squashed > s.Fetched {
+					t.Errorf("Retired %d + Squashed %d > Fetched %d", s.Retired, s.Squashed, s.Fetched)
+				}
+				if s.Mispredicts > s.Branches {
+					t.Errorf("Mispredicts %d > Branches %d", s.Mispredicts, s.Branches)
+				}
+				if s.LoadsForwarded > s.Loads {
+					t.Errorf("LoadsForwarded %d > Loads %d", s.LoadsForwarded, s.Loads)
+				}
+
+				// Operand accounting is non-negative and at least covers the
+				// committed path (squashed wrong-path issues may add more).
+				var fromStations int64
+				for d, c := range s.OperandFromStation {
+					if d < 1 {
+						t.Errorf("OperandFromStation distance %d < 1", d)
+					}
+					if c < 1 {
+						t.Errorf("OperandFromStation[%d] = %d, want >= 1", d, c)
+					}
+					fromStations += c
+				}
+				if fromStations+s.OperandFromCommitted < 0 {
+					t.Error("negative operand totals")
+				}
+			})
+		}
+	}
+}
+
+// TestOperandConservation: on a straight-line program nothing is
+// squashed, so the operand-distance histogram must account for EXACTLY
+// the source operands of the retired instructions — no duplicates, no
+// losses. The timeline gives the retired instruction set to count
+// against.
+func TestOperandConservation(t *testing.T) {
+	w := workload.Figure3Sequence()
+	for archName, cfg := range archConfigs(8, 2) {
+		t.Run(archName, func(t *testing.T) {
+			cfg.KeepTimeline = true
+			res, err := Run(w.Prog, w.Mem(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stats
+			if s.Squashed != 0 {
+				t.Fatalf("straight-line run squashed %d instructions", s.Squashed)
+			}
+			var want int64
+			for _, rec := range res.Timeline {
+				_, _, nr := rec.Inst.ReadRegs()
+				want += int64(nr)
+			}
+			var got int64 = s.OperandFromCommitted
+			for _, c := range s.OperandFromStation {
+				got += c
+			}
+			if got != want {
+				t.Errorf("operand histogram accounts %d operands, retired instructions read %d", got, want)
+			}
+		})
+	}
+}
+
+// TestOperandLowerBoundWithSquashes: with branches in play the histogram
+// may include wrong-path issues, but it can never undercount the
+// committed path's operands.
+func TestOperandLowerBoundWithSquashes(t *testing.T) {
+	w := workload.Fib(12)
+	cfg := Config{Window: 16, Granularity: 1, KeepTimeline: true}
+	res, err := Run(w.Prog, w.Mem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Squashed == 0 {
+		t.Skip("workload no longer squashes; lower-bound check needs a branchy run")
+	}
+	var committed int64
+	for _, rec := range res.Timeline {
+		_, _, nr := rec.Inst.ReadRegs()
+		committed += int64(nr)
+	}
+	var got int64 = s.OperandFromCommitted
+	for _, c := range s.OperandFromStation {
+		got += c
+	}
+	if got < committed {
+		t.Errorf("operand histogram accounts %d operands, committed path alone reads %d", got, committed)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ultrascalar/internal/obs"
 )
 
 // The experiment sweeps — (arch × workload × n) simulation points and
@@ -35,6 +38,85 @@ func SweepWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// poolMetrics holds the registry the worker pool reports into; nil (the
+// default) disables instrumentation entirely. Metrics are a side
+// channel: they never influence scheduling or results, so the
+// byte-identical-sweep contract is unaffected.
+var poolMetrics atomic.Pointer[obs.Registry]
+
+// SetPoolMetrics wires a metrics registry into every subsequent sweep:
+// per-task wall time (exp.task_ms histogram), task and batch counters,
+// worker count, queue depth at task start, and per-batch worker
+// utilization (busy time / workers x wall time). Pass nil to disable.
+func SetPoolMetrics(r *obs.Registry) { poolMetrics.Store(r) }
+
+// taskMsBounds are the exp.task_ms histogram bucket upper bounds: sweep
+// points range from sub-millisecond layout evaluations to multi-second
+// large-window simulations.
+var taskMsBounds = []float64{0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000}
+
+// poolInstruments is the resolved set of instruments for one batch.
+type poolInstruments struct {
+	reg     *obs.Registry
+	taskMs  *obs.Histogram
+	depth   *obs.Histogram
+	tasks   *obs.Counter
+	batches *obs.Counter
+	workers *obs.Gauge
+	util    *obs.Gauge
+	busyNs  atomic.Int64
+}
+
+// instruments resolves the batch's instruments, or nil when metrics are
+// off.
+func instruments() *poolInstruments {
+	reg := poolMetrics.Load()
+	if reg == nil {
+		return nil
+	}
+	return &poolInstruments{
+		reg:     reg,
+		taskMs:  reg.Histogram("exp.task_ms", taskMsBounds),
+		depth:   reg.Histogram("exp.queue_depth", []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		tasks:   reg.Counter("exp.tasks"),
+		batches: reg.Counter("exp.batches"),
+		workers: reg.Gauge("exp.workers"),
+		util:    reg.Gauge("exp.utilization"),
+	}
+}
+
+// observeTask wraps one task call with wall-time accounting. queued is
+// the number of tasks still waiting when this one started.
+func observeTask[T, R any](ins *poolInstruments, f func(T) (R, error), item T, queued int) (R, error) {
+	if ins == nil {
+		return f(item)
+	}
+	ins.depth.Observe(float64(queued))
+	start := time.Now() //uslint:allow detorder -- observability side channel; never feeds sweep results
+	r, err := f(item)
+	d := time.Since(start)
+	ins.busyNs.Add(d.Nanoseconds())
+	ins.taskMs.Observe(float64(d.Nanoseconds()) / 1e6)
+	ins.tasks.Inc()
+	return r, err
+}
+
+// finishBatch publishes the batch-level gauges and takes one registry
+// snapshot, ticked by the cumulative task count.
+func (ins *poolInstruments) finishBatch(workers int, wall time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.batches.Inc()
+	ins.workers.Set(float64(workers))
+	util := 0.0
+	if wall > 0 && workers > 0 {
+		util = float64(ins.busyNs.Load()) / (float64(workers) * float64(wall.Nanoseconds()))
+	}
+	ins.util.Set(util)
+	ins.reg.Snapshot(ins.tasks.Value())
+}
+
 // parMap applies f to every item across SweepWorkers goroutines and
 // returns the results in item order. Determinism: results[i] depends only
 // on items[i], and when any calls fail the error reported is the one with
@@ -47,14 +129,17 @@ func parMap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
 	if workers > n {
 		workers = n
 	}
+	ins := instruments()
+	start := time.Now() //uslint:allow detorder -- observability side channel; never feeds sweep results
 	if workers <= 1 {
 		for i, it := range items {
-			r, err := f(it)
+			r, err := observeTask(ins, f, it, n-1-i)
 			if err != nil {
 				return nil, err
 			}
 			results[i] = r
 		}
+		ins.finishBatch(1, time.Since(start))
 		return results, nil
 	}
 	errs := make([]error, n)
@@ -69,11 +154,12 @@ func parMap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
 				if i >= n {
 					return
 				}
-				results[i], errs[i] = f(items[i])
+				results[i], errs[i] = observeTask(ins, f, items[i], n-1-i)
 			}
 		}()
 	}
 	wg.Wait()
+	ins.finishBatch(workers, time.Since(start))
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

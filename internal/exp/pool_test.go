@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ultrascalar/internal/obs"
 	"ultrascalar/internal/vlsi"
 )
 
@@ -125,6 +126,62 @@ func BenchmarkSweepParallel(b *testing.B) {
 				if _, err := Figure11(32, 32, 64, 1024, tech); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// TestPoolMetrics: with a registry wired in, parMap reports per-task
+// wall times, task/batch counters, worker counts and a utilization
+// gauge, in both serial and parallel modes — and the sweep results stay
+// identical to an uninstrumented run.
+func TestPoolMetrics(t *testing.T) {
+	defer SetPoolMetrics(nil)
+	items := make([]int, 37)
+	for i := range items {
+		items[i] = i
+	}
+	double := func(i int) (int, error) { return 2 * i, nil }
+
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 4}} {
+		t.Run(mode.name, func(t *testing.T) {
+			prev := SetSweepWorkers(mode.workers)
+			defer SetSweepWorkers(prev)
+			reg := obs.NewRegistry()
+			SetPoolMetrics(reg)
+			defer SetPoolMetrics(nil)
+
+			got, err := parMap(items, double)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				if v != 2*i {
+					t.Fatalf("instrumentation changed results: got[%d] = %d", i, v)
+				}
+			}
+			if n := reg.Counter("exp.tasks").Value(); n != int64(len(items)) {
+				t.Errorf("exp.tasks = %d, want %d", n, len(items))
+			}
+			if n := reg.Counter("exp.batches").Value(); n != 1 {
+				t.Errorf("exp.batches = %d, want 1", n)
+			}
+			if h := reg.Histogram("exp.task_ms", nil); h.Count() != int64(len(items)) {
+				t.Errorf("task_ms observations = %d, want %d", h.Count(), len(items))
+			}
+			wantWorkers := float64(mode.workers)
+			if got := reg.Gauge("exp.workers").Value(); got != wantWorkers {
+				t.Errorf("exp.workers = %v, want %v", got, wantWorkers)
+			}
+			if u := reg.Gauge("exp.utilization").Value(); u < 0 || u > 1.5 {
+				t.Errorf("exp.utilization = %v, want a ratio", u)
+			}
+			snaps := reg.Snapshots()
+			if len(snaps) != 1 || snaps[0].Tick != int64(len(items)) {
+				t.Errorf("snapshots = %+v, want one ticked at the task count", snaps)
 			}
 		})
 	}

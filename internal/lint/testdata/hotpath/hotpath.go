@@ -49,3 +49,49 @@ func stopped() {
 func unreachable() {
 	_ = make([]int, 8)
 }
+
+// The tracer shapes below mirror internal/obs: an event tracer whose
+// record hook runs inside the engine's per-cycle chain. The disciplined
+// version writes a value struct into a preallocated slab by index —
+// allocation-free, so it produces no diagnostics. The naive versions
+// allocate per event, which the checker must catch transitively from the
+// hot root.
+
+type traceEvent struct {
+	cycle int64
+	kind  int
+}
+
+type tracer struct {
+	buf []traceEvent
+	n   int
+	log []traceEvent
+}
+
+//uslint:hotpath
+func (t *tracer) recordOK(kind int, cycle int64) {
+	if t == nil || t.n == len(t.buf) {
+		return
+	}
+	t.buf[t.n] = traceEvent{cycle: cycle, kind: kind} // value write, no allocation
+	t.n++
+}
+
+// recordAppend is the tempting-but-wrong tracer hook: append can grow the
+// backing array mid-cycle.
+func (t *tracer) recordAppend(kind int, cycle int64) {
+	t.log = append(t.log, traceEvent{cycle: cycle, kind: kind}) // want "append may grow its backing array"
+}
+
+// recordBoxed heap-allocates every event.
+func (t *tracer) recordBoxed(kind int, cycle int64) {
+	ev := &traceEvent{cycle: cycle, kind: kind} // want "address-taken composite literal allocates"
+	t.buf[0] = *ev
+}
+
+//uslint:hotpath
+func cycleStep(t *tracer) {
+	t.recordOK(1, 0)
+	t.recordAppend(2, 0) // transitively hot: the append above is flagged
+	t.recordBoxed(3, 0)  // transitively hot: the boxing above is flagged
+}

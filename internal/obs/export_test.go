@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Cycle: 0, Seq: 0, Kind: EvFetch, PC: 0, Slot: 0, Arg: 1},
+		{Cycle: 0, Seq: 1, Kind: EvFetch, PC: 1, Slot: 1, Arg: 2},
+		{Cycle: 1, Seq: 0, Kind: EvForward, PC: 0, Slot: 0, Arg: -1},
+		{Cycle: 1, Seq: 0, Kind: EvIssue, PC: 0, Slot: 0, Arg: 1},
+		{Cycle: 1, Seq: 0, Kind: EvExec, PC: 0, Slot: 0, Arg: 0},
+		{Cycle: 2, Seq: 1, Kind: EvForward, PC: 1, Slot: 1, Arg: 1},
+		{Cycle: 2, Seq: 1, Kind: EvIssue, PC: 1, Slot: 1, Arg: 1},
+		{Cycle: 3, Seq: 1, Kind: EvExec, PC: 1, Slot: 1, Arg: 0},
+		{Cycle: 4, Seq: 0, Kind: EvRetire, PC: 0, Slot: 0, Arg: 0},
+		{Cycle: 4, Seq: 2, Kind: EvSquash, PC: 2, Slot: 2, Arg: 1},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	man := Manifest{Tool: "test", GoVersion: "go0", GitCommit: "abc", Seed: 7,
+		Config: "arch=ultra1 n=4", Prog: []string{"li r1, 1", "halt"}}
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, man, events); err != nil {
+		t.Fatal(err)
+	}
+	gotMan, gotEvents, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMan.Tool != man.Tool || gotMan.Seed != man.Seed || gotMan.Config != man.Config {
+		t.Fatalf("manifest round-trip: got %+v", gotMan)
+	}
+	if len(gotMan.Prog) != 2 || gotMan.Prog[1] != "halt" {
+		t.Fatalf("prog round-trip: got %v", gotMan.Prog)
+	}
+	if len(gotEvents) != len(events) {
+		t.Fatalf("got %d events, want %d", len(gotEvents), len(events))
+	}
+	for i := range events {
+		if gotEvents[i] != events[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, gotEvents[i], events[i])
+		}
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	man := Manifest{Tool: "det"}
+	events := sampleEvents()
+	var b1, b2 bytes.Buffer
+	if err := WriteJSONL(&b1, man, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b2, man, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two JSONL serializations differ")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadJSONL(strings.NewReader("{\"type\":\"wat\"}\n")); err == nil {
+		t.Error("unknown record type must error")
+	}
+	if _, _, err := ReadJSONL(strings.NewReader("{\"type\":\"event\",\"kind\":\"zap\"}\n")); err == nil {
+		t.Error("unknown event kind must error")
+	}
+	if _, _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("non-JSON line must error")
+	}
+}
+
+func TestChromeTraceValidatesAndRenders(t *testing.T) {
+	man := Manifest{Tool: "test", Prog: []string{"li r1, 1", "add r2, r1, r1", "halt"}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, man, sampleEvents(), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if err := ValidateChromeTrace(out); err != nil {
+		t.Fatalf("emitted trace fails validation: %v", err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"station 0"`,   // thread metadata per slot
+		`"li r1, 1"`,    // instruction rendered through man.Prog
+		`"squash"`,      // instant event
+		`"ph": "X"`,     // duration slices
+		`"src_dist"`,    // operand distances ride in args
+		`"clock_note"`,  // otherData
+		`"ultrascalar"`, // process name
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chrome trace lacks %s", want)
+		}
+	}
+}
+
+func TestChromeTraceNameFallback(t *testing.T) {
+	var buf bytes.Buffer
+	// No manifest program and no resolver: slices fall back to "pc N".
+	if err := WriteChromeTrace(&buf, Manifest{}, sampleEvents(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"pc 0"`) {
+		t.Error("expected pc-number fallback names")
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":     "nope",
+		"no events":    `{"foo": 1}`,
+		"bad phase":    `{"traceEvents":[{"name":"x","ph":"Q","pid":0,"tid":0}]}`,
+		"missing ts":   `{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0}]}`,
+		"negative ts":  `{"traceEvents":[{"name":"x","ph":"X","ts":-1,"pid":0,"tid":0}]}`,
+		"missing pid":  `{"traceEvents":[{"name":"x","ph":"X","ts":1,"tid":0}]}`,
+		"missing name": `{"traceEvents":[{"ph":"X","ts":1,"pid":0,"tid":0}]}`,
+	} {
+		if err := ValidateChromeTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleEvents(), 5)
+	if s.Fetched != 2 || s.Retired != 1 || s.Squashed != 1 {
+		t.Fatalf("summary counts: %+v", s)
+	}
+	if s.StationOperands != 1 || s.LocalOperands != 1 {
+		t.Fatalf("operand locality: %+v", s)
+	}
+	if len(s.Storms) != 1 || s.Storms[0].Squashed != 1 {
+		t.Fatalf("storms: %+v", s.Storms)
+	}
+	if s.MaxOcc != 2 {
+		t.Fatalf("MaxOcc = %d, want 2", s.MaxOcc)
+	}
+	out := s.String()
+	for _, want := range []string{"IPC", "occupancy heat", "squash storms", "operand locality"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output lacks %q:\n%s", want, out)
+		}
+	}
+	// Degenerate inputs must not panic.
+	_ = Summarize(nil, 10).String()
+	_ = Summarize(sampleEvents()[:1], 0).String()
+}
+
+func TestManifest(t *testing.T) {
+	m := NewManifest("unit")
+	if m.Tool != "unit" {
+		t.Errorf("tool = %q", m.Tool)
+	}
+	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" || m.GOMAXPROCS < 1 {
+		t.Errorf("build fields unfilled: %+v", m)
+	}
+	if m.GitCommit == "" {
+		t.Error("git commit must be filled (or \"unknown\")")
+	}
+}

@@ -1,0 +1,225 @@
+package obs_test
+
+// Engine-integration tests for the observability layer. They live in
+// package obs_test because internal/core imports internal/obs; an
+// external test package may import core without creating a cycle.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/obs"
+	"ultrascalar/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.jsonl from the current engine")
+
+// record runs w under cfg with a fresh tracer attached and returns the
+// events plus the run result.
+func record(t *testing.T, w workload.Workload, cfg core.Config, capacity int) ([]obs.Event, *core.Result) {
+	t.Helper()
+	tr := obs.NewTracer(capacity)
+	cfg.Tracer = tr
+	res, err := core.Run(w.Prog, w.Mem(), cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if tr.Dropped() > 0 {
+		t.Fatalf("%s: tracer dropped %d events; raise capacity", w.Name, tr.Dropped())
+	}
+	return tr.Events(), res
+}
+
+// TestTraceDeterminism: the same workload under the same configuration
+// yields a byte-identical JSONL stream, run to run, for all three
+// architectures. This is the reproducibility contract ustrace relies on.
+func TestTraceDeterminism(t *testing.T) {
+	w := workload.RepeatedScan(16, 3)
+	for _, arch := range []struct {
+		name string
+		g    int
+	}{{"ultra1", 1}, {"hybrid", 8}, {"ultra2", 32}} {
+		t.Run(arch.name, func(t *testing.T) {
+			cfg := core.Config{Window: 32, Granularity: arch.g}
+			man := obs.Manifest{Tool: "determinism-test", Config: arch.name}
+			var b1, b2 bytes.Buffer
+			ev1, _ := record(t, w, cfg, 1<<18)
+			ev2, _ := record(t, w, cfg, 1<<18)
+			if err := obs.WriteJSONL(&b1, man, ev1); err != nil {
+				t.Fatal(err)
+			}
+			if err := obs.WriteJSONL(&b2, man, ev2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatal("same seed and config produced different JSONL traces")
+			}
+		})
+	}
+}
+
+// TestGoldenTrace pins the exact event stream of the paper's Figure 3
+// sequence on an 8-station Ultrascalar I against a checked-in fixture,
+// so unintended changes to event semantics (ordering, payloads, cycle
+// attribution) fail loudly. Regenerate with -update-golden after an
+// intentional change.
+func TestGoldenTrace(t *testing.T) {
+	w := workload.Figure3Sequence()
+	events, _ := record(t, w, core.Config{Window: 8, Granularity: 1}, 1<<16)
+	man := obs.Manifest{Tool: "golden", Config: "arch=ultra1 n=8 workload=figure3"}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, man, events); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fixture (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace deviates from the golden fixture.\ngot %d bytes, want %d. If the event schema changed intentionally, run:\n  go test ./internal/obs -run TestGoldenTrace -update-golden",
+			buf.Len(), len(want))
+	}
+}
+
+// TestTraceMatchesStats cross-checks the event stream against the
+// engine's own aggregate counters on a branchy workload: every fetch,
+// retire and squash must appear exactly once, and the forward events
+// must reproduce the operand-distance histogram.
+func TestTraceMatchesStats(t *testing.T) {
+	for _, w := range []workload.Workload{workload.Fib(12), workload.BubbleSort(8)} {
+		t.Run(w.Name, func(t *testing.T) {
+			events, res := record(t, w, core.Config{Window: 16, Granularity: 1}, 1<<20)
+			var fetch, retire, squash, fwd, fwdCommitted int64
+			dist := make(map[int]int64)
+			for _, ev := range events {
+				switch ev.Kind {
+				case obs.EvFetch:
+					fetch++
+				case obs.EvRetire:
+					retire++
+				case obs.EvSquash:
+					squash++
+				case obs.EvForward:
+					fwd++
+					if ev.Arg < 0 {
+						fwdCommitted++
+					} else {
+						dist[int(ev.Arg)]++
+					}
+				}
+			}
+			s := res.Stats
+			if fetch != s.Fetched {
+				t.Errorf("fetch events %d != Stats.Fetched %d", fetch, s.Fetched)
+			}
+			if retire != s.Retired {
+				t.Errorf("retire events %d != Stats.Retired %d", retire, s.Retired)
+			}
+			if squash != s.Squashed {
+				t.Errorf("squash events %d != Stats.Squashed %d", squash, s.Squashed)
+			}
+			if fwdCommitted != s.OperandFromCommitted {
+				t.Errorf("committed-source forwards %d != Stats.OperandFromCommitted %d",
+					fwdCommitted, s.OperandFromCommitted)
+			}
+			for d, c := range s.OperandFromStation {
+				if dist[d] != c {
+					t.Errorf("distance %d: %d forward events, Stats says %d", d, dist[d], c)
+				}
+			}
+			for d := range dist {
+				if _, ok := s.OperandFromStation[d]; !ok {
+					t.Errorf("forward events at distance %d missing from Stats", d)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineMetricsSnapshots: the engine publishes gauge snapshots every
+// MetricsEvery cycles plus one at halt, and the final snapshot agrees
+// with the run's aggregate stats.
+func TestEngineMetricsSnapshots(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := workload.RepeatedScan(32, 6)
+	cfg := core.Config{Window: 32, Granularity: 1, Metrics: reg, MetricsEvery: 64}
+	res, err := core.Run(w.Prog, w.Mem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := reg.Snapshots()
+	if len(snaps) < 3 {
+		t.Fatalf("got %d snapshots over %d cycles, want several", len(snaps), res.Stats.Cycles)
+	}
+	for i := 0; i+1 < len(snaps)-1; i++ {
+		if snaps[i+1].Tick-snaps[i].Tick != 64 {
+			t.Errorf("snapshots %d..%d spaced %d cycles, want 64", i, i+1, snaps[i+1].Tick-snaps[i].Tick)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if got := last.Gauges["core.retired"]; got != float64(res.Stats.Retired) {
+		t.Errorf("final core.retired = %v, want %d", got, res.Stats.Retired)
+	}
+	if got := last.Gauges["core.fetched"]; got != float64(res.Stats.Fetched) {
+		t.Errorf("final core.fetched = %v, want %d", got, res.Stats.Fetched)
+	}
+	if last.Gauges["core.ipc"] <= 0 {
+		t.Error("final core.ipc must be positive")
+	}
+}
+
+// TestChromeExportFromEngine: a real recorded run converts to a Chrome
+// trace that passes schema validation and names slices from the program.
+func TestChromeExportFromEngine(t *testing.T) {
+	w := workload.Fib(8)
+	events, _ := record(t, w, core.Config{Window: 16, Granularity: 1}, 1<<20)
+	man := obs.NewManifest("test")
+	var buf bytes.Buffer
+	err := obs.WriteChromeTrace(&buf, man, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("engine trace fails chrome validation: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"station 0"`) {
+		t.Error("trace lacks station tracks")
+	}
+}
+
+// TestRingCaptureOnEngine: a small flight-recorder ring on a long run
+// holds the LAST events — the tail of the run, ending in the halt's
+// retirement.
+func TestRingCaptureOnEngine(t *testing.T) {
+	tr := obs.NewRingTracer(256)
+	w := workload.RepeatedScan(32, 8)
+	cfg := core.Config{Window: 32, Granularity: 1, Tracer: tr}
+	res, err := core.Run(w.Prog, w.Mem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 256 {
+		t.Fatalf("ring holds %d events, want 256", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Kind != obs.EvRetire {
+		t.Fatalf("last event is %v, want the final retirement", last.Kind)
+	}
+	if last.Cycle != res.Stats.Cycles-1 {
+		t.Fatalf("last event at cycle %d, run ended at %d", last.Cycle, res.Stats.Cycles-1)
+	}
+}

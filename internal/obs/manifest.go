@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Manifest identifies the build and configuration that produced a trace,
+// metrics or benchmark output, so every artifact is attributable across
+// PRs and machines. It deliberately carries no wall-clock timestamp:
+// stamping one would break the byte-identical-rerun property the golden
+// trace tests rely on (tools that want a date add their own field).
+type Manifest struct {
+	Tool       string `json:"tool"`
+	GoVersion  string `json:"go_version"`
+	GitCommit  string `json:"git_commit"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Seed is the workload/program seed, when the run has one.
+	Seed int64 `json:"seed"`
+	// Config is a human-readable one-line run configuration
+	// (architecture, window, cluster size, ...).
+	Config string `json:"config,omitempty"`
+	// Prog is the disassembled program, one instruction per line, so a
+	// trace can be rendered without the original source (PCs index it).
+	Prog []string `json:"prog,omitempty"`
+}
+
+// NewManifest fills a manifest with the running binary's build
+// information. The git commit comes from the binary's embedded VCS
+// stamp when present (go build stamps main packages built inside a
+// repository), falling back to asking git directly; "unknown" when
+// neither works (e.g. a test binary outside a repository).
+func NewManifest(tool string) Manifest {
+	return Manifest{
+		Tool:       tool,
+		GoVersion:  runtime.Version(),
+		GitCommit:  gitCommit(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// gitCommit resolves the current commit hash, best effort.
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + modified
+		}
+	}
+	// Test binaries and `go run` builds carry no VCS stamp; ask git.
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	if rev := strings.TrimSpace(string(out)); rev != "" {
+		return rev
+	}
+	return "unknown"
+}

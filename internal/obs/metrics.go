@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics half of the observability layer: a registry
+// of named counters, gauges and histograms, with periodic snapshots.
+// Instruments are lock-free on the update path (atomics), so the
+// parallel experiment pool can record per-task timings without
+// serializing the sweep; the registry mutex covers only registration and
+// snapshotting, both cold.
+
+// Counter is a monotonically increasing int64 instrument.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value float64 instrument.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value Set.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed upper-bound buckets
+// (bucket i counts observations v with v <= bounds[i]; one implicit
+// +Inf bucket catches the rest).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// value materializes the histogram's current state.
+func (h *Histogram) value() HistogramValue {
+	hv := HistogramValue{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	for i := range h.counts {
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		hv.Buckets[i] = Bucket{Le: le, Count: h.counts[i].Load()}
+	}
+	return hv
+}
+
+// Bucket is one histogram bucket: the count of observations <= Le that
+// fell in no earlier bucket. The last bucket's Le is +Inf (serialized as
+// the JSON string "+Inf").
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON serializes the bucket, mapping the +Inf bound (not
+// representable in JSON numbers) to the string "+Inf".
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.Le, 1) {
+		return json.Marshal(struct {
+			Le    string `json:"le"`
+			Count int64  `json:"count"`
+		}{"+Inf", b.Count})
+	}
+	type noMethod Bucket
+	return json.Marshal(noMethod(b))
+}
+
+// HistogramValue is a histogram's state at snapshot time.
+type HistogramValue struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is the value of every registered instrument at one tick.
+// Maps serialize with sorted keys under encoding/json, so the output is
+// deterministic.
+type Snapshot struct {
+	Tick       int64                     `json:"tick"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+}
+
+// Registry holds named instruments and the snapshot series taken from
+// them. Instrument lookups get-or-create, so independent subsystems can
+// share a registry without coordination; a name is bound to its first
+// instrument kind (a second lookup under a different kind panics — a
+// programming error, like an analogous duplicate expvar).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	snaps      []Snapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// checkName panics when name is already bound to another instrument
+// kind. Callers hold r.mu.
+func (r *Registry) checkName(name, kind string) {
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("obs: %q is already a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("obs: %q is already a gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("obs: %q is already a histogram", name))
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "counter")
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "gauge")
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given upper bounds (sorted ascending; an implicit +Inf bucket is
+// added). The bounds of an existing histogram are kept.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "histogram")
+	h, ok := r.histograms[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures the current value of every instrument, appends it to
+// the snapshot series, and returns it. Tick is caller-defined (the
+// engine uses the simulation cycle; the benchmark harness a section
+// index).
+func (r *Registry) Snapshot(tick int64) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Tick: tick}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramValue, len(r.histograms))
+		for n, h := range r.histograms {
+			s.Histograms[n] = h.value()
+		}
+	}
+	r.snaps = append(r.snaps, s)
+	return s
+}
+
+// Snapshots returns the snapshot series taken so far.
+func (r *Registry) Snapshots() []Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Snapshot(nil), r.snaps...)
+}
+
+// metricsDoc is the serialized form of a registry's snapshot series.
+type metricsDoc struct {
+	Manifest  Manifest   `json:"manifest"`
+	Snapshots []Snapshot `json:"snapshots"`
+}
+
+// WriteJSON writes the snapshot series, stamped with the manifest, as an
+// indented JSON document. The output is deterministic for a given series
+// (instrument maps serialize with sorted keys).
+func (r *Registry) WriteJSON(w io.Writer, man Manifest) error {
+	doc := metricsDoc{Manifest: man, Snapshots: r.Snapshots()}
+	if doc.Snapshots == nil {
+		doc.Snapshots = []Snapshot{}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding metrics: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tasks")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("tasks") != c {
+		t.Fatal("Counter lookup must return the same instrument")
+	}
+
+	g := r.Gauge("occupancy")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+
+	h := r.Histogram("latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5060.5 {
+		t.Fatalf("hist sum = %v, want 5060.5", h.Sum())
+	}
+	hv := h.value()
+	wantCounts := []int64{1, 2, 1, 1} // <=1, <=10, <=100, +Inf
+	for i, w := range wantCounts {
+		if hv.Buckets[i].Count != w {
+			t.Errorf("bucket %d count = %d, want %d", i, hv.Buckets[i].Count, w)
+		}
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gauge(\"x\") after Counter(\"x\") must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestSnapshotSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	g := r.Gauge("v")
+	for i := 1; i <= 3; i++ {
+		c.Inc()
+		g.Set(float64(10 * i))
+		r.Snapshot(int64(100 * i))
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Tick != int64(100*(i+1)) {
+			t.Errorf("snapshot %d tick = %d", i, s.Tick)
+		}
+		if s.Counters["n"] != int64(i+1) {
+			t.Errorf("snapshot %d counter = %d, want %d", i, s.Counters["n"], i+1)
+		}
+		if s.Gauges["v"] != float64(10*(i+1)) {
+			t.Errorf("snapshot %d gauge = %v", i, s.Gauges["v"])
+		}
+	}
+}
+
+// TestWriteJSONDeterministic: two serializations of the same series are
+// byte-identical (map keys sort under encoding/json), and +Inf histogram
+// bounds survive as the "+Inf" string.
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Histogram("h", []float64{1, 2}).Observe(7)
+	r.Gauge("z").Set(1)
+	r.Snapshot(0)
+
+	man := Manifest{Tool: "test"}
+	var b1, b2 bytes.Buffer
+	if err := r.WriteJSON(&b1, man); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2, man); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two serializations differ")
+	}
+	out := b1.String()
+	if !strings.Contains(out, `"+Inf"`) {
+		t.Errorf("output lacks the +Inf bucket:\n%s", out)
+	}
+	if strings.Index(out, `"a.count"`) > strings.Index(out, `"b.count"`) {
+		t.Error("counter keys are not sorted")
+	}
+}
+
+// TestConcurrentInstruments exercises the lock-free update path under
+// the race detector, the way the parallel experiment pool uses it.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("tasks").Inc()
+				r.Gauge("depth").Set(float64(i))
+				r.Histogram("ms", []float64{1, 10}).Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("tasks").Value(); got != 8000 {
+		t.Fatalf("tasks = %d, want 8000", got)
+	}
+	if got := r.Histogram("ms", nil).Count(); got != 8000 {
+		t.Fatalf("observations = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package obs is the simulator's observability layer: an opt-in,
+// allocation-free pipeline event tracer, a counter/gauge/histogram
+// metrics registry with periodic snapshots, exporters (Chrome
+// trace-event JSON for Perfetto, compact JSONL), and a run manifest that
+// stamps every trace, metrics and benchmark output with the build and
+// configuration that produced it.
+//
+// The paper's claims live in per-station, per-cycle behaviour — operand
+// locality (Section 7: "half of the communications paths from one
+// station to its successor are completely local"), window occupancy, and
+// squash cascades — which the end-of-run aggregates in core.Stats cannot
+// show. The tracer records exactly those events; the engine hooks sit
+// behind a nil check so the measured hot path stays zero-alloc and
+// hotpathalloc-clean when tracing is off.
+//
+// Tracing discipline: Record is declared //uslint:hotpath and must never
+// allocate. Events go into a preallocated slab by index assignment
+// (never append); when the slab fills, the tracer either drops new
+// events (NewTracer) or overwrites the oldest (NewRingTracer). Both
+// policies keep recording O(1) with zero heap traffic, so a trace run
+// perturbs the behaviour it observes as little as possible.
+package obs
+
+// EventKind classifies one pipeline event.
+type EventKind uint8
+
+// The pipeline event kinds.
+const (
+	// EvFetch: an instruction entered an execution station.
+	// Arg = predicted next PC (-1 when unknown: halt, cold-BTB JALR).
+	EvFetch EventKind = iota
+	// EvIssue: the station's operands arrived and execution started
+	// (or a memory request was granted). Arg = remaining latency.
+	EvIssue
+	// EvExec: the result became available to consumers.
+	EvExec
+	// EvRetire: the instruction committed at the head of the window.
+	EvRetire
+	// EvSquash: the station was squashed by a misprediction.
+	// Arg = PC of the mispredicted branch that caused it.
+	EvSquash
+	// EvForward: one source operand was forwarded to the station at
+	// issue. Arg = producer distance in dynamic instructions
+	// (1 = immediate predecessor), or -1 for the committed register file.
+	EvForward
+
+	numEventKinds
+)
+
+// eventKindNames maps kinds to their wire names (JSONL "kind" field).
+var eventKindNames = [numEventKinds]string{
+	"fetch", "issue", "exec", "retire", "squash", "forward",
+}
+
+// String returns the event kind's wire name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString inverts String; ok is false for unknown names.
+func KindFromString(s string) (EventKind, bool) {
+	for i, n := range eventKindNames {
+		if n == s {
+			return EventKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one pipeline event. All payloads are plain integers so a
+// recorded event never references heap memory.
+type Event struct {
+	Cycle int64     // simulation cycle the event occurred in
+	Seq   int64     // dynamic sequence number of the instruction
+	Kind  EventKind //
+	PC    int32     // static program counter
+	Slot  int32     // execution-station slot
+	Arg   int32     // kind-specific payload (see the kind constants)
+}
+
+// Tracer records pipeline events into a preallocated slab. The zero
+// Tracer is not usable; construct with NewTracer or NewRingTracer. A nil
+// *Tracer is a valid no-op recorder, so callers may hold one
+// unconditionally and guard only the hot-path call.
+type Tracer struct {
+	buf     []Event
+	n       int   // next write index
+	ring    bool  // overwrite-oldest instead of drop-newest
+	wrapped bool  // ring mode: the buffer has wrapped at least once
+	dropped int64 // events discarded because the slab was full
+	total   int64 // events offered, including dropped/overwritten
+}
+
+// NewTracer returns a tracer that keeps the FIRST capacity events and
+// drops (but counts) the rest — the right policy for bounded traces of a
+// run's beginning, and for golden fixtures.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// NewRingTracer returns a tracer that keeps the LAST capacity events,
+// overwriting the oldest — the flight-recorder policy for "what led up
+// to this anomaly" captures on long runs.
+func NewRingTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, capacity), ring: true}
+}
+
+// Record appends one event. It is the tracer's hot path: O(1), never
+// allocates, and writes by index into the preallocated slab.
+//
+//uslint:hotpath
+func (t *Tracer) Record(kind EventKind, cycle, seq int64, pc, slot, arg int32) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if t.n == len(t.buf) {
+		if !t.ring {
+			t.dropped++
+			return
+		}
+		t.n = 0
+		t.wrapped = true
+	}
+	t.buf[t.n] = Event{Cycle: cycle, Seq: seq, Kind: kind, PC: pc, Slot: slot, Arg: arg}
+	t.n++
+}
+
+// Events returns the recorded events in chronological order. The slice
+// is a fresh copy; the tracer may keep recording afterwards.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		return append([]Event(nil), t.buf[:t.n]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.n:]...)
+	return append(out, t.buf[:t.n]...)
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.wrapped {
+		return len(t.buf)
+	}
+	return t.n
+}
+
+// Cap returns the slab capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Dropped returns the number of events discarded because the slab was
+// full (always 0 in ring mode, which overwrites instead).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Total returns the number of events offered to the tracer, including
+// dropped and overwritten ones.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Reset clears the tracer for reuse without releasing the slab.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.n, t.wrapped, t.dropped, t.total = 0, false, 0, 0
+}

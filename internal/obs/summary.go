@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trace summarization: the ustrace CLI's "what happened" view over a
+// recorded event stream — IPC over time, a window-occupancy heat strip,
+// and squash storms (bursts of misprediction recovery). Everything is
+// computed from the events alone so it works on traces from any source.
+
+// Storm is one burst of squash events: cycles with squashes separated by
+// gaps of at most stormGap cycles are grouped into one storm.
+type Storm struct {
+	Start, End int64 // cycle range, inclusive
+	Squashed   int   // stations squashed during the storm
+}
+
+// stormGap is the largest squash-free cycle gap inside one storm.
+const stormGap = 16
+
+// Summary is the digest of one trace.
+type Summary struct {
+	FirstCycle, LastCycle int64
+	Fetched               int
+	Retired               int
+	Squashed              int
+	Forwards              int
+
+	// BucketSize is the cycle width of each time bucket; RetiredPer and
+	// MeanOcc have one entry per bucket.
+	BucketSize int64
+	RetiredPer []int
+	MeanOcc    []float64
+	MaxOcc     int
+
+	// LocalOperands counts EvForward events with distance 1 (operand
+	// produced by the immediately preceding station) against all
+	// station-sourced forwards — the paper's Section 7 locality figure.
+	LocalOperands, StationOperands int
+
+	Storms []Storm
+}
+
+// Summarize digests events (chronological order, as recorded) into at
+// most buckets time buckets.
+func Summarize(events []Event, buckets int) Summary {
+	var s Summary
+	if len(events) == 0 {
+		return s
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	s.FirstCycle = events[0].Cycle
+	s.LastCycle = events[len(events)-1].Cycle
+	span := s.LastCycle - s.FirstCycle + 1
+	s.BucketSize = (span + int64(buckets) - 1) / int64(buckets)
+	if s.BucketSize < 1 {
+		s.BucketSize = 1
+	}
+	n := int((span + s.BucketSize - 1) / s.BucketSize)
+	s.RetiredPer = make([]int, n)
+	s.MeanOcc = make([]float64, n)
+	occWeight := make([]float64, n) // occupied-station-cycles per bucket
+
+	occ := 0
+	prevCycle := s.FirstCycle
+	var squashCycles []int64
+	squashAt := make(map[int64]int)
+	flush := func(upTo int64) {
+		// Attribute occ station-cycles to each cycle in [prevCycle, upTo).
+		for c := prevCycle; c < upTo; c++ {
+			occWeight[int((c-s.FirstCycle)/s.BucketSize)] += float64(occ)
+		}
+		prevCycle = upTo
+	}
+	for _, ev := range events {
+		if ev.Cycle > prevCycle {
+			flush(ev.Cycle)
+		}
+		b := int((ev.Cycle - s.FirstCycle) / s.BucketSize)
+		switch ev.Kind {
+		case EvFetch:
+			s.Fetched++
+			occ++
+		case EvRetire:
+			s.Retired++
+			s.RetiredPer[b]++
+			occ--
+		case EvSquash:
+			s.Squashed++
+			occ--
+			if squashAt[ev.Cycle] == 0 {
+				squashCycles = append(squashCycles, ev.Cycle)
+			}
+			squashAt[ev.Cycle]++
+		case EvForward:
+			s.Forwards++
+			if ev.Arg >= 1 {
+				s.StationOperands++
+				if ev.Arg == 1 {
+					s.LocalOperands++
+				}
+			}
+		}
+		if occ > s.MaxOcc {
+			s.MaxOcc = occ
+		}
+	}
+	flush(s.LastCycle + 1)
+	for i := range s.MeanOcc {
+		width := s.BucketSize
+		if i == n-1 {
+			if rem := span % s.BucketSize; rem != 0 {
+				width = rem
+			}
+		}
+		s.MeanOcc[i] = occWeight[i] / float64(width)
+	}
+
+	// Group squash cycles into storms.
+	sort.Slice(squashCycles, func(i, j int) bool { return squashCycles[i] < squashCycles[j] })
+	for _, c := range squashCycles {
+		if len(s.Storms) > 0 && c-s.Storms[len(s.Storms)-1].End <= stormGap {
+			st := &s.Storms[len(s.Storms)-1]
+			st.End = c
+			st.Squashed += squashAt[c]
+		} else {
+			s.Storms = append(s.Storms, Storm{Start: c, End: c, Squashed: squashAt[c]})
+		}
+	}
+	sort.SliceStable(s.Storms, func(i, j int) bool { return s.Storms[i].Squashed > s.Storms[j].Squashed })
+	return s
+}
+
+// heatRamp maps a 0..1 intensity to a character.
+const heatRamp = " .:-=+*#%@"
+
+func heatChar(x float64) byte {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	i := int(x * float64(len(heatRamp)-1))
+	return heatRamp[i]
+}
+
+// String renders the summary as the ustrace report.
+func (s Summary) String() string {
+	var b strings.Builder
+	cycles := s.LastCycle - s.FirstCycle + 1
+	fmt.Fprintf(&b, "trace: cycles %d..%d (%d), fetched=%d retired=%d squashed=%d\n",
+		s.FirstCycle, s.LastCycle, cycles, s.Fetched, s.Retired, s.Squashed)
+	if cycles > 0 {
+		fmt.Fprintf(&b, "IPC (retired/cycle over trace): %.3f\n", float64(s.Retired)/float64(cycles))
+	}
+	if s.StationOperands > 0 {
+		fmt.Fprintf(&b, "operand locality: %d/%d station-sourced operands from the immediate predecessor (%.1f%%)\n",
+			s.LocalOperands, s.StationOperands,
+			100*float64(s.LocalOperands)/float64(s.StationOperands))
+	}
+
+	if len(s.RetiredPer) > 1 {
+		maxR := 0
+		for _, r := range s.RetiredPer {
+			if r > maxR {
+				maxR = r
+			}
+		}
+		fmt.Fprintf(&b, "\nIPC over time (bucket = %d cycles, peak %.2f IPC):\n  ",
+			s.BucketSize, float64(maxR)/float64(s.BucketSize))
+		for _, r := range s.RetiredPer {
+			x := 0.0
+			if maxR > 0 {
+				x = float64(r) / float64(maxR)
+			}
+			b.WriteByte(heatChar(x))
+		}
+		b.WriteByte('\n')
+
+		fmt.Fprintf(&b, "\noccupancy heat (peak %d stations):\n  ", s.MaxOcc)
+		for _, o := range s.MeanOcc {
+			x := 0.0
+			if s.MaxOcc > 0 {
+				x = o / float64(s.MaxOcc)
+			}
+			b.WriteByte(heatChar(x))
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(s.Storms) > 0 {
+		fmt.Fprintf(&b, "\nsquash storms (top %d of %d):\n", min(5, len(s.Storms)), len(s.Storms))
+		for i, st := range s.Storms {
+			if i == 5 {
+				break
+			}
+			fmt.Fprintf(&b, "  cycles %6d..%-6d  %4d squashed\n", st.Start, st.End, st.Squashed)
+		}
+	}
+	return b.String()
+}

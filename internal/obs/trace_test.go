@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestTracerDropNewest(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(EvFetch, int64(i), int64(i), int32(i), 0, 0)
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if got := tr.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if ev.Cycle != int64(i) {
+			t.Errorf("event %d: cycle %d, want %d (drop-newest keeps the first events)", i, ev.Cycle, i)
+		}
+	}
+}
+
+func TestRingTracerKeepsLatest(t *testing.T) {
+	tr := NewRingTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(EvRetire, int64(i), int64(i), 0, 0, 0)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0 (ring overwrites)", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len(Events) = %d, want 3", len(evs))
+	}
+	for i, want := range []int64{2, 3, 4} {
+		if evs[i].Cycle != want {
+			t.Errorf("event %d: cycle %d, want %d (ring keeps the last events, in order)", i, evs[i].Cycle, want)
+		}
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewRingTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(EvIssue, int64(i), 0, 0, 0, 0)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("after Reset: Len=%d Total=%d Dropped=%d, want zeros", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	tr.Record(EvIssue, 9, 0, 0, 0, 0)
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Cycle != 9 {
+		t.Fatalf("after Reset, Events = %v", evs)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(EvFetch, 0, 0, 0, 0, 0) // must not panic
+	if tr.Events() != nil || tr.Len() != 0 || tr.Cap() != 0 || tr.Total() != 0 {
+		t.Fatal("nil tracer must observe nothing")
+	}
+	tr.Reset()
+}
+
+// TestRecordDoesNotAllocate pins the hot-path contract the engine relies
+// on: recording an event into a live slab performs zero heap
+// allocations, in both drop and ring modes.
+func TestRecordDoesNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *Tracer
+	}{
+		{"drop", NewTracer(64)},
+		{"ring", NewRingTracer(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cycle := int64(0)
+			avg := testing.AllocsPerRun(1000, func() {
+				tc.tr.Record(EvExec, cycle, cycle, 1, 2, 3)
+				cycle++
+			})
+			if avg != 0 {
+				t.Fatalf("Record allocates %.2f per call, want 0", avg)
+			}
+		})
+	}
+}
+
+func TestEventKindStringRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		name := k.String()
+		got, ok := KindFromString(name)
+		if !ok || got != k {
+			t.Errorf("kind %d round-trips to (%v, %v) via %q", k, got, ok, name)
+		}
+	}
+	if _, ok := KindFromString("nonsense"); ok {
+		t.Error("KindFromString accepted an unknown name")
+	}
+	if EventKind(250).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}

@@ -14,15 +14,19 @@ import (
 )
 
 var (
-	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 )
 
-// Start begins CPU profiling when -cpuprofile was given. The returned
-// stop function ends the CPU profile and, when -memprofile was given,
-// writes the heap profile; call it on the way out of main (note that a
-// stop skipped by os.Exit simply loses the profiles). Call after
-// flag.Parse.
+// Start begins CPU profiling when -cpuprofile was given and enables
+// block/mutex sampling when -blockprofile / -mutexprofile were given
+// (sampling has runtime cost, so it stays off unless requested — it
+// matters for diagnosing worker-pool contention in parallel sweeps). The
+// returned stop function ends the CPU profile and writes the requested
+// exit-time profiles; call it on the way out of main (note that a stop
+// skipped by os.Exit simply loses the profiles). Call after flag.Parse.
 func Start() (stop func(), err error) {
 	var cpuFile *os.File
 	if *cpuprofile != "" {
@@ -34,6 +38,12 @@ func Start() (stop func(), err error) {
 			cpuFile.Close()
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
 	}
 	return func() {
 		if cpuFile != nil {
@@ -52,5 +62,23 @@ func Start() (stop func(), err error) {
 				fmt.Fprintln(os.Stderr, "profiling:", err)
 			}
 		}
+		writeLookup("block", *blockprofile)
+		writeLookup("mutex", *mutexprofile)
 	}, nil
+}
+
+// writeLookup dumps one of the runtime's named pprof profiles.
+func writeLookup(name, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+	}
 }

@@ -3,6 +3,8 @@ package profiling
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -13,6 +15,19 @@ func setFlags(t *testing.T, cpu, mem string) {
 	oldCPU, oldMem := *cpuprofile, *memprofile
 	*cpuprofile, *memprofile = cpu, mem
 	t.Cleanup(func() { *cpuprofile, *memprofile = oldCPU, oldMem })
+}
+
+// setContentionFlags does the same for the block/mutex profile flags and
+// restores the runtime sampling rates they enable.
+func setContentionFlags(t *testing.T, block, mutex string) {
+	t.Helper()
+	oldBlock, oldMutex := *blockprofile, *mutexprofile
+	*blockprofile, *mutexprofile = block, mutex
+	t.Cleanup(func() {
+		*blockprofile, *mutexprofile = oldBlock, oldMutex
+		runtime.SetBlockProfileRate(0)
+		runtime.SetMutexProfileFraction(0)
+	})
 }
 
 // TestStartWithoutFlags: with neither flag set, Start is a no-op that
@@ -72,6 +87,54 @@ func TestDoubleStart(t *testing.T) {
 		t.Fatalf("Start after stop: %v", err)
 	}
 	stop()
+}
+
+// TestBlockAndMutexProfiles: -blockprofile/-mutexprofile enable runtime
+// sampling in Start and dump both profiles on stop. The workload below
+// manufactures the channel blocking and lock contention that the parallel
+// sweep pool exhibits under load.
+func TestBlockAndMutexProfiles(t *testing.T) {
+	dir := t.TempDir()
+	blockPath := filepath.Join(dir, "block.out")
+	mutexPath := filepath.Join(dir, "mutex.out")
+	setFlags(t, "", "")
+	setContentionFlags(t, blockPath, mutexPath)
+	stop, err := Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	var mu sync.Mutex
+	ch := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch // channel block
+			for j := 0; j < 200; j++ {
+				mu.Lock()
+				for k := 0; k < 500; k++ {
+					_ = k
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	close(ch)
+	wg.Wait()
+
+	stop()
+	for _, path := range []string{blockPath, mutexPath} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile missing after stop: %v", err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s: stop wrote an empty profile", filepath.Base(path))
+		}
+	}
 }
 
 // TestMemProfileOnStop: the heap profile is written by stop, not Start.

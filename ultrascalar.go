@@ -36,6 +36,7 @@ import (
 	"ultrascalar/internal/hybrid"
 	"ultrascalar/internal/isa"
 	"ultrascalar/internal/memory"
+	"ultrascalar/internal/obs"
 	"ultrascalar/internal/ref"
 	"ultrascalar/internal/ultra1"
 	"ultrascalar/internal/ultra2"
@@ -72,6 +73,25 @@ type (
 	Predictor = branch.Predictor
 	// Workload is a runnable program plus its initial memory.
 	Workload = workload.Workload
+	// Tracer records pipeline events into a preallocated slab; build one
+	// with NewTracer or NewRingTracer and attach it via WithTracer.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded pipeline event.
+	TraceEvent = obs.Event
+	// MetricsRegistry holds named counters, gauges and histograms with
+	// periodic snapshots; attach one via WithMetrics.
+	MetricsRegistry = obs.Registry
+)
+
+// Tracer and metrics constructors, re-exported from internal/obs.
+var (
+	// NewTracer returns a tracer keeping the first capacity events.
+	NewTracer = obs.NewTracer
+	// NewRingTracer returns a flight-recorder tracer keeping the last
+	// capacity events.
+	NewRingTracer = obs.NewRingTracer
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
 )
 
 // Arch selects one of the paper's three processor architectures.
@@ -320,6 +340,28 @@ func WithTimeline() Option {
 func WithMaxCycles(n int64) Option {
 	return func(p *Processor) error {
 		p.base.MaxCycles = n
+		return nil
+	}
+}
+
+// WithTracer attaches a pipeline event tracer: every fetch, issue,
+// completion, retirement, squash and operand forward is recorded with
+// its cycle, station and payload. Recording is allocation-free; with no
+// tracer attached the engine's measured hot path is unchanged.
+func WithTracer(t *Tracer) Option {
+	return func(p *Processor) error {
+		p.base.Tracer = t
+		return nil
+	}
+}
+
+// WithMetrics attaches a metrics registry snapshotted every `every`
+// cycles (0 = the 1024-cycle default). The engine publishes occupancy,
+// IPC and the fetch/retire/squash/mispredict counters.
+func WithMetrics(r *MetricsRegistry, every int64) Option {
+	return func(p *Processor) error {
+		p.base.Metrics = r
+		p.base.MetricsEvery = every
 		return nil
 	}
 }
