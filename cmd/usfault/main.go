@@ -1,0 +1,96 @@
+// Command usfault runs deterministic fault-injection campaigns against
+// the three simulated architectures: it sweeps single-transient-fault
+// runs over (architecture × workload × fault site × n trials), classifies
+// every point against the fault-free golden run (masked, recovered,
+// silent data corruption, crash), and prints an aggregate vulnerability
+// report. The same seed and flags always produce a byte-identical report,
+// across runs and across -workers settings; CI diffs two runs to enforce
+// it. Long campaigns checkpoint per shard with -checkpoint and resume by
+// rerunning with the identical flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ultrascalar/internal/exp"
+	"ultrascalar/internal/fault"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "campaign seed; all fault draws derive from it")
+	n := flag.Int("n", 16, "injection trials per (arch x workload x site) cell")
+	window := flag.Int("window", 16, "station count n")
+	cluster := flag.Int("cluster", 0, "hybrid cluster size C (0 = window/4)")
+	archs := flag.String("arch", "", "comma-separated architectures (default all: "+strings.Join(exp.FaultArchs, ",")+")")
+	sitesFlag := flag.String("sites", "", "comma-separated fault sites (default all)")
+	detectFlag := flag.String("detect", "golden", "detection model: none, parity or golden")
+	checkpoint := flag.String("checkpoint", "", "shard checkpoint file for resumable campaigns")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	workers := flag.Int("workers", 0, "sweep goroutines (0 = GOMAXPROCS, 1 = serial)")
+	listSites := flag.Bool("list-sites", false, "list the fault sites and exit")
+	flag.Parse()
+
+	if *listSites {
+		for _, s := range fault.AllSites() {
+			fmt.Println(s)
+		}
+		return
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "usfault: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	detect, ok := fault.DetectFromString(*detectFlag)
+	if !ok {
+		fail("unknown detection model %q (want none, parity or golden)", *detectFlag)
+	}
+	var sites []fault.Site
+	if *sitesFlag != "" {
+		for _, name := range strings.Split(*sitesFlag, ",") {
+			s, ok := fault.SiteFromString(strings.TrimSpace(name))
+			if !ok {
+				fail("unknown fault site %q (run usfault -list-sites)", name)
+			}
+			sites = append(sites, s)
+		}
+	}
+	var archList []string
+	if *archs != "" {
+		for _, a := range strings.Split(*archs, ",") {
+			archList = append(archList, strings.TrimSpace(a))
+		}
+	}
+
+	exp.SetSweepWorkers(*workers)
+	rep, err := exp.RunFaultCampaign(exp.FaultCampaignConfig{
+		Seed:       *seed,
+		Window:     *window,
+		Cluster:    *cluster,
+		N:          *n,
+		Archs:      archList,
+		Sites:      sites,
+		Detect:     detect,
+		Checkpoint: *checkpoint,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteText(w); err != nil {
+		fail("writing report: %v", err)
+	}
+}

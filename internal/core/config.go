@@ -27,10 +27,16 @@ import (
 	"fmt"
 
 	"ultrascalar/internal/branch"
+	"ultrascalar/internal/fault"
 	"ultrascalar/internal/isa"
 	"ultrascalar/internal/memory"
 	"ultrascalar/internal/obs"
 )
+
+// MaxWindow bounds Config.Window. The paper's scaling arguments stop at a
+// few thousand stations; the bound exists so hostile configurations (fuzzed
+// or file-sourced) fail fast instead of attempting a multi-gigabyte slab.
+const MaxWindow = 1 << 20
 
 // Config describes one processor instance.
 type Config struct {
@@ -118,6 +124,36 @@ type Config struct {
 	Metrics *obs.Registry
 	// MetricsEvery is the snapshot period in cycles (default 1024).
 	MetricsEvery int64
+
+	// Watchdog is the livelock threshold: when no instruction has retired
+	// for Watchdog cycles and the engine can make no further progress
+	// (nothing executing, nothing ready to issue, fetch blocked), Run
+	// returns ErrLivelock with a diagnostic snapshot instead of spinning
+	// to MaxCycles. During a fault-injection run the watchdog instead
+	// triggers squash-and-replay recovery, so a fault that starves
+	// retirement costs cycles rather than the whole run. 0 selects the
+	// default, max(4*Window, 64) — four full window drains, floored so
+	// tiny windows tolerate self-timed forwarding delays and long-latency
+	// instructions. Negative disables the watchdog.
+	Watchdog int64
+
+	// FaultPlan, when non-nil, arms deterministic fault injection: the
+	// plan's faults corrupt microarchitectural state at their scheduled
+	// cycles (see internal/fault for the sites). Injection is a pure
+	// function of (program, config, plan), so identical plans reproduce
+	// identical runs. A nil plan costs one pointer check per cycle.
+	FaultPlan *fault.Plan
+	// FaultDetect selects the modeled detection hardware for faulted
+	// runs: none (corruption commits silently), parity (per-value parity
+	// checked at the commit port), or golden (every retiring instruction
+	// cross-checked against the in-order machine of internal/ref). A
+	// detected fault is recovered by squashing from the faulty
+	// instruction and replaying — the engine's misprediction machinery
+	// pointed at a corrupted station instead of a wrong-path branch.
+	FaultDetect fault.Detect
+	// FaultLog, when non-nil, receives the fault lifecycle records
+	// (injections, detections, recoveries, watchdog fires).
+	FaultLog *fault.Log
 }
 
 // FetchModel selects the instruction-fetch mechanism.
@@ -158,11 +194,45 @@ func (f FetchModel) String() string {
 var (
 	ErrNoHalt       = errors.New("core: cycle limit exceeded without halt")
 	ErrPCOutOfRange = errors.New("core: fetch ran out of the program without halt")
+	// ErrLivelock is the sentinel wrapped by LivelockError when the
+	// watchdog fires: no instruction retired for Config.Watchdog cycles
+	// and the engine can make no further progress.
+	ErrLivelock = errors.New("core: no retirement progress (livelock)")
 )
+
+// LivelockError is the watchdog's diagnostic snapshot: where the engine
+// was stuck and what the station ring looked like when it gave up. It
+// wraps ErrLivelock, so errors.Is(err, ErrLivelock) matches.
+type LivelockError struct {
+	Cycle      int64 // cycle the watchdog fired
+	LastRetire int64 // cycle of the most recent retirement (-1 if none ever)
+	FetchPC    int   // next fetch target
+	HeadPC     int   // PC of the oldest unretired instruction (-1 if window empty)
+	HeadSeq    int64 // its dynamic sequence number (-1 if window empty)
+	Occupied   int   // occupied stations
+	Window     int   // station count
+	Started    int   // stations issued but not finished
+	Ready      int   // stations with operands ready, not yet issued
+	Finished   int   // stations finished but not retired
+}
+
+// Error renders the snapshot on one line.
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("core: livelock at cycle %d: no retire since cycle %d "+
+		"(head pc=%d seq=%d, fetch pc=%d, stations %d/%d occupied: %d started, %d ready, %d finished)",
+		e.Cycle, e.LastRetire, e.HeadPC, e.HeadSeq, e.FetchPC,
+		e.Occupied, e.Window, e.Started, e.Ready, e.Finished)
+}
+
+// Unwrap exposes the ErrLivelock sentinel.
+func (e *LivelockError) Unwrap() error { return ErrLivelock }
 
 func (c *Config) normalize() error {
 	if c.Window < 1 {
 		return fmt.Errorf("core: window must be >= 1, got %d", c.Window)
+	}
+	if c.Window > MaxWindow {
+		return fmt.Errorf("core: window %d exceeds MaxWindow %d", c.Window, MaxWindow)
 	}
 	if c.Granularity == 0 {
 		c.Granularity = 1
@@ -188,23 +258,50 @@ func (c *Config) normalize() error {
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 1 << 24
 	}
+	if c.MaxCycles < 0 {
+		return fmt.Errorf("core: MaxCycles must be >= 0, got %d", c.MaxCycles)
+	}
 	if c.InitRegs != nil && len(c.InitRegs) != c.NumRegs {
 		return fmt.Errorf("core: InitRegs has %d values, want %d", len(c.InitRegs), c.NumRegs)
 	}
 	if c.NumALUs < 0 {
 		return fmt.Errorf("core: NumALUs must be >= 0, got %d", c.NumALUs)
 	}
+	if c.FetchWidth < 0 {
+		return fmt.Errorf("core: FetchWidth must be >= 0, got %d", c.FetchWidth)
+	}
+	if c.ReturnStack < 0 {
+		return fmt.Errorf("core: ReturnStack must be >= 0, got %d", c.ReturnStack)
+	}
 	if c.TraceSetBits == 0 {
 		c.TraceSetBits = 8
 	}
+	if c.TraceSetBits < 0 || c.TraceSetBits > 24 {
+		return fmt.Errorf("core: TraceSetBits %d out of [1,24]", c.TraceSetBits)
+	}
 	if c.TraceLen == 0 {
 		c.TraceLen = 16
+	}
+	if c.TraceLen < 0 || c.TraceLen > 1<<16 {
+		return fmt.Errorf("core: TraceLen %d out of [1,65536]", c.TraceLen)
 	}
 	if c.MetricsEvery == 0 {
 		c.MetricsEvery = 1024
 	}
 	if c.MetricsEvery < 1 {
 		return fmt.Errorf("core: MetricsEvery must be >= 1, got %d", c.MetricsEvery)
+	}
+	if c.Watchdog == 0 {
+		c.Watchdog = 4 * int64(c.Window)
+		if c.Watchdog < 64 {
+			c.Watchdog = 64
+		}
+	}
+	if c.FaultDetect > fault.DetectGolden {
+		return fmt.Errorf("core: unknown FaultDetect %d", c.FaultDetect)
+	}
+	if c.FaultDetect != fault.DetectNone && c.FaultPlan == nil {
+		return fmt.Errorf("core: FaultDetect %s set without a FaultPlan", c.FaultDetect)
 	}
 	return nil
 }

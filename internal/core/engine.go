@@ -85,6 +85,13 @@ type station struct {
 
 	issue  int64
 	doneAt int64 // first cycle the result is visible to consumers
+
+	// Fault injection (set only when a fault plan is armed). parityBad
+	// marks a result whose bits were flipped after parity generation;
+	// storeAddr/storeVal record a granted store's architectural effect for
+	// the retire-time golden cross-check.
+	parityBad           bool
+	storeAddr, storeVal isa.Word
 }
 
 // finished reports whether the station's instruction has completed all its
@@ -187,6 +194,13 @@ type engine struct {
 	// Snapshot ticks run from the Run loop, not from the hot-path chain.
 	met       *obs.Registry
 	metGauges engineGauges
+
+	// flt is the fault-injection state (cfg.FaultPlan); nil on normal
+	// runs, where the faulted paths cost one pointer test. lastRetire is
+	// the most recent cycle that retired an instruction (-1 before the
+	// first), driving the livelock watchdog.
+	flt        *faultState
+	lastRetire int64
 }
 
 // engineGauges are the engine's registered metrics instruments, resolved
@@ -250,6 +264,10 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 		e.ras = branch.NewRAS(cfg.ReturnStack)
 	}
 	e.trc = cfg.Tracer
+	e.lastRetire = -1
+	if cfg.FaultPlan != nil && len(cfg.FaultPlan.Faults) > 0 {
+		e.flt = newFaultState(prog, mem, cfg)
+	}
 	if cfg.Metrics != nil {
 		e.met = cfg.Metrics
 		e.metGauges = engineGauges{
@@ -280,9 +298,17 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 		if e.met != nil && e.cycle%e.cfg.MetricsEvery == 0 {
 			e.metricsTick()
 		}
+		if cfg.Watchdog > 0 && e.cycle-e.lastRetire > cfg.Watchdog && e.livelocked() {
+			if !e.watchdogRecover() {
+				return nil, e.livelockError()
+			}
+		}
 		e.completions()
 		if err := e.forward(); err != nil {
 			return nil, err
+		}
+		if e.flt != nil {
+			e.faultCycle()
 		}
 		if err := e.execute(); err != nil {
 			return nil, err
@@ -631,6 +657,9 @@ func (e *engine) memoryPhase() {
 			e.trc.Record(obs.EvIssue, e.cycle, s.seq, int32(s.pc), int32(s.slot), int32(latency))
 		}
 		if s.class&clsStore != 0 {
+			if e.flt != nil {
+				e.flt.noteStore(e, s, c.addr)
+			}
 			e.mem.Store(c.addr, s.b)
 			e.stats.Stores++
 		} else {
@@ -745,6 +774,15 @@ func (e *engine) retire() bool {
 	popped := 0
 	for popped < len(e.window) && e.slab[e.window[popped]].finished() {
 		s := &e.slab[e.window[popped]]
+		if e.flt != nil {
+			if resume, bad := e.flt.checkRetire(e, s); bad {
+				// The commit checker refused the instruction: recover by
+				// squashing from it and replaying. The prefix retired this
+				// cycle stands; nothing younger survives.
+				e.faultRecover(popped, resume)
+				return false
+			}
+		}
 		popped++
 		e.stats.Retired++
 		if e.trc != nil {
@@ -769,6 +807,9 @@ func (e *engine) retire() bool {
 		}
 		if s.class&clsMem != 0 {
 			e.memCount--
+			if e.flt != nil && s.class&clsStore != 0 {
+				e.flt.dropStore(s.seq)
+			}
 		}
 		// Slot reuse at granularity g: the slot drains, and frees only
 		// when its whole group has drained (group = aligned block of g
@@ -799,6 +840,7 @@ func (e *engine) retire() bool {
 		// unchanged.
 		m := copy(e.windowBuf, e.window[popped:])
 		e.window = e.windowBuf[:m]
+		e.lastRetire = e.cycle
 	}
 	return false
 }

@@ -1,0 +1,483 @@
+package core
+
+// Deterministic fault injection (internal/fault) wired into the engine:
+// where each fault site strikes the simulated hardware, how the commit
+// port detects corruption, and how the squash-and-replay machinery
+// recovers from it.
+//
+// Injection runs from the Run loop between the forwarding scan and
+// execute, so corruption lands on freshly latched operand state exactly
+// as a particle strike on the station latches would. Detection runs at
+// the retire boundary — parity on the circulating result, or a DIVA-style
+// cross-check of every retiring instruction against the in-order golden
+// machine of internal/ref. Recovery points the misprediction squash at
+// the corrupted station instead of a wrong-path branch: every unretired
+// instruction from it on is discarded, speculatively performed stores are
+// rolled back from the undo log, and fetch restarts at the refused PC. A
+// detected fault therefore costs cycles, never correctness.
+//
+// Everything below is gated on engine.flt != nil: a run without a fault
+// plan pays one pointer test per cycle and per retire, keeping the
+// measured hot path allocation-free and bit-identical to the seed.
+
+import (
+	"ultrascalar/internal/fault"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/obs"
+	"ultrascalar/internal/ref"
+)
+
+// storeUndo is one speculatively committed store: enough to put the
+// overwritten memory word back if fault recovery squashes the store
+// before it passes the commit checker.
+type storeUndo struct {
+	seq  int64
+	addr isa.Word
+	prev isa.Word
+}
+
+// stuckHold is an armed SiteReadyStuck0 fault: the slot's ready latch is
+// pinned low until the hold expires (or recovery flushes it).
+type stuckHold struct {
+	f       fault.Fault
+	until   int64 // first cycle the latch is released
+	applied bool  // the hold has actually forced a ready bit low
+}
+
+// faultState is the engine's fault-injection campaign state.
+type faultState struct {
+	plan   *fault.Plan
+	detect fault.Detect
+	log    *fault.Log // may be nil: injection still runs, unrecorded
+
+	next  int // cursor into plan.Faults (sorted by cycle)
+	stuck []stuckHold
+
+	// golden is the in-order cross-check machine (DetectGolden only). It
+	// owns a clone of the data memory and advances one instruction per
+	// matched retirement, so at every commit boundary it holds exactly
+	// the architectural state the engine has committed.
+	golden *ref.Machine
+
+	// undo logs speculatively performed stores in grant (= age) order;
+	// undoHead is the first live entry. Entries retire from the front as
+	// their stores pass the checker and roll back from the back on
+	// recovery.
+	undo     []storeUndo
+	undoHead int
+
+	applied            int // faults that landed on live state
+	watchdogRecoveries int
+}
+
+// newFaultState arms injection for one run.
+func newFaultState(prog []isa.Inst, mem *memory.Flat, cfg Config) *faultState {
+	f := &faultState{plan: cfg.FaultPlan, detect: cfg.FaultDetect, log: cfg.FaultLog}
+	if cfg.FaultDetect == fault.DetectGolden {
+		f.golden = ref.NewMachine(prog, mem.Clone(), cfg.NumRegs, cfg.InitRegs)
+	}
+	return f
+}
+
+// faultCycle applies this cycle's scheduled faults and re-asserts active
+// stuck-at-0 holds. It runs from the Run loop, after the forwarding scan
+// latched operand state and before execute consumes it.
+func (e *engine) faultCycle() {
+	f := e.flt
+	f.tickStuck(e)
+	for f.next < len(f.plan.Faults) && f.plan.Faults[f.next].Cycle <= e.cycle {
+		e.applyFault(f.plan.Faults[f.next])
+		f.next++
+	}
+}
+
+// tickStuck re-asserts every armed stuck-at-0 hold (the latch is pinned,
+// so each forwarding rescan's fresh ready bit is forced back low) and
+// releases expired holds.
+func (f *faultState) tickStuck(e *engine) {
+	if len(f.stuck) == 0 {
+		return
+	}
+	kept := f.stuck[:0]
+	for _, h := range f.stuck {
+		if e.cycle >= h.until {
+			// Released: rescan so the station's true readiness returns.
+			e.fwdDirty = true
+			continue
+		}
+		slot := int(h.f.Slot) % e.cfg.Window
+		if e.slots[slot] == slotOccupied {
+			s := &e.slab[slot]
+			if !s.started && s.opsReady {
+				s.opsReady = false
+				if !h.applied {
+					h.applied = true
+					e.faultApplied(h.f, s)
+				}
+			}
+		}
+		kept = append(kept, h)
+	}
+	f.stuck = kept
+}
+
+// applyFault lands one scheduled fault on the microarchitecture, or lets
+// it fall vacuous when the target is empty or ineligible (slot free,
+// instruction already issued, operand not read).
+func (e *engine) applyFault(fl fault.Fault) {
+	bit := isa.Word(1) << (fl.Bit % 32)
+	slot := int(fl.Slot) % e.cfg.Window
+
+	switch fl.Site {
+	case fault.SiteMergeBit:
+		// A CSPP merge node for one register fails: every station latching
+		// that register this cycle receives the corrupted value.
+		reg := fl.Reg % uint8(e.cfg.NumRegs)
+		hit := false
+		for _, si := range e.window {
+			t := &e.slab[si]
+			if t.started {
+				continue
+			}
+			r1, r2, nr := t.inst.ReadRegs()
+			if nr >= 1 && r1 == reg {
+				t.a ^= bit
+				hit = true
+			}
+			if nr >= 2 && r2 == reg {
+				t.b ^= bit
+				hit = true
+			}
+		}
+		if hit {
+			e.faultApplied(fl, nil)
+		}
+		return
+
+	case fault.SiteReadyStuck0:
+		dur := fl.Dur
+		if dur < 1 {
+			dur = 1
+		}
+		h := stuckHold{f: fl, until: fl.Cycle + dur}
+		// The per-cycle re-assert already ran, so force the first cycle of
+		// the hold here.
+		if e.slots[slot] == slotOccupied {
+			s := &e.slab[slot]
+			if !s.started && s.opsReady {
+				s.opsReady = false
+				h.applied = true
+				e.faultApplied(fl, s)
+			}
+		}
+		e.flt.stuck = append(e.flt.stuck, h)
+		return
+	}
+
+	if e.slots[slot] != slotOccupied {
+		return // vacuous: no live station in the target slot
+	}
+	s := &e.slab[slot]
+
+	switch fl.Site {
+	case fault.SiteResultBit:
+		if !s.done {
+			return // no completed result circulating yet
+		}
+		s.result ^= bit
+		s.parityBad = true // the latched parity no longer matches
+		e.fwdDirty = true  // the corrupt value re-drives the CSPP wires
+		e.faultApplied(fl, s)
+
+	case fault.SiteOperandBit:
+		if s.started || !s.opsReady {
+			return
+		}
+		if _, _, nr := s.inst.ReadRegs(); int(fl.Op) >= nr {
+			return // the instruction does not read that operand
+		}
+		if fl.Op == 0 {
+			s.a ^= bit
+		} else {
+			s.b ^= bit
+		}
+		e.faultApplied(fl, s)
+
+	case fault.SiteReadyStuck1:
+		if s.started || s.opsReady {
+			return
+		}
+		s.opsReady = true // issues now, with stale latched operands
+		e.faultApplied(fl, s)
+
+	case fault.SiteDropForward:
+		if s.started || !s.opsReady {
+			return
+		}
+		r1, r2, nr := s.inst.ReadRegs()
+		if int(fl.Op) >= nr {
+			return
+		}
+		r := r1
+		if fl.Op == 1 {
+			r = r2
+		}
+		// The nearest-producer forward is dropped; the station latches the
+		// stale committed register value, as if the segment bit failed open.
+		if fl.Op == 0 {
+			s.a = e.commit[r]
+		} else {
+			s.b = e.commit[r]
+		}
+		e.faultApplied(fl, s)
+
+	case fault.SiteDupForward:
+		if s.started || !s.opsReady {
+			return
+		}
+		r1, r2, nr := s.inst.ReadRegs()
+		if int(fl.Op) >= nr {
+			return
+		}
+		r := r1
+		if fl.Op == 1 {
+			r = r2
+		}
+		// A stale merge output wins the wired-OR: the station latches the
+		// value of the producer BEFORE its nearest one — the second-closest
+		// older in-window writer of the register, or the committed file
+		// when there is no such writer (or its value is still unknown).
+		v := e.commit[r]
+		seen := 0
+		for j := len(e.window) - 1; j >= 0; j-- {
+			t := &e.slab[e.window[j]]
+			if t.seq >= s.seq || !t.writes || t.dest != r {
+				continue
+			}
+			seen++
+			if seen == 2 {
+				if t.done {
+					v = t.result
+				}
+				break
+			}
+		}
+		if fl.Op == 0 {
+			s.a = v
+		} else {
+			s.b = v
+		}
+		e.faultApplied(fl, s)
+	}
+}
+
+// faultApplied accounts one landed fault (s is nil for register-scoped
+// sites like the merge-node fault).
+func (e *engine) faultApplied(fl fault.Fault, s *station) {
+	e.flt.applied++
+	seq, pc, slot := int64(-1), int32(-1), int32(-1)
+	if s != nil {
+		seq, pc, slot = s.seq, int32(s.pc), int32(s.slot)
+	}
+	e.flt.log.Add(fault.Record{
+		Kind: fault.RecInject, Cycle: e.cycle, Site: fl.Site,
+		Seq: seq, PC: pc, Slot: slot,
+	})
+	if e.trc != nil {
+		e.trc.Record(obs.EvFaultInject, e.cycle, seq, pc, slot, int32(fl.Site))
+	}
+}
+
+// noteStore records a granted store's undo entry and its architectural
+// effect before the value reaches memory, so recovery can roll the store
+// back and the retire checker can compare it against golden. Stores grant
+// in age order (the store-serialization CSPP), so the log stays
+// seq-sorted.
+//
+//uslint:allow hotpathalloc -- fault campaigns only; nil-guarded off the measured path
+func (f *faultState) noteStore(e *engine, s *station, addr isa.Word) {
+	s.storeAddr, s.storeVal = addr, s.b
+	f.undo = append(f.undo, storeUndo{seq: s.seq, addr: addr, prev: e.mem.Load(addr)})
+}
+
+// dropStore retires undo entries up to the given sequence number: their
+// stores passed the commit checker and can no longer be rolled back.
+//
+//uslint:allow hotpathalloc -- fault campaigns only; nil-guarded off the measured path
+func (f *faultState) dropStore(seq int64) {
+	for f.undoHead < len(f.undo) && f.undo[f.undoHead].seq <= seq {
+		f.undoHead++
+	}
+	if f.undoHead == len(f.undo) {
+		f.undo, f.undoHead = f.undo[:0], 0 // reuse the backing array
+	}
+}
+
+// rollbackStores undoes speculatively performed memory writes of stations
+// with sequence numbers >= seq, newest first (the log is seq-sorted, so
+// reverse order restores each address's oldest overwritten value last).
+func (f *faultState) rollbackStores(mem *memory.Flat, seq int64) {
+	for len(f.undo) > f.undoHead {
+		u := f.undo[len(f.undo)-1]
+		if u.seq < seq {
+			break
+		}
+		mem.Store(u.addr, u.prev)
+		f.undo = f.undo[:len(f.undo)-1]
+	}
+	if f.undoHead == len(f.undo) {
+		f.undo, f.undoHead = f.undo[:0], 0
+	}
+}
+
+// checkRetire models the commit-port checker for one retiring station. It
+// reports whether the checker refuses the commit, and the PC recovery
+// should resume fetch from.
+//
+//uslint:allow hotpathalloc -- fault campaigns only; nil-guarded off the measured path
+func (f *faultState) checkRetire(e *engine, s *station) (resumePC int, detected bool) {
+	switch f.detect {
+	case fault.DetectParity:
+		// Parity travels with the circulating value; a result whose bits
+		// were flipped after parity generation fails the commit-port check.
+		if s.parityBad {
+			f.noteDetect(e, s, 0)
+			return s.pc, true
+		}
+
+	case fault.DetectGolden:
+		m := f.golden
+		if m.Halted() {
+			// The golden machine commits its halt only when the engine
+			// retires a matching halt, which ends the run; unreachable,
+			// defensive.
+			return 0, false
+		}
+		eff, err := m.Effect()
+		if err != nil {
+			// The golden machine cannot even execute here — the engine
+			// committed onto a path that leaves the program. Refuse and
+			// resume at the golden PC.
+			f.noteDetect(e, s, 0)
+			return m.PC(), true
+		}
+		if !effectMatches(s, eff) {
+			f.noteDetect(e, s, 0)
+			return eff.PC, true
+		}
+		m.Advance(eff)
+	}
+	return 0, false
+}
+
+// effectMatches reports whether a retiring station's architectural effect
+// agrees with the golden machine's. A matching PC implies the same static
+// instruction (same program), so the comparison is over the dynamic
+// values: register result, store address and value, and the actual
+// control-flow successor. Loads compare the loaded value rather than
+// re-deriving the address — equal values commit equal state.
+func effectMatches(s *station, eff ref.Effect) bool {
+	if eff.PC != s.pc {
+		return false
+	}
+	if eff.Halt || s.class&clsHalt != 0 {
+		return eff.Halt && s.class&clsHalt != 0
+	}
+	if eff.WritesReg != s.writes {
+		return false
+	}
+	if eff.WritesReg && (eff.Reg != s.dest || eff.RegVal != s.result) {
+		return false
+	}
+	if eff.IsStore && (s.storeAddr != eff.Addr || s.storeVal != eff.StoreVal) {
+		return false
+	}
+	if s.class&clsFlow != 0 && s.actualNext != eff.Next {
+		return false
+	}
+	return true
+}
+
+// noteDetect accounts one checker refusal (arg 1 marks a watchdog fire).
+func (f *faultState) noteDetect(e *engine, s *station, arg int32) {
+	f.log.Add(fault.Record{
+		Kind: fault.RecDetect, Cycle: e.cycle,
+		Seq: s.seq, PC: int32(s.pc), Slot: int32(s.slot),
+	})
+	if e.trc != nil {
+		e.trc.Record(obs.EvFaultDetect, e.cycle, s.seq, int32(s.pc), int32(s.slot), arg)
+	}
+}
+
+// faultRecover is squash-and-replay pointed at a corrupted station: every
+// unretired instruction from age index `from` (the refused one) onward is
+// squashed, its speculatively performed stores are rolled back, and fetch
+// restarts at resumePC with the sequence counter reset — the engine's
+// misprediction recovery with the window's whole tail discarded. The
+// already-retired prefix window[:from] passed the checker and stands.
+//
+//uslint:allow hotpathalloc -- fault campaigns only; nil-guarded off the measured path
+func (e *engine) faultRecover(from int, resumePC int) {
+	f := e.flt
+	seq0 := e.slab[e.window[from]].seq
+	f.rollbackStores(e.mem, seq0)
+	squashed := 0
+	for _, vi := range e.window[from:] {
+		v := &e.slab[vi]
+		e.slots[v.slot] = slotFree
+		e.stats.Squashed++
+		squashed++
+		if v.class&clsMem != 0 {
+			e.memCount--
+		}
+		if e.trc != nil {
+			e.trc.Record(obs.EvSquash, e.cycle, v.seq, int32(v.pc), int32(v.slot), int32(resumePC))
+		}
+	}
+	// Nothing unretired survives: the window empties, anchored back at
+	// windowBuf[0]. Replay refills it from resumePC this same cycle.
+	e.window = e.windowBuf[:0]
+	e.nextSeq = seq0
+	e.fetchPC = resumePC
+	e.haltStop, e.jalrWait = false, false
+	e.fwdDirty = true
+	e.lastRetire = e.cycle // recovery is forward progress
+	f.stuck = f.stuck[:0]  // pinned latches are cleared by the flush
+	f.log.Add(fault.Record{
+		Kind: fault.RecRecover, Cycle: e.cycle,
+		Seq: seq0, PC: int32(resumePC), Slot: -1, Arg: int64(squashed),
+	})
+	if e.trc != nil {
+		e.trc.Record(obs.EvFaultRecover, e.cycle, seq0, int32(resumePC), -1, int32(squashed))
+	}
+}
+
+// watchdogRecover attempts fault recovery when the livelock watchdog
+// fires during an injection run: a stuck-at-0 hold (or an issued-stale
+// deadlock) has starved retirement, so flush the whole window and replay
+// from the head. It reports false when recovery cannot help — no faults
+// ever landed, or recovery already ran once per landed fault without
+// restoring progress — in which case Run returns the livelock error.
+func (e *engine) watchdogRecover() bool {
+	f := e.flt
+	if f == nil || f.applied == 0 || len(e.window) == 0 {
+		return false
+	}
+	if f.watchdogRecoveries >= f.applied {
+		return false // recovery is not restoring progress; report the livelock
+	}
+	f.watchdogRecoveries++
+	head := &e.slab[e.window[0]]
+	resume := head.pc
+	if f.golden != nil {
+		resume = f.golden.PC()
+	}
+	f.log.Add(fault.Record{
+		Kind: fault.RecWatchdog, Cycle: e.cycle,
+		Seq: head.seq, PC: int32(head.pc), Slot: int32(head.slot),
+	})
+	f.noteDetect(e, head, 1)
+	e.faultRecover(0, resume)
+	return true
+}

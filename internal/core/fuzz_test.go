@@ -176,3 +176,47 @@ func TestFuzzDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// FuzzConfigNormalize drives Config.normalize with arbitrary field values
+// and demands it either rejects the configuration or produces one with
+// every invariant the engine relies on — and that small accepted configs
+// actually run a program to completion without panicking.
+func FuzzConfigNormalize(f *testing.F) {
+	f.Add(8, 1, 32, int64(1000), 0, 8, 16, int64(0))
+	f.Add(0, 0, 0, int64(0), 0, 0, 0, int64(0))
+	f.Add(-3, 2, 99, int64(-1), -2, 30, 1<<20, int64(-5))
+	f.Add(1<<20, 1<<20, 1, int64(1), 1, 24, 1<<16, int64(1))
+	f.Add(64, 16, 8, int64(1<<40), 64, 1, 1, int64(1<<40))
+	f.Fuzz(func(t *testing.T, window, gran, nregs int, maxCycles int64,
+		fetchW, traceBits, traceLen int, watchdog int64) {
+		cfg := Config{Window: window, Granularity: gran, NumRegs: nregs,
+			MaxCycles: maxCycles, FetchWidth: fetchW,
+			TraceSetBits: traceBits, TraceLen: traceLen, Watchdog: watchdog}
+		if err := cfg.normalize(); err != nil {
+			return // rejected: nothing more to hold
+		}
+		switch {
+		case cfg.Window < 1 || cfg.Window > MaxWindow:
+			t.Fatalf("normalize accepted window %d", cfg.Window)
+		case cfg.Granularity < 1 || cfg.Window%cfg.Granularity != 0:
+			t.Fatalf("normalize accepted granularity %d for window %d", cfg.Granularity, cfg.Window)
+		case cfg.NumRegs < 1 || cfg.NumRegs > isa.MaxRegs:
+			t.Fatalf("normalize accepted %d registers", cfg.NumRegs)
+		case cfg.MaxCycles < 1:
+			t.Fatalf("normalize accepted MaxCycles %d", cfg.MaxCycles)
+		case cfg.FetchWidth < 0:
+			t.Fatalf("normalize accepted FetchWidth %d", cfg.FetchWidth)
+		case cfg.Watchdog == 0:
+			t.Fatal("normalize left Watchdog unset")
+		case cfg.Predictor == nil || cfg.BTB == nil:
+			t.Fatal("normalize left predictor state nil")
+		}
+		if cfg.Window > 1<<10 || cfg.MaxCycles < 4 {
+			return // too big to instantiate per fuzz iteration / too short to halt
+		}
+		prog := []isa.Inst{{Op: isa.OpLi, Rd: 0, Imm: 7}, {Op: isa.OpHalt}}
+		if _, err := Run(prog, memory.NewFlat(), cfg); err != nil {
+			t.Fatalf("normalized config cannot run a trivial program: %v\ncfg: %+v", err, cfg)
+		}
+	})
+}

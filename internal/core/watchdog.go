@@ -1,0 +1,66 @@
+package core
+
+// The no-retire-progress watchdog. A healthy window always makes
+// progress: an issued instruction finishes in bounded time, a ready
+// instruction issues, and fetch refills free slots. The only steady
+// states with no retirement are genuine deadlocks — an unready head whose
+// operands can never arrive (a stuck-at-0 fault, a latency model driven
+// to infinity) with fetch blocked by the full ring. Rather than spin to
+// MaxCycles, Run detects that state after Config.Watchdog quiet cycles
+// and either triggers fault recovery (injection runs) or returns a
+// LivelockError snapshot.
+
+// livelocked reports whether the engine can make no further progress:
+// nothing is executing, nothing is ready to issue, and fetch cannot
+// supply new work. It is deliberately conservative — any in-flight
+// instruction, pending forwarding rescan, or fetchable slot counts as
+// potential progress — so it cannot fire on a slow-but-live window.
+func (e *engine) livelocked() bool {
+	if e.fwdDirty {
+		return false // producer state changed; readiness may improve next scan
+	}
+	for _, si := range e.window {
+		s := &e.slab[si]
+		if s.started && !s.finished() {
+			return false // executing or awaiting memory: will complete
+		}
+		if !s.started && s.opsReady {
+			return false // will issue (or be granted memory) in a coming cycle
+		}
+	}
+	if len(e.window) < e.cfg.Window && !e.haltStop && !e.jalrWait &&
+		e.fetchPC >= 0 && e.fetchPC < len(e.prog) &&
+		e.slots[int(e.nextSeq)%e.cfg.Window] == slotFree {
+		return false // fetch can still inject new work
+	}
+	return true
+}
+
+// livelockError builds the watchdog's diagnostic snapshot.
+func (e *engine) livelockError() error {
+	le := &LivelockError{
+		Cycle:      e.cycle,
+		LastRetire: e.lastRetire,
+		FetchPC:    e.fetchPC,
+		HeadPC:     -1,
+		HeadSeq:    -1,
+		Occupied:   len(e.window),
+		Window:     e.cfg.Window,
+	}
+	if len(e.window) > 0 {
+		h := &e.slab[e.window[0]]
+		le.HeadPC, le.HeadSeq = h.pc, h.seq
+	}
+	for _, si := range e.window {
+		s := &e.slab[si]
+		switch {
+		case s.started && !s.finished():
+			le.Started++
+		case s.started:
+			le.Finished++
+		case s.opsReady:
+			le.Ready++
+		}
+	}
+	return le
+}

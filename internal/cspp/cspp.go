@@ -21,6 +21,16 @@
 //
 // Property tests assert Ring == Tree; the circuit package builds the same
 // computation as a gate netlist and is tested against this package.
+//
+// The fault model (internal/fault) targets this primitive directly: a
+// merge-bit fault corrupts one CSPP merge node's output for a logical
+// register, so every station latching that register in the same cycle
+// receives the corrupted value — the shared-subtree failure mode the
+// tree evaluation implies — while drop-forward and dup-forward faults
+// model a segment bit failing open or a stale merge output winning the
+// wired-OR. The engine injects these at its own forwarding scan (the
+// operational equivalent of the CSPP), keeping this package purely
+// functional.
 package cspp
 
 // Op is an associative operator with identity. Identity must satisfy

@@ -1,0 +1,446 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/fault"
+	"ultrascalar/internal/hybrid"
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/ref"
+	"ultrascalar/internal/ultra1"
+	"ultrascalar/internal/ultra2"
+	"ultrascalar/internal/workload"
+)
+
+// A fault campaign measures architectural vulnerability: it sweeps
+// single-fault injection runs over (architecture × workload × fault site
+// × n trials), classifies each point (masked, recovered, silent data
+// corruption, crash) against the fault-free golden run, and aggregates a
+// deterministic report. Determinism contract: the campaign is a pure
+// function of its configuration — every point's fault plan derives from
+// the campaign seed and the point's indices, so identical configurations
+// produce byte-identical reports across runs and across worker counts.
+//
+// Long campaigns checkpoint after every completed shard (one arch ×
+// workload × site cell); an interrupted campaign resumes by skipping
+// shards already in the checkpoint file, after verifying the file was
+// written by an identically-configured campaign.
+
+// FaultArchs lists the architectures a campaign can sweep.
+var FaultArchs = []string{"hybrid", "ultra1", "ultra2"}
+
+// FaultCampaignConfig configures one fault-injection campaign.
+type FaultCampaignConfig struct {
+	// Seed drives every fault draw in the campaign.
+	Seed int64
+	// Window is the station count n.
+	Window int
+	// Cluster is the hybrid's cluster size C (default max(Window/4, 1)).
+	Cluster int
+	// N is the number of injection trials per (arch × workload × site)
+	// cell.
+	N int
+	// Archs selects architectures (subset of FaultArchs; nil = all).
+	Archs []string
+	// Sites selects fault sites (nil = all).
+	Sites []fault.Site
+	// Detect selects the modeled detection hardware for every run.
+	Detect fault.Detect
+	// Workloads selects the programs (nil = FaultWorkloads()).
+	Workloads []workload.Workload
+	// Checkpoint is the shard checkpoint file path ("" disables
+	// checkpointing).
+	Checkpoint string
+}
+
+// FaultWorkloads returns the default campaign suite: small kernels that
+// exercise ALU chains, memory traffic and data-dependent branching while
+// keeping a full campaign fast.
+func FaultWorkloads() []workload.Workload {
+	return []workload.Workload{
+		workload.Fib(10),
+		workload.VecSum(16),
+		workload.GCD(1071, 462),
+	}
+}
+
+// faultShard is one (arch × workload × site) unit of campaign work and
+// checkpointing.
+type faultShard struct {
+	arch string
+	wl   workload.Workload
+	site fault.Site
+}
+
+// key is the shard's stable checkpoint identity.
+func (s faultShard) key() string {
+	return s.arch + "/" + s.wl.Name + "/" + s.site.String()
+}
+
+// faultPoint is one classified injection trial.
+type faultPoint struct {
+	out      fault.Outcome
+	extra    int64 // faulted minus clean cycles (recovered points)
+	squashed int64
+	watchdog bool
+}
+
+// archConfig builds the engine configuration for one architecture name.
+func archConfig(arch string, n, c int) (core.Config, error) {
+	switch arch {
+	case "ultra1":
+		return ultra1.EngineConfig(n), nil
+	case "ultra2":
+		return ultra2.EngineConfig(n), nil
+	case "hybrid":
+		return hybrid.EngineConfig(n, c), nil
+	}
+	return core.Config{}, fmt.Errorf("exp: unknown architecture %q (want one of %s)",
+		arch, strings.Join(FaultArchs, ", "))
+}
+
+// pointSeed derives one trial's fault-plan seed from the campaign seed
+// and the point's position — a splitmix64 finalizer, so neighbouring
+// points get decorrelated draws and the mapping is a pure function.
+func pointSeed(campaign int64, shard, i int) int64 {
+	z := uint64(campaign) ^ 0x9e3779b97f4a7c15*uint64(shard*1_000_003+i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// stateMatches compares a faulted run's final architectural state against
+// the fault-free golden run.
+func stateMatches(res *core.Result, golden *ref.Result) bool {
+	if res.Stats.Retired != int64(golden.Executed) {
+		return false
+	}
+	for r := range golden.Regs {
+		if res.Regs[r] != golden.Regs[r] {
+			return false
+		}
+	}
+	return res.Mem.Equal(golden.Mem)
+}
+
+// classify maps one run's fault log, error and end state to an outcome.
+func classify(log *fault.Log, err error, stateOK bool) fault.Outcome {
+	switch {
+	case err != nil:
+		return fault.OutcomeCrash
+	case log.Applied == 0:
+		return fault.OutcomeVacuous
+	case log.Detected > 0 && stateOK:
+		return fault.OutcomeRecovered
+	case log.Detected > 0:
+		return fault.OutcomeRecoveryFailed
+	case stateOK:
+		return fault.OutcomeMasked
+	default:
+		return fault.OutcomeSDC
+	}
+}
+
+// RunFaultCampaign executes the campaign and returns its report. With a
+// checkpoint path configured, completed shards are appended to the file
+// as the campaign progresses and already-checkpointed shards are skipped
+// on restart.
+func RunFaultCampaign(cfg FaultCampaignConfig) (*fault.Report, error) {
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("exp: campaign window must be >= 1, got %d", cfg.Window)
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("exp: campaign needs n >= 1 trials per cell, got %d", cfg.N)
+	}
+	if cfg.Cluster == 0 {
+		cfg.Cluster = cfg.Window / 4
+		if cfg.Cluster < 1 {
+			cfg.Cluster = 1
+		}
+	}
+	archs := cfg.Archs
+	if len(archs) == 0 {
+		archs = FaultArchs
+	}
+	sites := cfg.Sites
+	if len(sites) == 0 {
+		sites = fault.AllSites()
+	}
+	wls := cfg.Workloads
+	if len(wls) == 0 {
+		wls = FaultWorkloads()
+	}
+
+	// The shard list in deterministic order; its index feeds pointSeed.
+	var shards []faultShard
+	for _, arch := range archs {
+		if _, err := archConfig(arch, cfg.Window, cfg.Cluster); err != nil {
+			return nil, err
+		}
+		for _, wl := range wls {
+			for _, site := range sites {
+				shards = append(shards, faultShard{arch: arch, wl: wl, site: site})
+			}
+		}
+	}
+
+	ck, err := openCheckpoint(cfg, archs, sites, wls)
+	if err != nil {
+		return nil, err
+	}
+	defer ck.close()
+
+	rep := &fault.Report{
+		Seed: cfg.Seed, N: cfg.N, Window: cfg.Window,
+		Detect: cfg.Detect.String(), Shards: len(shards), Resumed: len(ck.done),
+	}
+
+	// Golden results are arch-independent; clean engine baselines are
+	// cached per (arch, workload).
+	goldens := make([]*ref.Result, len(wls))
+	for wi, wl := range wls {
+		g, err := ref.Run(wl.Prog, wl.Mem(), ref.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("exp: golden run of %s: %w", wl.Name, err)
+		}
+		goldens[wi] = g
+	}
+	cleans := map[string]*core.Result{} // key arch+"/"+workload
+	wlIndex := func(name string) int {
+		for i, w := range wls {
+			if w.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for si, sh := range shards {
+		if cell, ok := ck.done[sh.key()]; ok {
+			rep.Cells = append(rep.Cells, cell)
+			continue
+		}
+		ecfg, err := archConfig(sh.arch, cfg.Window, cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		golden := goldens[wlIndex(sh.wl.Name)]
+		cleanKey := sh.arch + "/" + sh.wl.Name
+		clean := cleans[cleanKey]
+		if clean == nil {
+			clean, err = core.Run(sh.wl.Prog, sh.wl.Mem(), ecfg)
+			if err != nil {
+				return nil, fmt.Errorf("exp: clean %s run of %s: %w", sh.arch, sh.wl.Name, err)
+			}
+			cleans[cleanKey] = clean
+		}
+
+		cell, err := runShard(sh, si, cfg, ecfg, clean, golden)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cells = append(rep.Cells, cell)
+		if err := ck.record(sh.key(), cell); err != nil {
+			return nil, err
+		}
+	}
+	rep.SortCells()
+	return rep, nil
+}
+
+// runShard runs one shard's N injection trials through the sweep pool.
+func runShard(sh faultShard, si int, cfg FaultCampaignConfig, ecfg core.Config,
+	clean *core.Result, golden *ref.Result) (fault.Cell, error) {
+	maxCycle := clean.Stats.Cycles - 1
+	if maxCycle < 1 {
+		maxCycle = 1
+	}
+	// Generous ceiling: a recovered run costs extra cycles, never orders
+	// of magnitude; anything beyond this is a genuine runaway (crash).
+	ecfg.MaxCycles = clean.Stats.Cycles*64 + 4096
+	ecfg.FaultDetect = cfg.Detect
+
+	nregs := ecfg.NumRegs
+	if nregs == 0 {
+		nregs = isa.NumRegs
+	}
+	idx := make([]int, cfg.N)
+	for i := range idx {
+		idx[i] = i
+	}
+	points, err := parMap(idx, func(i int) (faultPoint, error) {
+		plan := fault.NewPlan(pointSeed(cfg.Seed, si, i), fault.GenParams{
+			Window: cfg.Window, NumRegs: nregs, MaxCycle: maxCycle,
+			Sites: []fault.Site{sh.site}, N: 1,
+		})
+		log := &fault.Log{}
+		run := ecfg
+		run.FaultPlan, run.FaultLog = plan, log
+		res, rerr := core.Run(sh.wl.Prog, sh.wl.Mem(), run)
+		p := faultPoint{watchdog: log.WatchdogFires > 0, squashed: log.SquashedStations}
+		stateOK := rerr == nil && stateMatches(res, golden)
+		p.out = classify(log, rerr, stateOK)
+		if p.out == fault.OutcomeRecovered {
+			p.extra = res.Stats.Cycles - clean.Stats.Cycles
+		}
+		return p, nil
+	})
+	if err != nil {
+		return fault.Cell{}, fmt.Errorf("exp: shard %s: %w", sh.key(), err)
+	}
+
+	cell := fault.Cell{Arch: sh.arch + "/" + sh.wl.Name, Site: sh.site.String(), Points: cfg.N}
+	for _, p := range points {
+		switch p.out {
+		case fault.OutcomeVacuous:
+			cell.Vacuous++
+		case fault.OutcomeMasked:
+			cell.Masked++
+		case fault.OutcomeRecovered:
+			cell.Detected++
+			cell.Recovered++
+			cell.ExtraCycles += p.extra
+		case fault.OutcomeSDC:
+			cell.SDC++
+		case fault.OutcomeCrash:
+			cell.Crashed++
+		case fault.OutcomeRecoveryFailed:
+			cell.Detected++
+			cell.RecFailed++
+		}
+		if p.watchdog {
+			cell.Watchdog++
+		}
+		cell.SquashedStations += p.squashed
+	}
+	return cell, nil
+}
+
+// The checkpoint file is JSONL: a header line binding the campaign
+// configuration, then one line per completed shard. Resuming verifies the
+// header so a stale file from a differently-configured campaign fails
+// loudly instead of silently mixing results.
+
+type checkpointHeader struct {
+	Magic       string `json:"magic"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type checkpointLine struct {
+	Shard string     `json:"shard"`
+	Cell  fault.Cell `json:"cell"`
+}
+
+const checkpointMagic = "usfault-checkpoint/v1"
+
+// fingerprint binds a checkpoint to everything that shapes shard results.
+func fingerprint(cfg FaultCampaignConfig, archs []string, sites []fault.Site, wls []workload.Workload) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d n=%d window=%d cluster=%d detect=%s archs=%s",
+		cfg.Seed, cfg.N, cfg.Window, cfg.Cluster, cfg.Detect, strings.Join(archs, ","))
+	b.WriteString(" sites=")
+	for i, s := range sites {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString(" workloads=")
+	for i, w := range wls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(w.Name)
+	}
+	return b.String()
+}
+
+// checkpointer appends completed shards to the checkpoint file; a nil
+// file means checkpointing is off.
+type checkpointer struct {
+	f    *os.File
+	done map[string]fault.Cell
+}
+
+// openCheckpoint loads any existing checkpoint (verifying its
+// fingerprint) and opens the file for appending new shards.
+func openCheckpoint(cfg FaultCampaignConfig, archs []string, sites []fault.Site,
+	wls []workload.Workload) (*checkpointer, error) {
+	ck := &checkpointer{done: map[string]fault.Cell{}}
+	if cfg.Checkpoint == "" {
+		return ck, nil
+	}
+	fp := fingerprint(cfg, archs, sites, wls)
+	data, err := os.ReadFile(cfg.Checkpoint)
+	switch {
+	case os.IsNotExist(err):
+		f, err := os.OpenFile(cfg.Checkpoint, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("exp: creating checkpoint: %w", err)
+		}
+		hdr, _ := json.Marshal(checkpointHeader{Magic: checkpointMagic, Fingerprint: fp})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exp: writing checkpoint header: %w", err)
+		}
+		ck.f = f
+		return ck, nil
+	case err != nil:
+		return nil, fmt.Errorf("exp: reading checkpoint: %w", err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	if !sc.Scan() {
+		return nil, fmt.Errorf("exp: checkpoint %s is empty", cfg.Checkpoint)
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != checkpointMagic {
+		return nil, fmt.Errorf("exp: %s is not a campaign checkpoint", cfg.Checkpoint)
+	}
+	if hdr.Fingerprint != fp {
+		return nil, fmt.Errorf("exp: checkpoint %s was written by a different campaign\n  have: %s\n  want: %s",
+			cfg.Checkpoint, hdr.Fingerprint, fp)
+	}
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var line checkpointLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("exp: corrupt checkpoint line %q: %w", sc.Text(), err)
+		}
+		ck.done[line.Shard] = line.Cell
+	}
+	f, err := os.OpenFile(cfg.Checkpoint, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: reopening checkpoint: %w", err)
+	}
+	ck.f = f
+	return ck, nil
+}
+
+// record appends one completed shard.
+func (c *checkpointer) record(key string, cell fault.Cell) error {
+	if c.f == nil {
+		return nil
+	}
+	line, err := json.Marshal(checkpointLine{Shard: key, Cell: cell})
+	if err != nil {
+		return err
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("exp: appending checkpoint: %w", err)
+	}
+	return nil
+}
+
+// close releases the checkpoint file.
+func (c *checkpointer) close() {
+	if c.f != nil {
+		c.f.Close()
+	}
+}

@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ultrascalar/internal/fault"
+	"ultrascalar/internal/workload"
+)
+
+// testCampaign is a small-but-real campaign: all three architectures,
+// one kernel, three sites spanning value/protocol/starvation faults.
+func testCampaign() FaultCampaignConfig {
+	return FaultCampaignConfig{
+		Seed:   1,
+		Window: 8,
+		N:      6,
+		Sites: []fault.Site{
+			fault.SiteResultBit, fault.SiteDropForward, fault.SiteReadyStuck0,
+		},
+		Detect:    fault.DetectGolden,
+		Workloads: []workload.Workload{workload.Fib(8)},
+	}
+}
+
+func renderReport(t *testing.T, rep *fault.Report) string {
+	t.Helper()
+	var b strings.Builder
+	if err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestFaultCampaignDeterministic: the same campaign configuration yields
+// a byte-identical report whether the points run serially or fanned out
+// across the worker pool — the acceptance contract for usfault.
+func TestFaultCampaignDeterministic(t *testing.T) {
+	cfg := testCampaign()
+
+	prev := SetSweepWorkers(1)
+	serialRep, err := RunFaultCampaign(cfg)
+	if err != nil {
+		SetSweepWorkers(prev)
+		t.Fatalf("serial campaign: %v", err)
+	}
+	SetSweepWorkers(8)
+	parallelRep, err := RunFaultCampaign(cfg)
+	SetSweepWorkers(prev)
+	if err != nil {
+		t.Fatalf("parallel campaign: %v", err)
+	}
+
+	serial := renderReport(t, serialRep)
+	parallel := renderReport(t, parallelRep)
+	if serial != parallel {
+		t.Errorf("parallel report diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+
+	// The campaign must have produced real work: every cell populated,
+	// and with the golden checker on, detections recover rather than
+	// corrupt or fail.
+	if len(serialRep.Cells) != 3*1*3 {
+		t.Fatalf("got %d cells, want %d", len(serialRep.Cells), 9)
+	}
+	detected := 0
+	for _, c := range serialRep.Cells {
+		if c.Points != cfg.N {
+			t.Errorf("cell %s/%s has %d points, want %d", c.Arch, c.Site, c.Points, cfg.N)
+		}
+		if c.SDC != 0 || c.RecFailed != 0 {
+			t.Errorf("cell %s/%s: sdc=%d recovery-failed=%d under golden detection",
+				c.Arch, c.Site, c.SDC, c.RecFailed)
+		}
+		detected += c.Detected
+	}
+	if detected == 0 {
+		t.Error("campaign detected no faults at all; injection is not reaching live state")
+	}
+}
+
+// TestFaultCampaignCheckpointResume: interrupting a campaign and
+// restarting it with the same checkpoint file skips the completed shards
+// and still produces the byte-identical report.
+func TestFaultCampaignCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCampaign()
+
+	full, err := RunFaultCampaign(cfg)
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	want := renderReport(t, full)
+
+	// First pass writes a checkpoint; simulate an interruption by
+	// truncating the file to its header plus the first few shard lines.
+	cfg.Checkpoint = filepath.Join(dir, "campaign.ckpt")
+	if _, err := RunFaultCampaign(cfg); err != nil {
+		t.Fatalf("checkpointed campaign: %v", err)
+	}
+	data, err := os.ReadFile(cfg.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("checkpoint has %d lines, want header + 9 shards", len(lines))
+	}
+	kept := 4 // header + 3 completed shards
+	if err := os.WriteFile(cfg.Checkpoint, []byte(strings.Join(lines[:kept], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := RunFaultCampaign(cfg)
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if resumed.Resumed != kept-1 {
+		t.Errorf("resumed %d shards, want %d", resumed.Resumed, kept-1)
+	}
+	// The resumed-shard count is invocation metadata; the campaign
+	// results themselves must be byte-identical.
+	resumed.Resumed = 0
+	if got := renderReport(t, resumed); got != want {
+		t.Errorf("resumed report diverges from uninterrupted run:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+
+	// The finished checkpoint now holds every shard; a fresh run against
+	// it does no simulation work and reproduces the report again.
+	cached, err := RunFaultCampaign(cfg)
+	if err != nil {
+		t.Fatalf("fully-cached campaign: %v", err)
+	}
+	if cached.Resumed != cached.Shards {
+		t.Errorf("cached run resumed %d of %d shards", cached.Resumed, cached.Shards)
+	}
+	cached.Resumed = 0
+	if got := renderReport(t, cached); got != want {
+		t.Error("fully-cached report diverges from uninterrupted run")
+	}
+}
+
+// TestFaultCampaignCheckpointMismatch: a checkpoint written by a
+// differently-configured campaign must be rejected, not silently mixed
+// into the results.
+func TestFaultCampaignCheckpointMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCampaign()
+	cfg.Checkpoint = filepath.Join(dir, "campaign.ckpt")
+	if _, err := RunFaultCampaign(cfg); err != nil {
+		t.Fatalf("first campaign: %v", err)
+	}
+	cfg.Seed = 2
+	if _, err := RunFaultCampaign(cfg); err == nil {
+		t.Fatal("campaign with a different seed accepted a stale checkpoint")
+	} else if !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("unexpected mismatch error: %v", err)
+	}
+}
+
+// TestFaultCampaignValidation: bad configurations fail fast with clear
+// errors instead of producing empty reports.
+func TestFaultCampaignValidation(t *testing.T) {
+	if _, err := RunFaultCampaign(FaultCampaignConfig{Window: 0, N: 1}); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, err := RunFaultCampaign(FaultCampaignConfig{Window: 8, N: 0}); err == nil {
+		t.Error("n 0 accepted")
+	}
+	cfg := testCampaign()
+	cfg.Archs = []string{"ultra3"}
+	if _, err := RunFaultCampaign(cfg); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}

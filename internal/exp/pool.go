@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,14 +119,46 @@ func (ins *poolInstruments) finishBatch(workers int, wall time.Duration) {
 	ins.reg.Snapshot(ins.tasks.Value())
 }
 
+// PanicError is a worker-pool task panic converted into an error: which
+// sweep point blew up, the panic value, and the goroutine stack captured
+// at the point of failure. The pool recovers every task panic so one
+// broken point cannot take down the whole experiment process — the
+// remaining points still run to completion, and the batch reports this
+// structured error instead of crashing.
+type PanicError struct {
+	Index int    // item index within the batch
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack at recovery
+}
+
+// Error renders the panic with its stack, so a sweep failure in CI or a
+// long campaign log is immediately attributable.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("exp: sweep task %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// safeTask invokes one task with panic recovery: a panicking task yields
+// a *PanicError for its index and the batch carries on.
+func safeTask[T, R any](ins *poolInstruments, f func(T) (R, error), item T, i, queued int) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return observeTask(ins, f, item, queued)
+}
+
 // parMap applies f to every item across SweepWorkers goroutines and
 // returns the results in item order. Determinism: results[i] depends only
-// on items[i], and when any calls fail the error reported is the one with
-// the lowest index — the same error a serial loop would have returned
-// first — so callers cannot observe the scheduling.
+// on items[i], every item runs regardless of other items' failures, and
+// when any calls fail the error reported is the one with the lowest
+// index — so callers cannot observe the scheduling, and a serial sweep
+// (SetSweepWorkers(1)) is indistinguishable from a parallel one. Task
+// panics are recovered into *PanicError rather than crashing the batch.
 func parMap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
 	n := len(items)
 	results := make([]R, n)
+	errs := make([]error, n)
 	workers := SweepWorkers()
 	if workers > n {
 		workers = n
@@ -133,33 +167,28 @@ func parMap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
 	start := time.Now() //uslint:allow detorder -- observability side channel; never feeds sweep results
 	if workers <= 1 {
 		for i, it := range items {
-			r, err := observeTask(ins, f, it, n-1-i)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = r
+			results[i], errs[i] = safeTask(ins, f, it, i, n-1-i)
 		}
 		ins.finishBatch(1, time.Since(start))
-		return results, nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = safeTask(ins, f, items[i], i, n-1-i)
 				}
-				results[i], errs[i] = observeTask(ins, f, items[i], n-1-i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
+		ins.finishBatch(workers, time.Since(start))
 	}
-	wg.Wait()
-	ins.finishBatch(workers, time.Since(start))
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"ultrascalar/internal/obs"
@@ -184,5 +185,77 @@ func TestPoolMetrics(t *testing.T) {
 				t.Errorf("snapshots = %+v, want one ticked at the task count", snaps)
 			}
 		})
+	}
+}
+
+// TestParMapPanicRecovery: a panicking sweep point becomes a structured
+// *PanicError carrying the task index and stack, the remaining points
+// still run, and serial and parallel pools report the identical
+// lowest-index failure.
+func TestParMapPanicRecovery(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 8}} {
+		t.Run(mode.name, func(t *testing.T) {
+			prev := SetSweepWorkers(mode.workers)
+			defer SetSweepWorkers(prev)
+
+			var ran atomic.Int64
+			_, err := parMap(items, func(i int) (int, error) {
+				ran.Add(1)
+				if i == 13 || i == 31 {
+					panic(fmt.Sprintf("boom at %d", i))
+				}
+				return i, nil
+			})
+			if err == nil {
+				t.Fatal("panicking sweep returned no error")
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *PanicError: %v", err, err)
+			}
+			if pe.Index != 13 {
+				t.Errorf("reported panic index %d, want the lowest (13)", pe.Index)
+			}
+			if pe.Value != "boom at 13" {
+				t.Errorf("panic value %v, want \"boom at 13\"", pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("panic error carries no stack")
+			}
+			// The rest of the sweep completed: every point ran despite two
+			// panics.
+			if got := ran.Load(); got != int64(len(items)) {
+				t.Errorf("only %d/%d points ran; the pool stopped early", got, len(items))
+			}
+		})
+	}
+}
+
+// TestParMapErrorDoesNotStopSweep: a plain task error likewise lets the
+// remaining points complete (the batch reports the lowest-index error).
+func TestParMapErrorDoesNotStopSweep(t *testing.T) {
+	prev := SetSweepWorkers(1)
+	defer SetSweepWorkers(prev)
+	var ran atomic.Int64
+	items := []int{0, 1, 2, 3, 4}
+	_, err := parMap(items, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 1 {
+			return 0, fmt.Errorf("item %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "item 1 failed" {
+		t.Fatalf("want \"item 1 failed\", got %v", err)
+	}
+	if ran.Load() != int64(len(items)) {
+		t.Fatalf("only %d/%d points ran after an error", ran.Load(), len(items))
 	}
 }

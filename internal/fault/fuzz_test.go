@@ -1,0 +1,56 @@
+package fault
+
+import "testing"
+
+// FuzzPlanRoundTrip feeds arbitrary text to the plan decoder and demands
+// that anything it accepts re-encodes and re-decodes to the identical
+// plan — the campaign reproducibility contract depends on it.
+func FuzzPlanRoundTrip(f *testing.F) {
+	f.Add("usfault-plan/v1 seed=1\n")
+	f.Add("usfault-plan/v1 seed=-77\nresult-bit cycle=12 slot=3 bit=31 op=1 reg=9 dur=0\n")
+	f.Add("usfault-plan/v1 seed=0\nready-stuck0 cycle=40 slot=0 bit=0 op=0 reg=0 dur=128\n" +
+		"merge-bit cycle=2 slot=7 bit=15 op=0 reg=30 dur=0\n")
+	f.Add(NewPlan(5, GenParams{Window: 64, NumRegs: 32, MaxCycle: 5000, N: 32}).Encode())
+	f.Add("not a plan at all")
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := DecodePlan(data)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		enc := p.Encode()
+		q, err := DecodePlan(enc)
+		if err != nil {
+			t.Fatalf("decoder rejected its own encoding: %v\ninput: %q\nencoded: %q", err, data, enc)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip changed the plan\ninput: %q\nfirst: %q\nsecond: %q", data, enc, q.Encode())
+		}
+		if q.Encode() != enc {
+			t.Fatalf("re-encoding not byte-identical\nfirst: %q\nsecond: %q", enc, q.Encode())
+		}
+	})
+}
+
+// FuzzPlanGenerate drives the generator with arbitrary seeds and bounds
+// and checks the generated plan is well-formed and round-trips.
+func FuzzPlanGenerate(f *testing.F) {
+	f.Add(int64(1), 16, 500, 20)
+	f.Add(int64(-9), 1, 1, 1)
+	f.Add(int64(12345), 1024, 100000, 64)
+	f.Fuzz(func(t *testing.T, seed int64, window, maxCycle, n int) {
+		if n < 0 || n > 256 || window > 1<<16 || maxCycle < 0 {
+			return
+		}
+		p := NewPlan(seed, GenParams{Window: window, NumRegs: 32, MaxCycle: int64(maxCycle), N: n})
+		if len(p.Faults) != n {
+			t.Fatalf("generated %d faults, want %d", len(p.Faults), n)
+		}
+		q, err := DecodePlan(p.Encode())
+		if err != nil {
+			t.Fatalf("generated plan does not decode: %v", err)
+		}
+		if !p.Equal(q) {
+			t.Fatal("generated plan does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Outcome classifies one campaign point (one single-fault run).
+type Outcome uint8
+
+// The outcomes, from harmless to worst.
+const (
+	// OutcomeVacuous: the scheduled fault never landed (target slot empty
+	// or ineligible at the fault cycle, or the run ended first).
+	OutcomeVacuous Outcome = iota
+	// OutcomeMasked: the fault landed but the final architectural state
+	// still matches the fault-free golden run, with no detection needed —
+	// the corruption was architecturally masked.
+	OutcomeMasked
+	// OutcomeRecovered: a checker or the watchdog caught the fault and
+	// squash-and-replay recovery restored the golden state. The fault
+	// cost cycles, not correctness.
+	OutcomeRecovered
+	// OutcomeSDC: silent data corruption — the run completed but final
+	// architectural state differs from the golden run, undetected.
+	OutcomeSDC
+	// OutcomeCrash: the faulted run failed outright (fetch ran off the
+	// program, cycle limit, unrecovered livelock).
+	OutcomeCrash
+	// OutcomeRecoveryFailed: a fault was detected but post-recovery state
+	// still differs from golden — a bug in the recovery machinery. Tests
+	// assert this never happens.
+	OutcomeRecoveryFailed
+
+	numOutcomes
+)
+
+// outcomeNames maps outcomes to report column names.
+var outcomeNames = [numOutcomes]string{
+	"vacuous", "masked", "recovered", "sdc", "crash", "recovery-failed",
+}
+
+// String returns the outcome's report name.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "outcome(?)"
+}
+
+// Cell aggregates one (architecture × site) cell of a campaign report.
+type Cell struct {
+	Arch string `json:"arch"`
+	Site string `json:"site"`
+
+	Points    int `json:"points"`
+	Vacuous   int `json:"vacuous"`
+	Masked    int `json:"masked"`
+	Detected  int `json:"detected"`
+	Recovered int `json:"recovered"`
+	SDC       int `json:"sdc"`
+	Crashed   int `json:"crashed"`
+	RecFailed int `json:"recovery_failed"`
+	Watchdog  int `json:"watchdog"`
+
+	// ExtraCycles totals the recovery cycle cost: faulted minus
+	// fault-free cycles, summed over recovered points.
+	ExtraCycles int64 `json:"extra_cycles"`
+	// SquashedStations totals stations discarded by fault recovery.
+	SquashedStations int64 `json:"squashed_stations"`
+}
+
+// Merge adds another cell's counts into c (same arch/site).
+func (c *Cell) Merge(o Cell) {
+	c.Points += o.Points
+	c.Vacuous += o.Vacuous
+	c.Masked += o.Masked
+	c.Detected += o.Detected
+	c.Recovered += o.Recovered
+	c.SDC += o.SDC
+	c.Crashed += o.Crashed
+	c.RecFailed += o.RecFailed
+	c.Watchdog += o.Watchdog
+	c.ExtraCycles += o.ExtraCycles
+	c.SquashedStations += o.SquashedStations
+}
+
+// Report is one campaign's deterministic result document: same seed and
+// configuration produce a byte-identical rendering, across runs and
+// across worker counts.
+type Report struct {
+	Seed    int64  `json:"seed"`
+	N       int    `json:"points_per_cell"`
+	Window  int    `json:"window"`
+	Detect  string `json:"detect"`
+	Cells   []Cell `json:"cells"`
+	Shards  int    `json:"shards"`
+	Resumed int    `json:"resumed_shards"`
+}
+
+// SortCells orders the cells by (arch, site) for stable rendering.
+func (r *Report) SortCells() {
+	sort.Slice(r.Cells, func(i, j int) bool {
+		if r.Cells[i].Arch != r.Cells[j].Arch {
+			return r.Cells[i].Arch < r.Cells[j].Arch
+		}
+		return r.Cells[i].Site < r.Cells[j].Site
+	})
+}
+
+// WriteText renders the report as an aligned table. The rendering is a
+// pure function of the report contents.
+func (r *Report) WriteText(w io.Writer) error {
+	r.SortCells()
+	var b strings.Builder
+	fmt.Fprintf(&b, "usfault campaign: seed=%d n=%d window=%d detect=%s shards=%d resumed=%d\n",
+		r.Seed, r.N, r.Window, r.Detect, r.Shards, r.Resumed)
+	fmt.Fprintf(&b, "%-22s %-14s %7s %8s %7s %9s %10s %5s %6s %7s %10s\n",
+		"arch", "site", "points", "vacuous", "masked", "detected", "recovered", "sdc", "crash", "recfail", "cyc/recov")
+	for _, c := range r.Cells {
+		cost := "-"
+		if c.Recovered > 0 {
+			cost = fmt.Sprintf("%.1f", float64(c.ExtraCycles)/float64(c.Recovered))
+		}
+		fmt.Fprintf(&b, "%-22s %-14s %7d %8d %7d %9d %10d %5d %6d %7d %10s\n",
+			c.Arch, c.Site, c.Points, c.Vacuous, c.Masked, c.Detected, c.Recovered,
+			c.SDC, c.Crashed, c.RecFailed, cost)
+	}
+	// Architecture totals: the per-arch vulnerability summary the paper's
+	// AVF-style comparison wants.
+	totals := map[string]*Cell{}
+	var archs []string
+	for _, c := range r.Cells {
+		t := totals[c.Arch]
+		if t == nil {
+			t = &Cell{Arch: c.Arch, Site: "TOTAL"}
+			totals[c.Arch] = t
+			archs = append(archs, c.Arch)
+		}
+		t.Merge(c)
+	}
+	sort.Strings(archs)
+	for _, a := range archs {
+		t := totals[a]
+		landed := t.Points - t.Vacuous
+		sdcRate, recovRate := 0.0, 0.0
+		if landed > 0 {
+			sdcRate = float64(t.SDC) / float64(landed)
+			recovRate = float64(t.Recovered) / float64(landed)
+		}
+		fmt.Fprintf(&b, "TOTAL %-16s landed=%d masked=%d recovered=%d sdc=%d crash=%d  sdc-rate=%.3f recov-rate=%.3f\n",
+			a, landed, t.Masked, t.Recovered, t.SDC, t.Crashed, sdcRate, recovRate)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -95,3 +95,36 @@ func cycleStep(t *tracer) {
 	t.recordAppend(2, 0) // transitively hot: the append above is flagged
 	t.recordBoxed(3, 0)  // transitively hot: the boxing above is flagged
 }
+
+// The fault-hook shapes below mirror internal/core's fault injection:
+// the per-cycle chain carries a nil-guarded fault-state pointer. With
+// injection disabled the pointer is nil and the measured path executes
+// only the guard — no allocation. The hook bodies do allocate (the store
+// undo log grows), but they run only during fault campaigns, so they are
+// reviewed as off the measured path and allow-stopped at their
+// declarations. An identical hook without the review marker must still
+// be flagged through the same nil-guarded call site.
+
+type undo struct{ addr, prev int }
+
+type faultHooks struct{ log []undo }
+
+// noteStore grows the store undo log; fault campaigns only.
+//
+//uslint:allow hotpathalloc -- fixture: fault hook reviewed as off the measured path
+func (h *faultHooks) noteStore(addr, prev int) {
+	h.log = append(h.log, undo{addr: addr, prev: prev})
+}
+
+// noteStoreUnreviewed is the same hook without the allow marker.
+func (h *faultHooks) noteStoreUnreviewed(addr, prev int) {
+	h.log = append(h.log, undo{addr: addr, prev: prev}) // want "append may grow its backing array"
+}
+
+//uslint:hotpath
+func memoryStep(h *faultHooks) {
+	if h != nil {
+		h.noteStore(1, 2)           // traversal stops: reviewed fault hook
+		h.noteStoreUnreviewed(3, 4) // transitively hot: flagged above
+	}
+}

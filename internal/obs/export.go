@@ -229,13 +229,21 @@ func WriteChromeTrace(w io.Writer, man Manifest, events []Event, name func(pc in
 		})
 	}
 	for _, ev := range events {
-		if ev.Kind != EvSquash {
-			continue
+		switch ev.Kind {
+		case EvSquash:
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: "squash", Ph: "i", Ts: ev.Cycle, Pid: 0, Tid: ev.Slot, S: "t",
+				Args: map[string]any{"seq": ev.Seq, "pc": ev.PC, "by_pc": ev.Arg},
+			})
+		case EvFaultInject, EvFaultDetect, EvFaultRecover:
+			// Fault lifecycle shows up as process-scoped instants so a
+			// campaign trace makes the inject → detect → recover story
+			// visible at a glance.
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: ev.Kind.String(), Ph: "i", Ts: ev.Cycle, Pid: 0, Tid: ev.Slot, S: "p",
+				Args: map[string]any{"seq": ev.Seq, "pc": ev.PC, "arg": ev.Arg},
+			})
 		}
-		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
-			Name: "squash", Ph: "i", Ts: ev.Cycle, Pid: 0, Tid: ev.Slot, S: "t",
-			Args: map[string]any{"seq": ev.Seq, "pc": ev.PC, "by_pc": ev.Arg},
-		})
 	}
 
 	b, err := json.MarshalIndent(doc, "", " ")

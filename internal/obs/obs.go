@@ -43,6 +43,15 @@ const (
 	// issue. Arg = producer distance in dynamic instructions
 	// (1 = immediate predecessor), or -1 for the committed register file.
 	EvForward
+	// EvFaultInject: a scheduled fault landed on live microarchitectural
+	// state (fault-injection runs only). Arg = fault site.
+	EvFaultInject
+	// EvFaultDetect: a checker refused to commit a retiring instruction
+	// (Arg = 0), or the livelock watchdog fired (Arg = 1).
+	EvFaultDetect
+	// EvFaultRecover: squash-and-replay fault recovery completed.
+	// Arg = number of stations squashed; PC = the resumed fetch target.
+	EvFaultRecover
 
 	numEventKinds
 )
@@ -50,6 +59,7 @@ const (
 // eventKindNames maps kinds to their wire names (JSONL "kind" field).
 var eventKindNames = [numEventKinds]string{
 	"fetch", "issue", "exec", "retire", "squash", "forward",
+	"fault-inject", "fault-detect", "fault-recover",
 }
 
 // String returns the event kind's wire name.

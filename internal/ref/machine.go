@@ -1,0 +1,132 @@
+package ref
+
+import (
+	"fmt"
+
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+)
+
+// Machine is the golden in-order interpreter exposed one instruction at a
+// time, so an out-of-order engine can cross-check each retiring
+// instruction against the architectural semantics before committing it
+// (the fault-detection checker of internal/core uses exactly this:
+// compute the next Effect, compare, and Advance only on a match).
+type Machine struct {
+	prog  []isa.Inst
+	mem   *memory.Flat
+	regs  []isa.Word
+	pc    int
+	nregs int
+	// executed counts Advance calls, including the halt.
+	executed int
+	halted   bool
+}
+
+// NewMachine returns a machine at PC 0 with zeroed registers. mem is the
+// machine's own data memory (pass a clone if it is shared). initRegs, when
+// non-nil, seeds the register file.
+func NewMachine(prog []isa.Inst, mem *memory.Flat, nregs int, initRegs []isa.Word) *Machine {
+	if nregs == 0 {
+		nregs = isa.NumRegs
+	}
+	regs := make([]isa.Word, nregs)
+	copy(regs, initRegs)
+	return &Machine{prog: prog, mem: mem, regs: regs, nregs: nregs}
+}
+
+// PC returns the next instruction's program counter.
+func (m *Machine) PC() int { return m.pc }
+
+// Regs returns the live register file (do not mutate).
+func (m *Machine) Regs() []isa.Word { return m.regs }
+
+// Mem returns the machine's data memory (do not mutate).
+func (m *Machine) Mem() *memory.Flat { return m.mem }
+
+// Executed returns the number of instructions advanced, including halt.
+func (m *Machine) Executed() int { return m.executed }
+
+// Halted reports whether a halt instruction has been advanced past.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Effect is the complete architectural effect of one instruction: its PC,
+// successor, register write, and memory access. It is computed without
+// mutating the machine, so a checker can compare it against an engine's
+// retiring instruction and Advance only when they agree.
+type Effect struct {
+	PC   int
+	Next int
+	Halt bool
+
+	WritesReg bool
+	Reg       uint8
+	RegVal    isa.Word
+
+	IsLoad   bool
+	IsStore  bool
+	Addr     isa.Word
+	StoreVal isa.Word
+
+	Branch bool
+	Taken  bool
+}
+
+// Effect computes the next instruction's architectural effect without
+// applying it. It fails when the PC left the program or the instruction
+// names an out-of-range register.
+func (m *Machine) Effect() (Effect, error) {
+	if m.halted {
+		return Effect{}, fmt.Errorf("ref: machine already halted at pc=%d", m.pc)
+	}
+	if m.pc < 0 || m.pc >= len(m.prog) {
+		return Effect{}, fmt.Errorf("%w: pc=%d len=%d", ErrPCOutOfRange, m.pc, len(m.prog))
+	}
+	in := m.prog[m.pc]
+	if err := checkRegs(in, m.nregs); err != nil {
+		return Effect{}, err
+	}
+	a, b := readOperands(in, m.regs)
+	eff := Effect{PC: m.pc, Next: m.pc + 1}
+	switch {
+	case in.IsHalt():
+		eff.Halt = true
+		eff.Next = m.pc
+	case in.Op == isa.OpNop:
+	case in.IsLoad():
+		eff.IsLoad = true
+		eff.Addr = isa.EffAddr(in, a)
+		eff.WritesReg, eff.Reg, eff.RegVal = true, in.Rd, m.mem.Load(eff.Addr)
+	case in.IsStore():
+		eff.IsStore = true
+		eff.Addr = isa.EffAddr(in, a)
+		eff.StoreVal = b
+	case in.IsBranch():
+		eff.Branch = true
+		eff.Taken = isa.BranchTaken(in, a, b)
+		eff.Next = isa.NextPC(in, m.pc, a, b)
+	case in.IsJump():
+		eff.Next = isa.NextPC(in, m.pc, a, b)
+		eff.WritesReg, eff.Reg, eff.RegVal = true, in.Rd, isa.Word(m.pc+1)
+	default:
+		eff.WritesReg, eff.Reg, eff.RegVal = true, in.Rd, isa.ALUOp(in, a, b)
+	}
+	return eff, nil
+}
+
+// Advance applies an effect previously computed by Effect, moving the
+// machine one instruction forward.
+func (m *Machine) Advance(eff Effect) {
+	m.executed++
+	if eff.Halt {
+		m.halted = true
+		return
+	}
+	if eff.WritesReg {
+		m.regs[eff.Reg] = eff.RegVal
+	}
+	if eff.IsStore {
+		m.mem.Store(eff.Addr, eff.StoreVal)
+	}
+	m.pc = eff.Next
+}

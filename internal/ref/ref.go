@@ -44,60 +44,40 @@ type Config struct {
 
 // Run executes the program from PC 0 until a halt instruction, using mem as
 // data memory (mutated in place; pass a clone if you need the original).
-// Registers start at zero.
+// Registers start at zero. It is a loop over Machine.Effect/Advance, so the
+// batch interpreter and the steppable checker can never diverge.
 func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
-	nregs := cfg.NumRegs
-	if nregs == 0 {
-		nregs = isa.NumRegs
-	}
+	m := NewMachine(prog, mem, cfg.NumRegs, nil)
 	limit := cfg.StepLimit
 	if limit == 0 {
 		limit = 1 << 22
 	}
-	regs := make([]isa.Word, nregs)
-	res := &Result{Regs: regs, Mem: mem}
+	res := &Result{Regs: m.regs, Mem: mem}
 
-	pc := 0
 	for steps := 0; steps < limit; steps++ {
-		if pc < 0 || pc >= len(prog) {
-			return res, fmt.Errorf("%w: pc=%d len=%d", ErrPCOutOfRange, pc, len(prog))
-		}
-		in := prog[pc]
-		if err := checkRegs(in, nregs); err != nil {
+		eff, err := m.Effect()
+		if err != nil {
 			return res, err
 		}
 		if cfg.KeepTrace {
-			res.Trace = append(res.Trace, pc)
+			res.Trace = append(res.Trace, eff.PC)
 		}
 		res.Executed++
-
-		a, b := readOperands(in, regs)
-		next := pc + 1
 		switch {
-		case in.IsHalt():
-			res.FinalPC = pc
+		case eff.Halt:
+			res.FinalPC = eff.PC
 			return res, nil
-		case in.Op == isa.OpNop:
-		case in.IsLoad():
+		case eff.IsLoad:
 			res.Loads++
-			regs[in.Rd] = mem.Load(isa.EffAddr(in, a))
-		case in.IsStore():
+		case eff.IsStore:
 			res.Stores++
-			mem.Store(isa.EffAddr(in, a), b)
-		case in.IsBranch():
+		case eff.Branch:
 			res.Branches++
-			if isa.BranchTaken(in, a, b) {
+			if eff.Taken {
 				res.Taken++
 			}
-			next = isa.NextPC(in, pc, a, b)
-		case in.IsJump():
-			link := isa.Word(pc + 1)
-			next = isa.NextPC(in, pc, a, b)
-			regs[in.Rd] = link
-		default:
-			regs[in.Rd] = isa.ALUOp(in, a, b)
 		}
-		pc = next
+		m.Advance(eff)
 	}
 	return res, ErrNoHalt
 }

@@ -32,6 +32,7 @@ import (
 	"ultrascalar/internal/asm"
 	"ultrascalar/internal/branch"
 	"ultrascalar/internal/core"
+	"ultrascalar/internal/fault"
 	"ultrascalar/internal/gatesim"
 	"ultrascalar/internal/hybrid"
 	"ultrascalar/internal/isa"
@@ -81,6 +82,40 @@ type (
 	// MetricsRegistry holds named counters, gauges and histograms with
 	// periodic snapshots; attach one via WithMetrics.
 	MetricsRegistry = obs.Registry
+	// FaultPlan is a deterministic fault schedule; build one with
+	// NewFaultPlan and attach it via WithFaultInjection.
+	FaultPlan = fault.Plan
+	// FaultSite names a microarchitectural fault site.
+	FaultSite = fault.Site
+	// FaultDetect selects the modeled fault-detection hardware.
+	FaultDetect = fault.Detect
+	// FaultLog records what happened during a faulted run: faults applied,
+	// detections, recoveries and watchdog fires.
+	FaultLog = fault.Log
+	// FaultGenParams bounds random fault-plan generation.
+	FaultGenParams = fault.GenParams
+)
+
+// Fault-injection constructors and constants, re-exported from
+// internal/fault.
+var (
+	// NewFaultPlan generates a deterministic fault plan from a seed.
+	NewFaultPlan = fault.NewPlan
+	// DecodeFaultPlan parses a plan from its stable text encoding.
+	DecodeFaultPlan = fault.DecodePlan
+	// AllFaultSites returns every defined fault site.
+	AllFaultSites = fault.AllSites
+)
+
+// The fault-detection modes.
+const (
+	// FaultDetectNone commits whatever the faulted datapath produced.
+	FaultDetectNone = fault.DetectNone
+	// FaultDetectParity models per-value parity checked at commit.
+	FaultDetectParity = fault.DetectParity
+	// FaultDetectGolden cross-checks every retiring instruction against
+	// the in-order golden machine (DIVA-style) before it commits.
+	FaultDetectGolden = fault.DetectGolden
 )
 
 // Tracer and metrics constructors, re-exported from internal/obs.
@@ -365,6 +400,41 @@ func WithMetrics(r *MetricsRegistry, every int64) Option {
 		return nil
 	}
 }
+
+// WithFaultInjection arms deterministic fault injection: the plan's
+// faults strike the simulated microarchitecture at their scheduled
+// cycles, detect selects the modeled checker (parity or a golden
+// cross-check; detected faults are repaired by squash-and-replay, so
+// they cost cycles, not correctness), and log (optional) records the
+// fault lifecycle. With no plan attached the engine's measured hot path
+// is unchanged.
+func WithFaultInjection(plan *FaultPlan, detect FaultDetect, log *FaultLog) Option {
+	return func(p *Processor) error {
+		p.base.FaultPlan = plan
+		p.base.FaultDetect = detect
+		p.base.FaultLog = log
+		return nil
+	}
+}
+
+// WithWatchdog sets the no-retire-progress watchdog threshold in cycles:
+// a run that goes that long without retiring while provably unable to
+// make progress fails with ErrLivelock (or triggers recovery during
+// fault runs). The default is max(4×window, 64); negative disables.
+func WithWatchdog(cycles int64) Option {
+	return func(p *Processor) error {
+		p.base.Watchdog = cycles
+		return nil
+	}
+}
+
+// ErrLivelock is returned (wrapped in a diagnostic snapshot) when the
+// watchdog detects that retirement can no longer make progress.
+var ErrLivelock = core.ErrLivelock
+
+// LivelockError is the watchdog's diagnostic snapshot; errors.Is matches
+// ErrLivelock and errors.As extracts the snapshot.
+type LivelockError = core.LivelockError
 
 // WithUltra2Mode selects the Ultrascalar II datapath implementation for
 // the physical model: 0 linear (Figure 7), 1 mesh of trees (Figure 8),

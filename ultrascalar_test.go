@@ -1,6 +1,7 @@
 package ultrascalar
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -291,5 +292,78 @@ func TestAccessors(t *testing.T) {
 	p, _ := New(Hybrid, 32, WithClusterSize(8))
 	if p.Arch() != Hybrid || p.Window() != 32 {
 		t.Error("accessors wrong")
+	}
+}
+
+// TestFaultInjectionOption drives fault injection through the public
+// API: a seeded plan with the golden checker recovers every detected
+// fault, so the architectural result still matches the reference run.
+func TestFaultInjectionOption(t *testing.T) {
+	w := Kernels()[0] // fib
+	want, err := Reference(w.Prog, w.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlan(7, FaultGenParams{
+		Window: 8, NumRegs: 32, MaxCycle: 200, N: 4,
+	})
+	var log FaultLog
+	p, err := New(UltraI, 8, WithFaultInjection(plan, FaultDetectGolden, &log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(w.Prog, w.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		if res.Regs[r] != want[r] {
+			t.Errorf("r%d = %d, want %d", r, res.Regs[r], want[r])
+		}
+	}
+	if log.Detected != log.Recovered {
+		t.Errorf("detected %d faults but recovered %d", log.Detected, log.Recovered)
+	}
+	// The plan round-trips through its text encoding.
+	decoded, err := DecodeFaultPlan(plan.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Equal(plan) {
+		t.Error("fault plan did not round-trip through Encode/Decode")
+	}
+	if len(AllFaultSites()) == 0 {
+		t.Error("no fault sites defined")
+	}
+}
+
+// TestWatchdogOption: a program whose only runnable work is forwarded
+// with unbounded latency can never retire; the watchdog converts the
+// hang into ErrLivelock with a diagnostic snapshot.
+func TestWatchdogOption(t *testing.T) {
+	prog, err := Assemble(`
+	    li r1, 1
+	    add r1, r1, r1
+	    halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(UltraI, 4,
+		WithWatchdog(100),
+		WithSelfTimedForwarding(func(d int) int { return 1 << 30 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run(prog.Insts, NewMemory())
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("got %v, want ErrLivelock", err)
+	}
+	var le *LivelockError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T carries no LivelockError snapshot", err)
+	}
+	if le.Occupied == 0 || le.Window != 4 {
+		t.Errorf("snapshot %+v lacks occupancy diagnostics", le)
 	}
 }
