@@ -14,7 +14,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -61,8 +63,9 @@ type Report struct {
 }
 
 // benchEngine runs the kernel suite repeatedly at the given configuration
-// for roughly the given duration and reports per-cycle cost.
-func benchEngine(name string, cfg core.Config, ws []workload.Workload, d time.Duration) (EngineResult, error) {
+// for roughly the given duration and reports per-cycle cost, bounded by
+// ctx (the -timeout flag).
+func benchEngine(ctx context.Context, name string, cfg core.Config, ws []workload.Workload, d time.Duration) (EngineResult, error) {
 	var cycles int64
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
@@ -71,7 +74,7 @@ func benchEngine(name string, cfg core.Config, ws []workload.Workload, d time.Du
 	iters := 0
 	for time.Since(start) < d {
 		w := ws[iters%len(ws)]
-		res, err := core.Run(w.Prog, w.Mem(), cfg)
+		res, err := core.RunCtx(ctx, w.Prog, w.Mem(), cfg)
 		if err != nil {
 			return EngineResult{}, fmt.Errorf("%s on %s: %w", w.Name, name, err)
 		}
@@ -145,7 +148,18 @@ func main() {
 	comparePath := flag.String("compare", "", "old report to gate against; exit 1 on ns/cycle regression")
 	tolerance := flag.Float64("tolerance", 0.25, "relative ns/cycle growth allowed by -compare")
 	metricsOut := flag.String("metrics", "", "write worker-pool metrics snapshots from the sweep benchmark to this file")
+	timeout := flag.Duration("timeout", 0, "abort the whole benchmark after this long (0 = no limit); exit code 3 on deadline")
 	flag.Parse()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		// Bound the sweep benchmarks too: the pool stops claiming points
+		// once the deadline passes.
+		exp.SetSweepContext(ctx)
+		defer exp.SetSweepContext(nil)
+	}
 	stopProfiling, err := profiling.Start()
 	if err != nil {
 		fatal(err)
@@ -186,13 +200,13 @@ func main() {
 		name string
 		g    int
 	}{{"ultra1", 1}, {"hybrid", 32}, {"ultra2", 256}} {
-		r, err := benchEngine(arch.name, core.Config{Window: 256, Granularity: arch.g}, ws, *dur)
+		r, err := benchEngine(ctx, arch.name, core.Config{Window: 256, Granularity: arch.g}, ws, *dur)
 		if err != nil {
 			fatal(err)
 		}
 		rep.Engine = append(rep.Engine, r)
 	}
-	steady, err := benchEngine("ultra1/repeated-scan",
+	steady, err := benchEngine(ctx, "ultra1/repeated-scan",
 		core.Config{Window: 256, Granularity: 1},
 		[]workload.Workload{workload.RepeatedScan(64, 50)}, *dur)
 	if err != nil {
@@ -264,5 +278,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "usbench:", err)
+	if errors.Is(err, context.DeadlineExceeded) {
+		os.Exit(3) // distinct code: killed by -timeout, not broken
+	}
 	os.Exit(1)
 }

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,11 @@ import (
 	"ultrascalar/internal/exp"
 	"ultrascalar/internal/fault"
 )
+
+// exitDeadline is the distinct exit code for a run killed by -timeout,
+// so CI can tell "the campaign was too slow" from "the campaign is
+// broken". Shared by usbench and ustrace.
+const exitDeadline = 3
 
 func main() {
 	seed := flag.Int64("seed", 1, "campaign seed; all fault draws derive from it")
@@ -30,6 +37,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "shard checkpoint file for resumable campaigns")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	workers := flag.Int("workers", 0, "sweep goroutines (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort the campaign after this long (0 = no limit); exit code 3 on deadline")
 	listSites := flag.Bool("list-sites", false, "list the fault sites and exit")
 	flag.Parse()
 
@@ -67,7 +75,13 @@ func main() {
 	}
 
 	exp.SetSweepWorkers(*workers)
-	rep, err := exp.RunFaultCampaign(exp.FaultCampaignConfig{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := exp.RunFaultCampaignCtx(ctx, exp.FaultCampaignConfig{
 		Seed:       *seed,
 		Window:     *window,
 		Cluster:    *cluster,
@@ -78,6 +92,10 @@ func main() {
 		Checkpoint: *checkpoint,
 	})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "usfault: deadline exceeded after %v: %v\n", *timeout, err)
+			os.Exit(exitDeadline)
+		}
 		fail("%v", err)
 	}
 

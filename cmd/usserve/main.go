@@ -1,0 +1,82 @@
+// Command usserve runs the simulator as an HTTP service: simulations,
+// IPC sweeps and fault campaigns submitted as managed jobs with
+// per-request deadlines, bounded-queue admission control, a per-config-
+// class circuit breaker, graceful drain on SIGTERM, and crash-safe job
+// recovery — a job interrupted by a kill resumes from its checkpoint on
+// restart and produces a byte-identical report.
+//
+// Endpoints (see the README "Serving" section): /healthz, /readyz,
+// /jobs (POST submit, GET list), /jobs/{id} (GET status, DELETE
+// cancel), /jobs/{id}/report, /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ultrascalar/internal/obs"
+	"ultrascalar/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8460", "listen address")
+	dir := flag.String("dir", "usserve-state", "state directory (job records + campaign checkpoints)")
+	queueCap := flag.Int("queue", 16, "admission queue capacity; beyond it submissions are shed")
+	workers := flag.Int("workers", 2, "concurrent job executors")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits before hard-canceling jobs")
+	breakerN := flag.Int("breaker-threshold", 3, "consecutive livelock/timeout failures that trip a config class")
+	breakerCool := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped class rejects jobs")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "usserve: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	mgr, err := serve.New(serve.Config{
+		Dir:              *dir,
+		QueueCap:         *queueCap,
+		Workers:          *workers,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		BreakerThreshold: *breakerN,
+		BreakerCooldown:  *breakerCool,
+		Metrics:          obs.NewRegistry(),
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	fmt.Fprintf(os.Stderr, "usserve: serving on %s (state in %s)\n", *addr, *dir)
+	select {
+	case err := <-errc:
+		fail("server: %v", err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "usserve: %v: draining (up to %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		mgr.Drain(ctx)
+		cancel()
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "usserve: shutdown: %v\n", err)
+		}
+		shutCancel()
+		fmt.Fprintln(os.Stderr, "usserve: drained")
+	}
+}

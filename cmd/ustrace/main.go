@@ -20,6 +20,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +57,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ustrace:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(3) // distinct code: killed by -timeout, not broken
+		}
 		os.Exit(1)
 	}
 }
@@ -95,6 +100,7 @@ func cmdRecord(args []string) error {
 	ring := fs.Bool("ring", false, "flight-recorder mode: keep the LAST -cap events instead of the first")
 	metricsOut := fs.String("metrics", "", "also write periodic engine metrics snapshots to this file")
 	metricsEvery := fs.Int64("metrics-every", 256, "metrics snapshot period in cycles")
+	timeout := fs.Duration("timeout", 0, "abort the recorded run after this long (0 = no limit); exit code 3 on deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,7 +172,13 @@ func cmdRecord(args []string) error {
 		cfg.MetricsEvery = *metricsEvery
 	}
 
-	res, err := core.Run(prog, mem, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := core.RunCtx(ctx, prog, mem, cfg)
 	if err != nil {
 		return err
 	}

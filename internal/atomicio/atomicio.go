@@ -1,0 +1,54 @@
+// Package atomicio provides crash-atomic file writes: a reader never
+// observes a half-written file, even across power loss. The pattern is
+// the standard one — write to a temporary file in the destination
+// directory, fsync it, rename over the destination, then fsync the
+// directory so the rename itself is durable. Campaign checkpoints and
+// serve job records go through this path, so a crash mid-write leaves
+// either the old complete file or the new complete file, never a torn
+// one.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces the file at path with data. The
+// temporary file is created in path's directory (renames across
+// filesystems are not atomic), synced before the rename, and removed on
+// any failure. The directory sync after the rename is best-effort: some
+// filesystems refuse to fsync a directory handle, and by that point the
+// data file itself is already durable.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicio: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicio: syncing %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing temp for %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: renaming into %s: %w", path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("after create: got %q", got)
+	}
+	if err := WriteFile(path, []byte("second, longer content"), 0o644); err != nil {
+		t.Fatalf("WriteFile replace: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second, longer content" {
+		t.Fatalf("after replace: got %q", got)
+	}
+}
+
+func TestWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	for i := 0; i < 3; i++ {
+		if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out.txt" {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory should hold only out.txt, got %v", names)
+	}
+}
+
+func TestWriteFileMissingDirFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "out.txt")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}

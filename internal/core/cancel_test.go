@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"ultrascalar/internal/fault"
+	"ultrascalar/internal/ref"
+	"ultrascalar/internal/workload"
+)
+
+// countdownCtx is a deterministic context: Err reports Canceled starting
+// with its fire-th call. Done and Deadline are inert, so the engine's
+// polling cadence is the only thing that can observe the cancellation —
+// exactly what the RunCtx contract promises.
+type countdownCtx struct {
+	calls, fire int
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(key any) any           { return nil }
+func (c *countdownCtx) Err() error {
+	c.calls++
+	if c.calls >= c.fire {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCtxBackgroundMatchesRun: a live but never-canceled context must
+// not perturb the simulation in any observable way.
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	w := workload.GCD(252, 105)
+	cfg := Config{Window: 8, Granularity: 2}
+	plain, err := Run(w.Prog, w.Mem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := RunCtx(context.Background(), w.Prog, w.Mem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.Cycles != ctxed.Stats.Cycles || plain.Stats.Retired != ctxed.Stats.Retired ||
+		plain.Stats.Squashed != ctxed.Stats.Squashed {
+		t.Errorf("stats diverge under a background context:\nplain %+v\nctxed %+v", plain.Stats, ctxed.Stats)
+	}
+}
+
+// TestRunCtxCancelAtExactProbe: the probe runs once per watchdog
+// interval (64 cycles for window 8, where the floor binds), so a
+// cancellation observed on the k-th probe must surface at exactly cycle
+// (k-1)*64 — the "returns within one watchdog interval" guarantee, made
+// deterministic by counting Err calls instead of racing a timer.
+func TestRunCtxCancelAtExactProbe(t *testing.T) {
+	w := workload.RepeatedScan(64, 50) // thousands of cycles of work
+	ctx := &countdownCtx{fire: 3}
+	_, err := RunCtx(ctx, w.Prog, w.Mem(), Config{Window: 8})
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want a *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("CanceledError does not unwrap to context.Canceled: %v", err)
+	}
+	if ce.Cycle != 128 {
+		t.Errorf("cancellation surfaced at cycle %d, want 128 (third probe of a 64-cycle cadence)", ce.Cycle)
+	}
+	if ctx.calls != 3 {
+		t.Errorf("engine probed the context %d times, want exactly 3", ctx.calls)
+	}
+}
+
+// TestRunCtxExpiredDeadline: an already-expired deadline is caught by the
+// very first probe (cycle 0) and unwraps to context.DeadlineExceeded, the
+// sentinel the CLI tools and the serve error taxonomy key on.
+func TestRunCtxExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	w := workload.Fib(12)
+	_, err := RunCtx(ctx, w.Prog, w.Mem(), Config{Window: 8})
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want a *CanceledError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error does not unwrap to DeadlineExceeded: %v", err)
+	}
+	if ce.Cycle != 0 {
+		t.Errorf("expired deadline noticed at cycle %d, want 0", ce.Cycle)
+	}
+}
+
+// TestWatchdogDefaultFloor: the default livelock threshold is
+// max(4*Window, 64); for tiny windows the 64-cycle floor must bind, or a
+// momentary fetch stall would be misread as livelock.
+func TestWatchdogDefaultFloor(t *testing.T) {
+	for _, tc := range []struct {
+		window int
+		want   int64
+	}{{1, 64}, {2, 64}, {16, 64}, {17, 68}, {32, 128}} {
+		cfg := Config{Window: tc.window}
+		if err := cfg.normalize(); err != nil {
+			t.Fatalf("window %d: %v", tc.window, err)
+		}
+		if cfg.Watchdog != tc.want {
+			t.Errorf("window %d: default watchdog %d, want %d", tc.window, cfg.Watchdog, tc.want)
+		}
+	}
+}
+
+// TestWatchdogFloorBindsWindowTwo starves a two-station window with an
+// infinite forwarding latency. With 4*Window = 8 the watchdog would fire
+// after ~8 quiet cycles; the reported snapshot must show the 64-cycle
+// floor was honored instead.
+func TestWatchdogFloorBindsWindowTwo(t *testing.T) {
+	w := workload.RepeatedScan(8, 2) // dependence chains, enough to fill a 2-slot window
+	cfg := Config{Window: 2, MaxCycles: 1 << 20,
+		ForwardLatency: func(d int) int { return 1 << 30 }}
+	_, err := Run(w.Prog, w.Mem(), cfg)
+	var le *LivelockError
+	if !errors.As(err, &le) {
+		t.Fatalf("got %v, want a LivelockError from a starved 2-slot window", err)
+	}
+	if quiet := le.Cycle - le.LastRetire; quiet <= 64 {
+		t.Errorf("watchdog fired after %d quiet cycles; the 64-cycle floor did not bind", quiet)
+	}
+}
+
+// TestWatchdogFloorRecoveryWindowOne pins the single station of a
+// window-1 processor with a ready-stuck-at-0 hold that outlasts the
+// watchdog floor. The watchdog must fire (no earlier than the floor
+// allows), squash-and-replay must recover, and the run must still finish
+// with the exact golden state.
+func TestWatchdogFloorRecoveryWindowOne(t *testing.T) {
+	w := workload.GCD(252, 105)
+	want, err := ref.Run(w.Prog, w.Mem(), ref.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &fault.Log{}
+	cfg := Config{Window: 1, MaxCycles: 1 << 20,
+		FaultPlan: &fault.Plan{Seed: 1, Faults: []fault.Fault{
+			{Site: fault.SiteReadyStuck0, Cycle: 5, Slot: 0, Dur: 200},
+		}},
+		FaultLog: log}
+	got, err := Run(w.Prog, w.Mem(), cfg)
+	if err != nil {
+		t.Fatalf("pinned window-1 run failed instead of recovering: %v (log %+v)", err, log)
+	}
+	if log.Applied == 0 {
+		t.Fatal("the hold never pinned the station; test is vacuous")
+	}
+	if log.WatchdogFires == 0 {
+		t.Fatalf("run completed without the watchdog firing; log %+v", log)
+	}
+	for _, r := range log.Records {
+		if r.Kind == fault.RecWatchdog && r.Cycle < 64 {
+			t.Errorf("watchdog fired at cycle %d, before the 64-cycle floor", r.Cycle)
+		}
+	}
+	for r := range want.Regs {
+		if got.Regs[r] != want.Regs[r] {
+			t.Fatalf("r%d = %d, golden %d after watchdog recovery", r, got.Regs[r], want.Regs[r])
+		}
+	}
+	if !got.Mem.Equal(want.Mem) {
+		t.Fatalf("memory mismatch after watchdog recovery: %s", got.Mem.Diff(want.Mem))
+	}
+}
+
+// TestCancelDuringFaultRecovery cancels a run while watchdog-triggered
+// squash-and-replay is churning against a long ready-stuck hold: the
+// hold pins slot 0 from cycle 10, the watchdog floor fires at ~74, and
+// the countdown context cancels on the probe at cycle 128 — inside the
+// recovery/replay regime. The engine is a single goroutine holding its
+// undo log privately, so a clean cancellation means: the typed error
+// surfaces, no goroutine survives the call, and a fresh run of the same
+// faulted configuration still reaches the exact golden state (nothing
+// the abandoned recovery did leaked into shared state). Run under -race
+// in CI.
+func TestCancelDuringFaultRecovery(t *testing.T) {
+	w := workload.RepeatedScan(64, 50)
+	want, err := ref.Run(w.Prog, w.Mem(), ref.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Seed: 1, Faults: []fault.Fault{
+		{Site: fault.SiteReadyStuck0, Cycle: 10, Slot: 0, Dur: 1 << 19},
+	}}
+
+	before := runtime.NumGoroutine()
+	log := &fault.Log{}
+	cfg := Config{Window: 8, MaxCycles: 1 << 22, FaultPlan: plan, FaultLog: log}
+	_, err = RunCtx(&countdownCtx{fire: 3}, w.Prog, w.Mem(), cfg)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want a *CanceledError", err)
+	}
+	if ce.Cycle != 128 {
+		t.Errorf("canceled at cycle %d, want 128", ce.Cycle)
+	}
+	if log.WatchdogFires == 0 {
+		t.Fatalf("cancellation landed before any watchdog recovery; log %+v — the test is not exercising mid-recovery cancel", log)
+	}
+	// The engine never spawns goroutines; prove cancellation did not
+	// change that (e.g. no stray timers or watchers).
+	for i := 0; runtime.NumGoroutine() > before && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across a canceled run: %d -> %d", before, after)
+	}
+
+	// A fresh run of the identical faulted configuration must still
+	// recover to golden: the canceled run left no state behind that the
+	// recovery machinery could trip over.
+	cfg.FaultLog = &fault.Log{}
+	got, err := Run(w.Prog, w.Mem(), cfg)
+	if err != nil {
+		t.Fatalf("rerun after canceled recovery failed: %v", err)
+	}
+	for r := range want.Regs {
+		if got.Regs[r] != want.Regs[r] {
+			t.Fatalf("r%d = %d, golden %d on rerun after canceled recovery", r, got.Regs[r], want.Regs[r])
+		}
+	}
+	if !got.Mem.Equal(want.Mem) {
+		t.Fatalf("memory mismatch on rerun after canceled recovery: %s", got.Mem.Diff(want.Mem))
+	}
+}

@@ -227,6 +227,25 @@ func (e *LivelockError) Error() string {
 // Unwrap exposes the ErrLivelock sentinel.
 func (e *LivelockError) Unwrap() error { return ErrLivelock }
 
+// CanceledError is returned by RunCtx when the run context is canceled
+// or its deadline passes: the simulation was abandoned mid-run and no
+// architectural state was produced. It wraps the context's error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) distinguish a deliberate cancellation from
+// a blown deadline.
+type CanceledError struct {
+	Cycle int64 // cycle the cancellation probe observed the context done
+	Err   error // the context's ctx.Err()
+}
+
+// Error renders the cancellation with the cycle it was observed at.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: run canceled at cycle %d: %v", e.Cycle, e.Err)
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *CanceledError) Unwrap() error { return e.Err }
+
 func (c *Config) normalize() error {
 	if c.Window < 1 {
 		return fmt.Errorf("core: window must be >= 1, got %d", c.Window)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ultrascalar/internal/branch"
@@ -201,6 +202,13 @@ type engine struct {
 	// first), driving the livelock watchdog.
 	flt        *faultState
 	lastRetire int64
+
+	// ctx is the run's cancellation context (RunCtx); nil when the run is
+	// uncancellable (Run), where the per-cycle probe costs one pointer
+	// test. ctxEvery is the probe period in cycles — one watchdog
+	// interval, so a canceled run returns within one interval.
+	ctx      context.Context
+	ctxEvery int64
 }
 
 // engineGauges are the engine's registered metrics instruments, resolved
@@ -217,8 +225,21 @@ type memCand struct {
 }
 
 // Run executes prog on the configured processor with the given data
-// memory (mutated in place).
+// memory (mutated in place). The run cannot be canceled; use RunCtx to
+// bound it by a context.
 func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
+	return RunCtx(nil, prog, mem, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the engine probes
+// ctx.Err() once per watchdog interval (64 cycles when the watchdog is
+// disabled) from the per-cycle chain and, when the context is canceled
+// or past its deadline, abandons the run and returns a *CanceledError
+// wrapping ctx.Err(). The probe is nil-guarded and allocation-free, so
+// the measured hot path is unchanged; partial architectural state is
+// discarded exactly as on any other run error. A nil ctx (what Run
+// passes) disables the probe entirely.
+func RunCtx(ctx context.Context, prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -265,6 +286,11 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 	}
 	e.trc = cfg.Tracer
 	e.lastRetire = -1
+	e.ctx = ctx
+	e.ctxEvery = cfg.Watchdog
+	if e.ctxEvery <= 0 {
+		e.ctxEvery = 64 // watchdog disabled: keep cancellation responsive
+	}
 	if cfg.FaultPlan != nil && len(cfg.FaultPlan.Faults) > 0 {
 		e.flt = newFaultState(prog, mem, cfg)
 	}
@@ -298,6 +324,9 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 		if e.met != nil && e.cycle%e.cfg.MetricsEvery == 0 {
 			e.metricsTick()
 		}
+		if err := e.ctxErr(); err != nil {
+			return nil, &CanceledError{Cycle: e.cycle, Err: err}
+		}
 		if cfg.Watchdog > 0 && e.cycle-e.lastRetire > cfg.Watchdog && e.livelocked() {
 			if !e.watchdogRecover() {
 				return nil, e.livelockError()
@@ -326,6 +355,20 @@ func Run(prog []isa.Inst, mem *memory.Flat, cfg Config) (*Result, error) {
 		e.fetch()
 	}
 	return nil, ErrNoHalt
+}
+
+// ctxErr is the per-cycle cancellation probe: every ctxEvery cycles it
+// returns the run context's cancellation error, nil otherwise. It sits
+// in the per-cycle chain, so it is //uslint:hotpath — nil-guarded, one
+// modulo and one interface call, no allocation (wrapping the error into
+// a CanceledError happens on the cold exit path in RunCtx).
+//
+//uslint:hotpath
+func (e *engine) ctxErr() error {
+	if e.ctx == nil || e.cycle%e.ctxEvery != 0 {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // scanEveryCycleForTests disables the incremental-forwarding fast path

@@ -2,11 +2,14 @@ package exp
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
 
+	"ultrascalar/internal/atomicio"
 	"ultrascalar/internal/core"
 	"ultrascalar/internal/fault"
 	"ultrascalar/internal/hybrid"
@@ -90,8 +93,12 @@ type faultPoint struct {
 	watchdog bool
 }
 
-// archConfig builds the engine configuration for one architecture name.
-func archConfig(arch string, n, c int) (core.Config, error) {
+// ArchConfig builds the engine configuration for one architecture name
+// ("ultra1", "ultra2" or "hybrid") at window size n; c is the hybrid's
+// cluster size and is ignored by the flat architectures. The serve layer
+// and the campaign runner share this mapping so a config class means
+// the same thing everywhere.
+func ArchConfig(arch string, n, c int) (core.Config, error) {
 	switch arch {
 	case "ultra1":
 		return ultra1.EngineConfig(n), nil
@@ -147,10 +154,23 @@ func classify(log *fault.Log, err error, stateOK bool) fault.Outcome {
 }
 
 // RunFaultCampaign executes the campaign and returns its report. With a
-// checkpoint path configured, completed shards are appended to the file
+// checkpoint path configured, completed shards are written to the file
 // as the campaign progresses and already-checkpointed shards are skipped
 // on restart.
 func RunFaultCampaign(cfg FaultCampaignConfig) (*fault.Report, error) {
+	return RunFaultCampaignCtx(nil, cfg)
+}
+
+// RunFaultCampaignCtx is RunFaultCampaign bounded by ctx. Cancellation
+// is clean at two granularities: between shards the runner checks ctx
+// and stops before starting the next one, and within a shard the trial
+// pool stops claiming points and each running simulation aborts at its
+// next watchdog-interval probe. Every shard completed before the
+// cancellation is already in the checkpoint file, so a later run with
+// the same configuration resumes from it and still produces a report
+// byte-identical to an uninterrupted campaign. A nil ctx means
+// unbounded.
+func RunFaultCampaignCtx(ctx context.Context, cfg FaultCampaignConfig) (*fault.Report, error) {
 	if cfg.Window < 1 {
 		return nil, fmt.Errorf("exp: campaign window must be >= 1, got %d", cfg.Window)
 	}
@@ -179,7 +199,7 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (*fault.Report, error) {
 	// The shard list in deterministic order; its index feeds pointSeed.
 	var shards []faultShard
 	for _, arch := range archs {
-		if _, err := archConfig(arch, cfg.Window, cfg.Cluster); err != nil {
+		if _, err := ArchConfig(arch, cfg.Window, cfg.Cluster); err != nil {
 			return nil, err
 		}
 		for _, wl := range wls {
@@ -193,7 +213,6 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (*fault.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer ck.close()
 
 	rep := &fault.Report{
 		Seed: cfg.Seed, N: cfg.N, Window: cfg.Window,
@@ -225,7 +244,13 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (*fault.Report, error) {
 			rep.Cells = append(rep.Cells, cell)
 			continue
 		}
-		ecfg, err := archConfig(sh.arch, cfg.Window, cfg.Cluster)
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("exp: campaign stopped after %d/%d shards: %w",
+					len(ck.done), len(shards), cerr)
+			}
+		}
+		ecfg, err := ArchConfig(sh.arch, cfg.Window, cfg.Cluster)
 		if err != nil {
 			return nil, err
 		}
@@ -233,14 +258,14 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (*fault.Report, error) {
 		cleanKey := sh.arch + "/" + sh.wl.Name
 		clean := cleans[cleanKey]
 		if clean == nil {
-			clean, err = core.Run(sh.wl.Prog, sh.wl.Mem(), ecfg)
+			clean, err = core.RunCtx(ctx, sh.wl.Prog, sh.wl.Mem(), ecfg)
 			if err != nil {
 				return nil, fmt.Errorf("exp: clean %s run of %s: %w", sh.arch, sh.wl.Name, err)
 			}
 			cleans[cleanKey] = clean
 		}
 
-		cell, err := runShard(sh, si, cfg, ecfg, clean, golden)
+		cell, err := runShard(ctx, sh, si, cfg, ecfg, clean, golden)
 		if err != nil {
 			return nil, err
 		}
@@ -253,8 +278,9 @@ func RunFaultCampaign(cfg FaultCampaignConfig) (*fault.Report, error) {
 	return rep, nil
 }
 
-// runShard runs one shard's N injection trials through the sweep pool.
-func runShard(sh faultShard, si int, cfg FaultCampaignConfig, ecfg core.Config,
+// runShard runs one shard's N injection trials through the sweep pool,
+// bounded by ctx (nil = unbounded).
+func runShard(ctx context.Context, sh faultShard, si int, cfg FaultCampaignConfig, ecfg core.Config,
 	clean *core.Result, golden *ref.Result) (fault.Cell, error) {
 	maxCycle := clean.Stats.Cycles - 1
 	if maxCycle < 1 {
@@ -273,7 +299,7 @@ func runShard(sh faultShard, si int, cfg FaultCampaignConfig, ecfg core.Config,
 	for i := range idx {
 		idx[i] = i
 	}
-	points, err := parMap(idx, func(i int) (faultPoint, error) {
+	points, err := parMapCtx(ctx, idx, func(i int) (faultPoint, error) {
 		plan := fault.NewPlan(pointSeed(cfg.Seed, si, i), fault.GenParams{
 			Window: cfg.Window, NumRegs: nregs, MaxCycle: maxCycle,
 			Sites: []fault.Site{sh.site}, N: 1,
@@ -281,7 +307,14 @@ func runShard(sh faultShard, si int, cfg FaultCampaignConfig, ecfg core.Config,
 		log := &fault.Log{}
 		run := ecfg
 		run.FaultPlan, run.FaultLog = plan, log
-		res, rerr := core.Run(sh.wl.Prog, sh.wl.Mem(), run)
+		res, rerr := core.RunCtx(ctx, sh.wl.Prog, sh.wl.Mem(), run)
+		// A canceled trial is not a crash outcome: it says nothing about
+		// the fault's effect, so it must abort the shard rather than be
+		// misclassified into the report.
+		var ce *core.CanceledError
+		if errors.As(rerr, &ce) {
+			return faultPoint{}, rerr
+		}
 		p := faultPoint{watchdog: log.WatchdogFires > 0, squashed: log.SquashedStations}
 		stateOK := rerr == nil && stateMatches(res, golden)
 		p.out = classify(log, rerr, stateOK)
@@ -360,87 +393,99 @@ func fingerprint(cfg FaultCampaignConfig, archs []string, sites []fault.Site, wl
 	return b.String()
 }
 
-// checkpointer appends completed shards to the checkpoint file; a nil
-// file means checkpointing is off.
+// checkpointer records completed shards; an empty path means
+// checkpointing is off. Every record rewrites the whole file through
+// atomicio.WriteFile, so a crash — even mid-write, even power loss —
+// leaves the previous complete checkpoint rather than a torn one. The
+// lines slice keeps the file's exact content in memory (header first),
+// which also keeps shard order stable across rewrites.
 type checkpointer struct {
-	f    *os.File
-	done map[string]fault.Cell
+	path  string
+	lines []string
+	done  map[string]fault.Cell
 }
 
 // openCheckpoint loads any existing checkpoint (verifying its
-// fingerprint) and opens the file for appending new shards.
+// fingerprint) and prepares the checkpointer for recording new shards.
+// A truncated final line — the signature of a crash mid-append under
+// the pre-atomic format, or of filesystem-level truncation — is
+// detected and dropped: that shard simply reruns. Corruption anywhere
+// else still fails loudly, since it cannot be explained by a torn tail.
 func openCheckpoint(cfg FaultCampaignConfig, archs []string, sites []fault.Site,
 	wls []workload.Workload) (*checkpointer, error) {
 	ck := &checkpointer{done: map[string]fault.Cell{}}
 	if cfg.Checkpoint == "" {
 		return ck, nil
 	}
+	ck.path = cfg.Checkpoint
 	fp := fingerprint(cfg, archs, sites, wls)
 	data, err := os.ReadFile(cfg.Checkpoint)
 	switch {
 	case os.IsNotExist(err):
-		f, err := os.OpenFile(cfg.Checkpoint, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("exp: creating checkpoint: %w", err)
-		}
 		hdr, _ := json.Marshal(checkpointHeader{Magic: checkpointMagic, Fingerprint: fp})
-		if _, err := f.Write(append(hdr, '\n')); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("exp: writing checkpoint header: %w", err)
+		ck.lines = []string{string(hdr)}
+		if err := ck.flush(); err != nil {
+			return nil, err
 		}
-		ck.f = f
 		return ck, nil
 	case err != nil:
 		return nil, fmt.Errorf("exp: reading checkpoint: %w", err)
 	}
+	var lines []string
 	sc := bufio.NewScanner(strings.NewReader(string(data)))
-	if !sc.Scan() {
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) > 0 {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if len(lines) == 0 {
 		return nil, fmt.Errorf("exp: checkpoint %s is empty", cfg.Checkpoint)
 	}
 	var hdr checkpointHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != checkpointMagic {
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Magic != checkpointMagic {
 		return nil, fmt.Errorf("exp: %s is not a campaign checkpoint", cfg.Checkpoint)
 	}
 	if hdr.Fingerprint != fp {
 		return nil, fmt.Errorf("exp: checkpoint %s was written by a different campaign\n  have: %s\n  want: %s",
 			cfg.Checkpoint, hdr.Fingerprint, fp)
 	}
-	for sc.Scan() {
-		if len(strings.TrimSpace(sc.Text())) == 0 {
-			continue
-		}
+	ck.lines = lines[:1]
+	for i, raw := range lines[1:] {
 		var line checkpointLine
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return nil, fmt.Errorf("exp: corrupt checkpoint line %q: %w", sc.Text(), err)
+		if err := json.Unmarshal([]byte(raw), &line); err != nil {
+			if i == len(lines[1:])-1 {
+				break // torn tail: drop the partial shard, it reruns
+			}
+			return nil, fmt.Errorf("exp: corrupt checkpoint line %q: %w", raw, err)
 		}
 		ck.done[line.Shard] = line.Cell
+		ck.lines = append(ck.lines, raw)
 	}
-	f, err := os.OpenFile(cfg.Checkpoint, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("exp: reopening checkpoint: %w", err)
+	// Rewrite immediately so a dropped torn tail does not linger on disk.
+	if err := ck.flush(); err != nil {
+		return nil, err
 	}
-	ck.f = f
 	return ck, nil
 }
 
-// record appends one completed shard.
+// record persists one completed shard by atomically rewriting the file.
 func (c *checkpointer) record(key string, cell fault.Cell) error {
-	if c.f == nil {
+	if c.path == "" {
 		return nil
 	}
 	line, err := json.Marshal(checkpointLine{Shard: key, Cell: cell})
 	if err != nil {
 		return err
 	}
-	if _, err := c.f.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("exp: appending checkpoint: %w", err)
-	}
-	return nil
+	c.lines = append(c.lines, string(line))
+	c.done[key] = cell
+	return c.flush()
 }
 
-// close releases the checkpoint file.
-func (c *checkpointer) close() {
-	if c.f != nil {
-		c.f.Close()
+// flush writes the in-memory checkpoint image to disk crash-atomically.
+func (c *checkpointer) flush() error {
+	if err := atomicio.WriteFile(c.path, []byte(strings.Join(c.lines, "\n")+"\n"), 0o644); err != nil {
+		return fmt.Errorf("exp: writing checkpoint: %w", err)
 	}
+	return nil
 }

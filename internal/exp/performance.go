@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,7 +37,14 @@ type IPCRow struct {
 // hybrid clusters of c. The per-workload runs fan out across the sweep
 // pool; row order matches workload.Kernels.
 func IPC(n, c int) ([]IPCRow, error) {
-	return parMap(workload.Kernels(), func(w workload.Workload) (IPCRow, error) {
+	return IPCCtx(sweepContext(), n, c)
+}
+
+// IPCCtx is IPC bounded by an explicit context: once ctx is canceled no
+// further kernels start and the sweep returns ctx's error. The serve
+// layer uses this form so concurrent jobs carry independent deadlines.
+func IPCCtx(ctx context.Context, n, c int) ([]IPCRow, error) {
+	return parMapCtx(ctx, workload.Kernels(), func(w workload.Workload) (IPCRow, error) {
 		r1, err := ultra1.Run(w.Prog, w.Mem(), n)
 		if err != nil {
 			return IPCRow{}, fmt.Errorf("%s on UltraI: %w", w.Name, err)
@@ -61,7 +69,12 @@ func IPC(n, c int) ([]IPCRow, error) {
 
 // IPCReport renders E8.
 func IPCReport(n, c int) (string, error) {
-	rows, err := IPC(n, c)
+	return IPCReportCtx(sweepContext(), n, c)
+}
+
+// IPCReportCtx renders E8, bounded by ctx.
+func IPCReportCtx(ctx context.Context, n, c int) (string, error) {
+	rows, err := IPCCtx(ctx, n, c)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -38,6 +39,40 @@ func SweepWorkers() int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// sweepCtx holds the context bounding sweeps whose entry points predate
+// context plumbing (the IPC/locality/layout sweeps); nil means
+// unbounded. Like the worker-count and metrics knobs it is package
+// state so existing sweep signatures stay unchanged.
+var sweepCtx atomic.Pointer[context.Context]
+
+// SetSweepContext bounds every subsequent sweep by ctx: once ctx is
+// canceled, in-flight sweep points finish but no new points start, and
+// the sweep returns ctx's error. Pass nil to restore unbounded sweeps.
+// It returns the previous context (nil if none was set). Cancellation
+// does not perturb determinism: a sweep either completes with the usual
+// byte-identical results or fails with the context error.
+func SetSweepContext(ctx context.Context) context.Context {
+	var prev *context.Context
+	if ctx == nil {
+		prev = sweepCtx.Swap(nil)
+	} else {
+		prev = sweepCtx.Swap(&ctx)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
+}
+
+// sweepContext resolves the package-level sweep context; nil when
+// unbounded.
+func sweepContext() context.Context {
+	if p := sweepCtx.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // poolMetrics holds the registry the worker pool reports into; nil (the
@@ -155,19 +190,38 @@ func safeTask[T, R any](ins *poolInstruments, f func(T) (R, error), item T, i, q
 // index — so callers cannot observe the scheduling, and a serial sweep
 // (SetSweepWorkers(1)) is indistinguishable from a parallel one. Task
 // panics are recovered into *PanicError rather than crashing the batch.
+// The batch is bounded by the SetSweepContext context, if any.
 func parMap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
+	return parMapCtx(sweepContext(), items, f)
+}
+
+// parMapCtx is parMap bounded by ctx: each item's slot checks ctx
+// before running, so a canceled batch stops claiming work — items
+// already running finish (their results are simply discarded), items
+// not yet started record ctx's error instead of running. The
+// lowest-index error rule still applies, so whether the caller sees a
+// task error or the cancellation is deterministic given which items
+// completed. A nil ctx disables the check entirely.
+func parMapCtx[T, R any](ctx context.Context, items []T, f func(T) (R, error)) ([]R, error) {
 	n := len(items)
 	results := make([]R, n)
 	errs := make([]error, n)
+	ins := instruments()
+	runOne := func(i int) {
+		if ctx != nil && ctx.Err() != nil {
+			errs[i] = ctx.Err()
+			return
+		}
+		results[i], errs[i] = safeTask(ins, f, items[i], i, n-1-i)
+	}
 	workers := SweepWorkers()
 	if workers > n {
 		workers = n
 	}
-	ins := instruments()
 	start := time.Now() //uslint:allow detorder -- observability side channel; never feeds sweep results
 	if workers <= 1 {
-		for i, it := range items {
-			results[i], errs[i] = safeTask(ins, f, it, i, n-1-i)
+		for i := range items {
+			runOne(i)
 		}
 		ins.finishBatch(1, time.Since(start))
 	} else {
@@ -182,7 +236,7 @@ func parMap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
 					if i >= n {
 						return
 					}
-					results[i], errs[i] = safeTask(ins, f, items[i], i, n-1-i)
+					runOne(i)
 				}
 			}()
 		}

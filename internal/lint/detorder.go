@@ -24,13 +24,18 @@ import (
 //     as internal/exp's parMap does), never collected by append.
 var DetOrder = &Analyzer{
 	Name: detOrderName,
-	Doc:  "forbid nondeterministic time, randomness and ordering in internal/exp and cmd",
+	Doc:  "forbid nondeterministic time, randomness and ordering in internal/exp, internal/serve and cmd",
 	Run:  runDetOrder,
 }
 
-// detOrderScope reports whether the package is under the contract.
+// detOrderScope reports whether the package is under the contract. The
+// serve package is in scope because job listings, recovery order and
+// report bytes are part of its determinism contract; its one legitimate
+// wall-clock use (serving policy: deadlines, cooldowns, Retry-After) is
+// allow-marked at the Clock default.
 func detOrderScope(path string) bool {
 	return path == "ultrascalar/internal/exp" ||
+		path == "ultrascalar/internal/serve" ||
 		strings.HasPrefix(path, "ultrascalar/cmd/")
 }
 

@@ -118,6 +118,13 @@ func TestTechOnlyFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "techonly"), "ultrascalar/internal/vlsi", lint.TechOnly)
 }
 
+// TestDetOrderServeScope runs the same fixture under the serve import
+// path: handler/manager code is under the determinism contract too, so
+// every expectation must fire there as well.
+func TestDetOrderServeScope(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "detorder"), "ultrascalar/internal/serve", lint.DetOrder)
+}
+
 // TestDetOrderScope type-checks the detorder fixture under an
 // out-of-scope import path: the same nondeterministic constructs draw no
 // findings outside internal/exp and cmd.

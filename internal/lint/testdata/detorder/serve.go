@@ -1,0 +1,78 @@
+// Serve-like shapes for the detorder fixture: the job-manager idioms
+// that internal/serve must (and must not) use. Handler code builds
+// listings and recovery order from a sorted id slice, never by ranging
+// a map; the only wall-clock use is the injected serving-policy clock,
+// which carries an allow escape exactly as internal/serve's Clock
+// default does.
+package sweep
+
+import "time"
+
+type job struct {
+	ID    string
+	State string
+}
+
+type manager struct {
+	jobs  map[string]*job
+	order []string         // insertion-ordered ids: the deterministic listing source
+	clock func() time.Time // injected serving-policy clock
+}
+
+// listJobsOrdered ranges the jobs map directly: listing order would
+// follow map iteration and differ run to run.
+func (m *manager) listJobsOrdered() []*job {
+	var out []*job
+	for _, j := range m.jobs {
+		out = append(out, j) // want "inside a range over a map"
+	}
+	return out
+}
+
+// listJobsSorted reads the map through the sorted order slice —
+// deterministic, the shape internal/serve's List uses.
+func (m *manager) listJobsSorted() []*job {
+	out := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id]) // ranging a slice, not the map
+	}
+	return out
+}
+
+// stampReport bakes the wall clock into report bytes: resumed and fresh
+// runs could never be byte-identical.
+func (m *manager) stampReport(body string) string {
+	return time.Now().Format(time.RFC3339) + " " + body // want "time.Now makes results depend on wall-clock time"
+}
+
+// defaultClock mirrors internal/serve's Config.Clock default: wall time
+// is serving policy (deadlines, cooldowns, Retry-After), never report
+// data, so the one mention is allow-marked at the default.
+func (m *manager) defaultClock() {
+	if m.clock == nil {
+		m.clock = time.Now //uslint:allow detorder -- fixture: serving-policy clock, never experiment data
+	}
+}
+
+// retryAfter computes a cooldown from the injected clock: no time.Now
+// mention, nothing to flag.
+func (m *manager) retryAfter(openUntil time.Time) time.Duration {
+	return openUntil.Sub(m.clock())
+}
+
+// recoverJobs collects persisted ids inside goroutines by append:
+// recovery order would follow scheduling, not the on-disk order.
+func (m *manager) recoverJobs(paths []string) []string {
+	var ids []string
+	done := make(chan bool)
+	for _, p := range paths {
+		go func(p string) {
+			ids = append(ids, p) // want "in a goroutine collects results in completion order"
+			done <- true
+		}(p)
+	}
+	for range paths {
+		<-done
+	}
+	return ids
+}

@@ -128,3 +128,64 @@ func memoryStep(h *faultHooks) {
 		h.noteStoreUnreviewed(3, 4) // transitively hot: flagged above
 	}
 }
+
+// The cancellation-probe shapes below mirror internal/core's RunCtx:
+// the per-cycle chain probes a nil-guarded context at a fixed cycle
+// cadence. The disciplined probe is one pointer test, one modulo and
+// one interface call — allocation-free, so it draws no diagnostics;
+// wrapping the error into a struct happens on the cold exit path
+// outside the hot root. The naive variants wrap or box per probe,
+// which the checker must catch inside the hot root.
+
+type runCtx interface{ Err() error }
+
+type canceled struct {
+	cycle int64
+	err   error
+}
+
+func (c *canceled) Error() string { return "canceled" }
+
+type cancelEngine struct {
+	ctx      runCtx
+	cycle    int64
+	ctxEvery int64
+}
+
+// probeOK is the engine's shape: nil guard, modulo gate, bare
+// interface call. No allocation on any path.
+//
+//uslint:hotpath
+func (e *cancelEngine) probeOK() error {
+	if e.ctx == nil || e.cycle%e.ctxEvery != 0 {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// probeWrapping wraps the context error on the hot path itself instead
+// of leaving that to the cold exit.
+//
+//uslint:hotpath
+func (e *cancelEngine) probeWrapping() error {
+	if e.ctx == nil {
+		return nil
+	}
+	if err := e.ctx.Err(); err != nil {
+		return fmt.Errorf("canceled at cycle %d: %w", e.cycle, err) // want "fmt.Errorf allocates"
+	}
+	return nil
+}
+
+// probeBoxing heap-allocates the error value every probe, taken or not.
+//
+//uslint:hotpath
+func (e *cancelEngine) probeBoxing() error {
+	if e.ctx == nil {
+		return nil
+	}
+	if err := e.ctx.Err(); err != nil {
+		return &canceled{cycle: e.cycle, err: err} // want "address-taken composite literal allocates"
+	}
+	return nil
+}

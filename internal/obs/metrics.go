@@ -208,6 +208,21 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 func (r *Registry) Snapshot(tick int64) Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	s := r.peekLocked(tick)
+	r.snaps = append(r.snaps, s)
+	return s
+}
+
+// Peek captures the current value of every instrument without appending
+// to the snapshot series. Long-lived metrics endpoints use it so that
+// scraping does not grow process memory.
+func (r *Registry) Peek(tick int64) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.peekLocked(tick)
+}
+
+func (r *Registry) peekLocked(tick int64) Snapshot {
 	s := Snapshot{Tick: tick}
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
@@ -227,7 +242,6 @@ func (r *Registry) Snapshot(tick int64) Snapshot {
 			s.Histograms[n] = h.value()
 		}
 	}
-	r.snaps = append(r.snaps, s)
 	return s
 }
 

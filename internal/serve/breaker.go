@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The circuit breaker protects the worker pool from pathological config
+// classes: a window/arch shape that livelocks or times out will do it
+// again, and each repetition pins a worker for a full deadline. After
+// BreakerThreshold consecutive livelock/timeout failures a class is
+// rejected outright (open) for the cooldown, then a single probe job is
+// admitted (half-open); the probe's outcome closes the breaker or
+// re-opens it for another cooldown. Classes are independent — a broken
+// config shape never blocks healthy traffic.
+
+// breakerState is one config class's breaker.
+type breakerState struct {
+	fails     int       // consecutive counted failures
+	openUntil time.Time // zero when closed
+	probing   bool      // a half-open probe is in flight
+}
+
+// breakerSet holds per-class breakers behind one lock; breaker checks
+// are rare (one per submit / job completion) so contention is nil.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       Clock
+	classes   map[string]*breakerState
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration, now Clock) *breakerSet {
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       now,
+		classes:   map[string]*breakerState{},
+	}
+}
+
+// allow decides whether a submission for class may proceed. In the open
+// window it returns a breaker-open error carrying the remaining
+// cooldown as Retry-After; once the window lapses it admits exactly one
+// probe and keeps rejecting the rest until the probe reports back.
+func (b *breakerSet) allow(class string) *Error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.classes[class]
+	if st == nil || st.openUntil.IsZero() {
+		return nil
+	}
+	if remaining := st.openUntil.Sub(b.now()); remaining > 0 {
+		return &Error{
+			Kind: KindBreakerOpen, Status: 503, RetryAfter: remaining,
+			Msg: fmt.Sprintf("config class %s tripped the circuit breaker after %d consecutive livelock/timeout failures", class, st.fails),
+		}
+	}
+	if st.probing {
+		return &Error{
+			Kind: KindBreakerOpen, Status: 503, RetryAfter: b.cooldown,
+			Msg: fmt.Sprintf("config class %s is half-open with a probe in flight", class),
+		}
+	}
+	st.probing = true
+	return nil
+}
+
+// report records a job outcome for class. ok resets the class to
+// closed; a counted failure (livelock or timeout — the caller filters)
+// increments the consecutive count and, at the threshold or on a failed
+// half-open probe, opens the breaker for the cooldown. It returns true
+// when this report tripped the breaker open.
+func (b *breakerSet) report(class string, ok bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.classes[class]
+	if ok {
+		if st != nil {
+			delete(b.classes, class)
+		}
+		return false
+	}
+	if st == nil {
+		st = &breakerState{}
+		b.classes[class] = st
+	}
+	st.fails++
+	wasProbe := st.probing
+	st.probing = false
+	if st.fails >= b.threshold || wasProbe {
+		st.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ultrascalar/internal/obs"
+)
+
+// The HTTP surface. Endpoints:
+//
+//	GET    /healthz          process liveness (always 200)
+//	GET    /readyz           readiness: 200, or 503 once draining
+//	POST   /jobs             submit a JobRequest; 202 + job record
+//	GET    /jobs             list all jobs in ID order
+//	GET    /jobs/{id}        one job's record (state, error, report)
+//	GET    /jobs/{id}/report the finished job's report as text/plain
+//	DELETE /jobs/{id}        cancel a queued or running job
+//	GET    /metrics          obs registry snapshot as JSON
+//
+// Rejections are JSON {"error": {"kind", "message"}} with the taxonomy
+// kind; 503s (shed, draining, breaker-open) carry Retry-After.
+
+// errorBody is the JSON shape of every rejection.
+type errorBody struct {
+	Error struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeError renders a service error with its status and Retry-After.
+func writeError(w http.ResponseWriter, serr *Error) {
+	if serr.RetryAfter > 0 {
+		secs := int(serr.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	var body errorBody
+	body.Error.Kind = serr.Kind
+	body.Error.Message = serr.Msg
+	writeJSON(w, serr.Status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Handler returns the service's HTTP mux.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if m.Draining() {
+			writeError(w, &Error{Kind: KindDraining, Msg: "service is draining", Status: 503})
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, &Error{Kind: KindInvalidConfig, Msg: "bad request body: " + err.Error(), Status: 400})
+			return
+		}
+		job, serr := m.Submit(req)
+		if serr != nil {
+			writeError(w, serr)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, serr := m.Get(r.PathValue("id"))
+		if serr != nil {
+			writeError(w, serr)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		job, serr := m.Get(r.PathValue("id"))
+		if serr != nil {
+			writeError(w, serr)
+			return
+		}
+		if job.State != StateDone {
+			writeError(w, &Error{
+				Kind: KindNotFound, Status: 409,
+				Msg: fmt.Sprintf("job %s is %s, not done", job.ID, job.State),
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, job.Report)
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, serr := m.Cancel(r.PathValue("id"))
+		if serr != nil {
+			writeError(w, serr)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if m.cfg.Metrics == nil {
+			writeJSON(w, http.StatusOK, struct{}{})
+			return
+		}
+		// Peek, not Snapshot: scrapes must not grow the in-process
+		// snapshot series.
+		writeJSON(w, http.StatusOK, struct {
+			Manifest obs.Manifest `json:"manifest"`
+			Snapshot obs.Snapshot `json:"snapshot"`
+		}{obs.NewManifest("usserve"), m.cfg.Metrics.Peek(0)})
+	})
+
+	return mux
+}

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ultrascalar/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := newTestManager(t, cfg)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func decodeError(t *testing.T, resp *http.Response) errorBody {
+	t.Helper()
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	return body
+}
+
+func TestHTTPHealthAndReady(t *testing.T) {
+	m, srv := newTestServer(t, Config{})
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + ep)
+		if err != nil {
+			t.Fatalf("GET %s: %v", ep, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d, want 200", ep, resp.StatusCode)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m.Drain(ctx)
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("GET /readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if body := decodeError(t, resp); body.Error.Kind != KindDraining {
+		t.Errorf("readyz error kind = %q, want draining", body.Error.Kind)
+	}
+	// Liveness stays green through a drain.
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Errorf("GET /healthz while draining = %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestHTTPSubmitPollReport(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"sim","arch":"ultra2","window":8,"workload":"gcd"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 || job.ID == "" {
+		t.Fatalf("submit: status %d, job %+v", resp.StatusCode, job)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if job.State == StateDone {
+			break
+		}
+		if job.State == StateFailed || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", job)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(report, []byte("arch=ultra2")) {
+		t.Errorf("report: status %d body %q", resp.StatusCode, report)
+	}
+}
+
+func TestHTTPErrorTaxonomy(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+
+	// Invalid config → 400 invalid-config.
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"sim","arch":"ultra9","window":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Errorf("invalid submit = %d, want 400", resp.StatusCode)
+	}
+	if body := decodeError(t, resp); body.Error.Kind != KindInvalidConfig {
+		t.Errorf("error kind = %q, want invalid-config", body.Error.Kind)
+	}
+	resp.Body.Close()
+
+	// Malformed JSON → 400.
+	resp, err = http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("malformed submit = %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown job → 404 not-found.
+	resp, err = http.Get(srv.URL + "/jobs/job-424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown job = %d, want 404", resp.StatusCode)
+	}
+	if body := decodeError(t, resp); body.Error.Kind != KindNotFound {
+		t.Errorf("error kind = %q, want not-found", body.Error.Kind)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPShedCarriesRetryAfter(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	m, srv := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	m.testExec = func(ctx context.Context, job *Job) (string, error) {
+		select {
+		case <-block:
+			return "ok", nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	submit := func() *http.Response {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json",
+			strings.NewReader(`{"kind":"sweep","window":4}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	first := submit()
+	first.Body.Close()
+	waitState(t, m, "job-000001", StateRunning)
+	second := submit()
+	second.Body.Close()
+
+	resp := submit()
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("shed submit = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if body := decodeError(t, resp); body.Error.Kind != KindShed {
+		t.Errorf("error kind = %q, want shed", body.Error.Kind)
+	}
+}
+
+func TestHTTPReportOfUnfinishedJobConflicts(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	m, srv := newTestServer(t, Config{Workers: 1})
+	m.testExec = func(ctx context.Context, job *Job) (string, error) {
+		select {
+		case <-block:
+			return "ok", nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	job, serr := m.Submit(JobRequest{Kind: "sweep", Window: 4})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	resp, err := http.Get(srv.URL + "/jobs/" + job.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Errorf("report of unfinished job = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	m, srv := newTestServer(t, Config{Workers: 1})
+	m.testExec = func(ctx context.Context, job *Job) (string, error) {
+		select {
+		case <-block:
+			return "ok", nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	job, serr := m.Submit(JobRequest{Kind: "sweep", Window: 4})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	waitState(t, m, job.ID, StateRunning)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("cancel = %d, want 200", resp.StatusCode)
+	}
+	waitState(t, m, job.ID, StateCanceled)
+}
+
+func TestHTTPListAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, srv := newTestServer(t, Config{Workers: 1, Metrics: reg})
+	for i := 0; i < 3; i++ {
+		if _, serr := m.Submit(JobRequest{Kind: "sim", Arch: "ultra1", Window: 4, Workload: "fib"}); serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	waitState(t, m, "job-000003", StateDone)
+
+	resp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(jobs) != 3 {
+		t.Fatalf("list returned %d jobs, want 3", len(jobs))
+	}
+	for i, job := range jobs {
+		if want := fmt.Sprintf("job-%06d", i+1); job.ID != want {
+			t.Errorf("list[%d] = %s, want %s", i, job.ID, want)
+		}
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var doc struct {
+		Snapshot obs.Snapshot `json:"snapshot"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Snapshot.Counters["serve.jobs_submitted"]; got != 3 {
+		t.Errorf("serve.jobs_submitted = %d, want 3", got)
+	}
+	// Scraping must not grow the registry's snapshot series.
+	if n := len(reg.Snapshots()); n != 0 {
+		t.Errorf("metrics scrape appended %d snapshots to the series", n)
+	}
+}

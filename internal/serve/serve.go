@@ -1,0 +1,676 @@
+// Package serve turns the simulator into a long-running service: it
+// accepts simulations, IPC sweeps and fault campaigns as managed jobs,
+// bounds every job by a deadline, sheds load when the admission queue is
+// full, trips a per-config-class circuit breaker after repeated
+// livelock/timeout failures, drains gracefully on shutdown, and recovers
+// crash-interrupted jobs on restart.
+//
+// The robustness discipline mirrors the paper's queuing treatment of
+// issue-queue contention one layer up: bounded queues and measured
+// rejection instead of unbounded waiting. Every job's result is a
+// deterministic text report — a function of the job's request alone —
+// so a job interrupted by SIGKILL and resumed on restart produces a
+// report byte-identical to an uninterrupted run (campaign jobs resume
+// from their crash-atomic shard checkpoints; sims and sweeps simply
+// rerun, which is free because they are pure).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ultrascalar/internal/atomicio"
+	"ultrascalar/internal/core"
+	"ultrascalar/internal/exp"
+	"ultrascalar/internal/fault"
+	"ultrascalar/internal/obs"
+	"ultrascalar/internal/workload"
+)
+
+// Error-taxonomy kinds: every rejected request and failed job carries
+// exactly one of these, so clients and dashboards can distinguish "the
+// config livelocked" from "the service is busy" without parsing
+// messages.
+const (
+	KindTimeout       = "timeout"        // job exceeded its deadline
+	KindLivelock      = "livelock"       // engine watchdog proved no forward progress
+	KindInvalidConfig = "invalid-config" // request rejected at admission
+	KindShed          = "shed"           // admission queue full
+	KindDraining      = "draining"       // service is shutting down
+	KindBreakerOpen   = "breaker-open"   // config class tripped the circuit breaker
+	KindCanceled      = "canceled"       // job canceled by the client
+	KindInternal      = "internal"       // unexpected execution failure
+	KindNotFound      = "not-found"      // no such job
+)
+
+// Error is a structured service error: a taxonomy kind, a human
+// message, the HTTP status it maps to, and an optional Retry-After
+// hint for load-shedding responses.
+type Error struct {
+	Kind       string
+	Msg        string
+	Status     int
+	RetryAfter time.Duration
+}
+
+// Error renders the kind and message.
+func (e *Error) Error() string { return e.Kind + ": " + e.Msg }
+
+// Job states. queued and interrupted jobs are runnable on restart;
+// running jobs found on disk at startup are crash leftovers and are
+// demoted to interrupted.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCanceled    = "canceled"
+	StateInterrupted = "interrupted"
+)
+
+// JobRequest is the client-supplied job description.
+type JobRequest struct {
+	// Kind selects the job type: "sim" (one run), "sweep" (the E8 IPC
+	// sweep) or "campaign" (a checkpointed fault campaign).
+	Kind string `json:"kind"`
+	// Arch is the architecture for sim jobs (ultra1, ultra2, hybrid).
+	Arch string `json:"arch,omitempty"`
+	// Window is the station count n for every kind.
+	Window int `json:"window"`
+	// Cluster is the hybrid cluster size C (0 = window/4).
+	Cluster int `json:"cluster,omitempty"`
+	// Workload names the kernel for sim jobs (default "fib").
+	Workload string `json:"workload,omitempty"`
+	// Seed drives campaign fault draws (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Trials is the campaign's injections per cell (default 4).
+	Trials int `json:"trials,omitempty"`
+	// TimeoutMs bounds the job (0 = service default; capped at the
+	// service maximum).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job is one managed job: the request, its lifecycle state, and — once
+// finished — either a deterministic text report or a classified error.
+type Job struct {
+	ID            string     `json:"id"`
+	Request       JobRequest `json:"request"`
+	State         string     `json:"state"`
+	ErrorKind     string     `json:"error_kind,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	Report        string     `json:"report,omitempty"`
+	Attempts      int        `json:"attempts"`
+	ResumedShards int        `json:"resumed_shards,omitempty"`
+}
+
+// Clock abstracts wall time so tests drive deadlines and breaker
+// cooldowns deterministically.
+type Clock func() time.Time
+
+// Config tunes the service.
+type Config struct {
+	// Dir is the state directory; job records live in Dir/jobs and
+	// campaign checkpoints in Dir/checkpoints.
+	Dir string
+	// QueueCap bounds the admission queue; submissions beyond it are
+	// shed with 503 + Retry-After (default 16).
+	QueueCap int
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// DefaultTimeout bounds jobs that do not request one (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout (default 10m).
+	MaxTimeout time.Duration
+	// BreakerThreshold is the consecutive livelock/timeout failure count
+	// that trips a config class's breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped class rejects jobs before a
+	// half-open probe is allowed (default 30s).
+	BreakerCooldown time.Duration
+	// Metrics receives queue-depth, shed and job counters (nil = off).
+	Metrics *obs.Registry
+	// Clock defaults to time.Now; tests inject a fake.
+	Clock Clock
+}
+
+// Manager owns the job store, admission queue, worker pool, breakers
+// and drain lifecycle.
+type Manager struct {
+	cfg      Config
+	breakers *breakerSet
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs, ascending; listings and recovery iterate this
+	cancels  map[string]context.CancelFunc
+	nextSeq  int
+	depth    int // queued-but-not-yet-claimed jobs, vs cfg.QueueCap
+	draining bool
+
+	queue chan string
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mDepth           *obs.Gauge
+	mShed, mDone     *obs.Counter
+	mFailed, mSubmit *obs.Counter
+	mBreaker         *obs.Counter
+
+	// testExec, when set, replaces real job execution; tests use it to
+	// block, fail or classify jobs on cue.
+	testExec func(ctx context.Context, job *Job) (string, error)
+}
+
+// New builds a Manager rooted at cfg.Dir, recovers any jobs a previous
+// process left queued, running or interrupted (re-enqueued in ID
+// order), and starts the worker pool.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("serve: Config.Dir is required")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now //uslint:allow detorder -- wall clock is serving policy (deadlines, cooldowns, Retry-After), never experiment data
+	}
+	for _, sub := range []string{"jobs", "checkpoints"} {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating state dir: %w", err)
+		}
+	}
+
+	m := &Manager{
+		cfg:      cfg,
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		jobs:     map[string]*Job{},
+		cancels:  map[string]context.CancelFunc{},
+		stop:     make(chan struct{}),
+		nextSeq:  1,
+	}
+	if r := cfg.Metrics; r != nil {
+		m.mDepth = r.Gauge("serve.queue_depth")
+		m.mShed = r.Counter("serve.shed")
+		m.mDone = r.Counter("serve.jobs_done")
+		m.mFailed = r.Counter("serve.jobs_failed")
+		m.mSubmit = r.Counter("serve.jobs_submitted")
+		m.mBreaker = r.Counter("serve.breaker_trips")
+	}
+
+	runnable, err := m.recover()
+	if err != nil {
+		return nil, err
+	}
+	// The channel never blocks a sender: capacity covers the admission
+	// bound plus everything recovery re-enqueues.
+	m.queue = make(chan string, cfg.QueueCap+len(runnable))
+	for _, id := range runnable {
+		m.queue <- id
+		m.depth++
+	}
+	m.gaugeDepth()
+
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recover loads persisted jobs from Dir/jobs. Jobs found running were
+// interrupted by a crash: they are demoted to interrupted and, like
+// queued and previously-interrupted jobs, re-enqueued in ID order.
+func (m *Manager) recover() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(m.cfg.Dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading job dir: %w", err)
+	}
+	var runnable []string
+	for _, e := range ents { // ReadDir sorts by name == ID order
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(m.cfg.Dir, "jobs", e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading job record: %w", err)
+		}
+		var job Job
+		if err := json.Unmarshal(data, &job); err != nil {
+			return nil, fmt.Errorf("serve: corrupt job record %s: %w", e.Name(), err)
+		}
+		if job.State == StateRunning {
+			job.State = StateInterrupted
+		}
+		m.jobs[job.ID] = &job
+		m.order = append(m.order, job.ID)
+		var seq int
+		if _, err := fmt.Sscanf(job.ID, "job-%06d", &seq); err == nil && seq >= m.nextSeq {
+			m.nextSeq = seq + 1
+		}
+		if job.State == StateQueued || job.State == StateInterrupted {
+			runnable = append(runnable, job.ID)
+		}
+		if job.State == StateInterrupted {
+			m.persistLocked(&job)
+		}
+	}
+	sort.Strings(m.order)
+	return runnable, nil
+}
+
+// configClass is the circuit breaker's grouping key: jobs that share a
+// kind, architecture and window fail alike (a livelocking config shape
+// livelocks again), so the breaker trips per class, not globally.
+func configClass(req JobRequest) string {
+	arch := req.Arch
+	if arch == "" {
+		arch = "all"
+	}
+	return fmt.Sprintf("%s/%s/n=%d", req.Kind, arch, req.Window)
+}
+
+// validate admission-checks a request, normalizing defaults in place.
+func (m *Manager) validate(req *JobRequest) *Error {
+	bad := func(format string, args ...any) *Error {
+		return &Error{Kind: KindInvalidConfig, Msg: fmt.Sprintf(format, args...), Status: 400}
+	}
+	if req.Window < 1 || req.Window > 4096 {
+		return bad("window must be in [1, 4096], got %d", req.Window)
+	}
+	if req.Cluster == 0 {
+		req.Cluster = req.Window / 4
+		if req.Cluster < 1 {
+			req.Cluster = 1
+		}
+	}
+	if req.TimeoutMs < 0 {
+		return bad("timeout_ms must be >= 0, got %d", req.TimeoutMs)
+	}
+	switch req.Kind {
+	case "sim":
+		if _, err := exp.ArchConfig(req.Arch, req.Window, req.Cluster); err != nil {
+			return bad("%v", err)
+		}
+		if req.Workload == "" {
+			req.Workload = "fib"
+		}
+		if _, ok := kernelByName(req.Workload); !ok {
+			return bad("unknown workload %q", req.Workload)
+		}
+	case "sweep":
+		// The IPC sweep runs all three architectures; arch is not used.
+	case "campaign":
+		if req.Seed == 0 {
+			req.Seed = 1
+		}
+		if req.Trials == 0 {
+			req.Trials = 4
+		}
+		if req.Trials < 1 || req.Trials > 1024 {
+			return bad("trials must be in [1, 1024], got %d", req.Trials)
+		}
+	default:
+		return bad("unknown job kind %q (want sim, sweep or campaign)", req.Kind)
+	}
+	return nil
+}
+
+// kernelByName resolves a kernel-suite workload by name.
+func kernelByName(name string) (workload.Workload, bool) {
+	for _, w := range workload.Kernels() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return workload.Workload{}, false
+}
+
+// Submit admission-checks a request and enqueues it as a new job. The
+// rejection order is deliberate: drain first (the service is going
+// away), then validation (bad requests never consume queue space), then
+// the breaker (known-bad classes are refused while capacity remains for
+// healthy ones), then queue capacity (shed with Retry-After).
+func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, &Error{Kind: KindDraining, Msg: "service is draining", Status: 503, RetryAfter: time.Second}
+	}
+	if serr := m.validate(&req); serr != nil {
+		return nil, serr
+	}
+	if serr := m.breakers.allow(configClass(req)); serr != nil {
+		return nil, serr
+	}
+	if m.depth >= m.cfg.QueueCap {
+		if m.mShed != nil {
+			m.mShed.Inc()
+		}
+		return nil, &Error{
+			Kind: KindShed, Status: 503, RetryAfter: time.Second,
+			Msg: fmt.Sprintf("admission queue full (%d queued)", m.depth),
+		}
+	}
+
+	job := &Job{
+		ID:      fmt.Sprintf("job-%06d", m.nextSeq),
+		Request: req,
+		State:   StateQueued,
+	}
+	m.nextSeq++
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.persistLocked(job)
+	m.queue <- job.ID
+	m.depth++
+	m.gaugeDepth()
+	if m.mSubmit != nil {
+		m.mSubmit.Inc()
+	}
+	return snapshot(job), nil
+}
+
+// Get returns a copy of one job.
+func (m *Manager) Get(id string) (*Job, *Error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, &Error{Kind: KindNotFound, Msg: "no job " + id, Status: 404}
+	}
+	return snapshot(job), nil
+}
+
+// List returns copies of all jobs in ID order — deterministic output
+// regardless of map iteration.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, snapshot(m.jobs[id]))
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. Queued jobs flip to canceled
+// immediately (the worker skips them on dequeue); running jobs have
+// their context canceled and classify as canceled when they unwind.
+func (m *Manager) Cancel(id string) (*Job, *Error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, &Error{Kind: KindNotFound, Msg: "no job " + id, Status: 404}
+	}
+	switch job.State {
+	case StateQueued:
+		// The job's queue slot stays counted in depth until a worker
+		// skims its tombstone off the channel — depth must equal channel
+		// occupancy exactly, or Submit's send could block while holding
+		// the lock the workers need to finish their jobs.
+		job.State = StateCanceled
+		job.ErrorKind = KindCanceled
+		job.Error = "canceled before start"
+		m.persistLocked(job)
+	case StateRunning:
+		if cancel := m.cancels[id]; cancel != nil {
+			cancel()
+		}
+	}
+	return snapshot(job), nil
+}
+
+// Draining reports whether the service has begun shutting down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain gracefully shuts the service down: stop admitting, cancel
+// running campaign jobs (they checkpoint at shard granularity and
+// resume on restart), let sims and sweeps finish under their own
+// deadlines, and wait for the workers. If ctx expires first, every
+// remaining job is canceled outright — campaigns and interrupted sims
+// alike are runnable again on restart.
+func (m *Manager) Drain(ctx context.Context) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	close(m.stop)
+	for _, id := range m.order {
+		job := m.jobs[id]
+		if job.State == StateRunning && job.Request.Kind == "campaign" {
+			if cancel := m.cancels[id]; cancel != nil {
+				cancel()
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return
+	case <-ctx.Done():
+	}
+	m.mu.Lock()
+	for _, id := range m.order {
+		if cancel := m.cancels[id]; cancel != nil {
+			cancel()
+		}
+	}
+	m.mu.Unlock()
+	<-done
+}
+
+// worker drains the admission queue until told to stop. The stop check
+// comes first so a drain never starts new work that is already queued —
+// queued jobs stay persisted and run after restart.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		select {
+		case <-m.stop:
+			return
+		case id := <-m.queue:
+			m.runJob(id)
+		}
+	}
+}
+
+// runJob executes one job end to end: claim, execute under a deadline,
+// classify, persist, inform the breaker.
+func (m *Manager) runJob(id string) {
+	m.mu.Lock()
+	m.depth-- // every channel entry was counted once at enqueue
+	m.gaugeDepth()
+	job, ok := m.jobs[id]
+	if !ok || (job.State != StateQueued && job.State != StateInterrupted) {
+		m.mu.Unlock()
+		return // canceled while queued, or stale entry
+	}
+	job.State = StateRunning
+	job.Attempts++
+	job.ErrorKind, job.Error = "", ""
+	m.persistLocked(job)
+	timeout := m.cfg.DefaultTimeout
+	if job.Request.TimeoutMs > 0 {
+		timeout = time.Duration(job.Request.TimeoutMs) * time.Millisecond
+	}
+	if timeout > m.cfg.MaxTimeout {
+		timeout = m.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	m.cancels[id] = cancel
+	req := job.Request
+	m.mu.Unlock()
+	defer cancel()
+
+	report, resumed, err := m.execute(ctx, job, req)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cancels, id)
+	class := configClass(req)
+	switch kind := classifyRunError(err); {
+	case err == nil:
+		job.State = StateDone
+		job.Report = report
+		job.ResumedShards = resumed
+		m.breakers.report(class, true)
+		if m.mDone != nil {
+			m.mDone.Inc()
+		}
+	case kind == KindCanceled && m.draining:
+		// Drain checkpoint: runnable again on restart.
+		job.State = StateInterrupted
+		job.ErrorKind, job.Error = "", ""
+	case kind == KindCanceled:
+		job.State = StateCanceled
+		job.ErrorKind = KindCanceled
+		job.Error = err.Error()
+	default:
+		job.State = StateFailed
+		job.ErrorKind = kind
+		job.Error = err.Error()
+		if kind == KindLivelock || kind == KindTimeout {
+			if m.breakers.report(class, false) && m.mBreaker != nil {
+				m.mBreaker.Inc()
+			}
+		}
+		if m.mFailed != nil {
+			m.mFailed.Inc()
+		}
+	}
+	m.persistLocked(job)
+}
+
+// execute dispatches one job to its engine entry point and renders the
+// deterministic report.
+func (m *Manager) execute(ctx context.Context, job *Job, req JobRequest) (string, int, error) {
+	if m.testExec != nil {
+		rep, err := m.testExec(ctx, job)
+		return rep, 0, err
+	}
+	switch req.Kind {
+	case "sim":
+		cfg, err := exp.ArchConfig(req.Arch, req.Window, req.Cluster)
+		if err != nil {
+			return "", 0, err
+		}
+		w, _ := kernelByName(req.Workload)
+		res, err := core.RunCtx(ctx, w.Prog, w.Mem(), cfg)
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf(
+			"usserve sim: arch=%s workload=%s window=%d cluster=%d\ncycles=%d retired=%d ipc=%.3f occupancy=%.1f\n",
+			req.Arch, req.Workload, req.Window, req.Cluster,
+			res.Stats.Cycles, res.Stats.Retired, res.Stats.IPC(), res.Stats.MeanOccupancy()), 0, nil
+	case "sweep":
+		rep, err := exp.IPCReportCtx(ctx, req.Window, req.Cluster)
+		return rep, 0, err
+	case "campaign":
+		rep, err := exp.RunFaultCampaignCtx(ctx, exp.FaultCampaignConfig{
+			Seed:       req.Seed,
+			Window:     req.Window,
+			Cluster:    req.Cluster,
+			N:          req.Trials,
+			Detect:     fault.DetectGolden,
+			Checkpoint: filepath.Join(m.cfg.Dir, "checkpoints", job.ID+".ckpt"),
+		})
+		if err != nil {
+			return "", 0, err
+		}
+		// Resumed-shard count is invocation metadata: surfacing it in the
+		// job record but zeroing it in the report keeps a resumed run's
+		// report byte-identical to an uninterrupted one.
+		resumed := rep.Resumed
+		rep.Resumed = 0
+		var b strings.Builder
+		if err := rep.WriteText(&b); err != nil {
+			return "", 0, err
+		}
+		return b.String(), resumed, nil
+	}
+	return "", 0, fmt.Errorf("unknown job kind %q", req.Kind)
+}
+
+// classifyRunError maps an execution error into the taxonomy.
+func classifyRunError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindTimeout
+	case errors.Is(err, context.Canceled):
+		return KindCanceled
+	case errors.Is(err, core.ErrLivelock):
+		return KindLivelock
+	default:
+		return KindInternal
+	}
+}
+
+// snapshot copies a job for return outside the lock.
+func snapshot(job *Job) *Job {
+	cp := *job
+	return &cp
+}
+
+// persistLocked writes the job record crash-atomically; m.mu must be
+// held. Persistence failures are deliberately non-fatal for the job
+// itself (the in-memory state is authoritative while the process
+// lives), but they mark the record so recovery is honest.
+func (m *Manager) persistLocked(job *Job) {
+	data, err := json.MarshalIndent(job, "", "  ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(m.cfg.Dir, "jobs", job.ID+".json")
+	_ = atomicio.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gaugeDepth publishes the queue depth; m.mu must be held.
+func (m *Manager) gaugeDepth() {
+	if m.mDepth != nil {
+		m.mDepth.Set(float64(m.depth))
+	}
+}

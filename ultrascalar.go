@@ -27,7 +27,9 @@
 package ultrascalar
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ultrascalar/internal/asm"
 	"ultrascalar/internal/branch"
@@ -158,15 +160,17 @@ func (a Arch) String() string {
 
 // Processor is a configured instance of one architecture.
 type Processor struct {
-	arch Arch
-	n    int // window / issue width
-	c    int // hybrid cluster size
-	l    int // logical registers
-	w    int // bits per register (physical model)
-	m    Bandwidth
-	base core.Config
-	mode vlsi.Ultra2Mode
-	wrap bool // Ultrascalar II wrap-around variant
+	arch    Arch
+	n       int // window / issue width
+	c       int // hybrid cluster size
+	l       int // logical registers
+	w       int // bits per register (physical model)
+	m       Bandwidth
+	base    core.Config
+	mode    vlsi.Ultra2Mode
+	wrap    bool // Ultrascalar II wrap-around variant
+	ctx     context.Context
+	timeout time.Duration
 }
 
 // Option configures a Processor.
@@ -436,6 +440,35 @@ var ErrLivelock = core.ErrLivelock
 // ErrLivelock and errors.As extracts the snapshot.
 type LivelockError = core.LivelockError
 
+// CanceledError is returned when a context-bounded run is abandoned:
+// errors.Is matches context.Canceled or context.DeadlineExceeded, and
+// errors.As extracts the cycle the cancellation was observed at.
+type CanceledError = core.CanceledError
+
+// WithContext bounds every Run by ctx: the engine probes the context
+// once per watchdog interval from its per-cycle chain (nil-guarded and
+// allocation-free, so the measured hot path is unchanged) and returns a
+// *CanceledError once the context is canceled or past its deadline.
+func WithContext(ctx context.Context) Option {
+	return func(p *Processor) error {
+		p.ctx = ctx
+		return nil
+	}
+}
+
+// WithDeadline bounds every Run to at most d of wall time, layered on
+// top of any WithContext context. Each run gets its own timer, so a
+// processor configured once can serve many requests.
+func WithDeadline(d time.Duration) Option {
+	return func(p *Processor) error {
+		if d <= 0 {
+			return fmt.Errorf("ultrascalar: deadline must be > 0, got %v", d)
+		}
+		p.timeout = d
+		return nil
+	}
+}
+
 // WithUltra2Mode selects the Ultrascalar II datapath implementation for
 // the physical model: 0 linear (Figure 7), 1 mesh of trees (Figure 8),
 // 2 mixed (Section 5). Default linear.
@@ -508,12 +541,31 @@ func (p *Processor) ClusterSize() int {
 	}
 }
 
-// Run executes prog against mem (mutated in place).
+// Run executes prog against mem (mutated in place), bounded by any
+// WithContext context and WithDeadline timeout.
 func (p *Processor) Run(prog []Inst, mem *Memory) (*RunResult, error) {
+	return p.RunCtx(p.ctx, prog, mem)
+}
+
+// RunCtx is Run bounded by an explicit per-call context (overriding any
+// WithContext option; the WithDeadline timeout still applies on top).
+// When the context is canceled or its deadline passes, the run is
+// abandoned within one watchdog interval and a *CanceledError is
+// returned.
+func (p *Processor) RunCtx(ctx context.Context, prog []Inst, mem *Memory) (*RunResult, error) {
 	cfg := p.base
 	cfg.Window = p.n
 	cfg.Granularity = p.ClusterSize()
-	return core.Run(prog, mem, cfg)
+	if p.timeout > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, p.timeout)
+		defer cancel()
+	}
+	return core.RunCtx(ctx, prog, mem, cfg)
 }
 
 // Physical returns the processor's VLSI model under the technology t.

@@ -1,9 +1,11 @@
 package ultrascalar
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestQuickstart(t *testing.T) {
@@ -365,5 +367,80 @@ func TestWatchdogOption(t *testing.T) {
 	}
 	if le.Occupied == 0 || le.Window != 4 {
 		t.Errorf("snapshot %+v lacks occupancy diagnostics", le)
+	}
+}
+
+// busyLoop is a long countdown loop: enough cycles for a deadline or
+// cancellation to land mid-run on any host.
+const busyLoop = `
+	li r1, 500000
+loop:
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+`
+
+func TestWithContextCancelsRun(t *testing.T) {
+	prog, err := Assemble(busyLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, err := New(Hybrid, 16, WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run(prog.Insts, NewMemory())
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want a *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	}
+
+	// The explicit per-call context overrides the configured one: a live
+	// context on the same processor lets the run finish.
+	res, err := p.RunCtx(context.Background(), prog.Insts, NewMemory())
+	if err != nil {
+		t.Fatalf("RunCtx with a live context: %v", err)
+	}
+	if res.Regs[1] != 0 {
+		t.Errorf("r1 = %d, want 0 after the countdown", res.Regs[1])
+	}
+}
+
+func TestWithDeadlineExpiresRun(t *testing.T) {
+	prog, err := Assemble(busyLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(UltraI, 16, WithDeadline(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run(prog.Insts, NewMemory())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want an error wrapping context.DeadlineExceeded", err)
+	}
+
+	// Each run arms its own timer: a generous deadline on the same
+	// processor completes normally.
+	p2, err := New(UltraI, 16, WithDeadline(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Run(prog.Insts, NewMemory()); err != nil {
+		t.Errorf("run under a generous deadline failed: %v", err)
+	}
+}
+
+func TestWithDeadlineRejectsNonPositive(t *testing.T) {
+	if _, err := New(UltraI, 8, WithDeadline(0)); err == nil {
+		t.Error("WithDeadline(0) accepted")
+	}
+	if _, err := New(UltraI, 8, WithDeadline(-time.Second)); err == nil {
+		t.Error("negative deadline accepted")
 	}
 }
