@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"runtime"
 	"testing"
 
@@ -73,4 +74,106 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
 		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(cycles), "allocs/cycle")
 	}
+}
+
+// The BenchmarkBitvec* benchmarks isolate the word-level primitives the
+// engine's per-cycle phases are built from — the wakeup work-mask
+// computation, set-bit iteration, and squash-range clearing — so a
+// whole-engine ns/cycle regression can be attributed below the phase
+// level. Bit patterns are fixed (a Weyl-sequence fill), matching a busy
+// window with mixed started/ready state.
+
+const benchSlots = 256
+
+// benchVec fills a bitvec over benchSlots slots with a deterministic
+// pattern of the given approximate density (bits per 64).
+func benchVec(density uint64, salt uint64) bitvec {
+	v := make(bitvec, benchSlots/64)
+	x := salt*0x9e3779b97f4a7c15 + 1
+	for w := range v {
+		var word uint64
+		for k := uint64(0); k < density; k++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			word |= 1 << (x >> 58)
+		}
+		v[w] = word
+	}
+	return v
+}
+
+// BenchmarkBitvecWakeupMask measures the per-word wakeup work-set
+// computation (busy &^ started &^ ready under a span mask) plus the
+// conditional ready-bit update — the skeleton of wakeScan and the
+// eligibility masks of execute and memoryPhase.
+func BenchmarkBitvecWakeupMask(b *testing.B) {
+	busy := benchVec(64, 1)
+	started := benchVec(24, 2)
+	ready := benchVec(24, 3)
+	lo, hi := 5, benchSlots-7
+	var woken int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := lo >> 6; w <= (hi-1)>>6; w++ {
+			wait := busy[w] &^ started[w] &^ ready[w] & spanMask(lo, hi, w)
+			for wait != 0 {
+				t := bits.TrailingZeros64(wait)
+				wait &= wait - 1
+				slot := w<<6 + t
+				if slot&3 == 0 { // stand-in for "producer completed"
+					ready.set(slot)
+					woken++
+				}
+			}
+		}
+		ready.clearRange(0, benchSlots)
+	}
+	_ = woken
+}
+
+// BenchmarkBitvecIterSetBits measures the TrailingZeros64 set-bit walk on
+// its own — the iteration pattern of every phase's inner loop.
+func BenchmarkBitvecIterSetBits(b *testing.B) {
+	v := benchVec(20, 4)
+	var sum int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w, word := range v {
+			for word != 0 {
+				t := bits.TrailingZeros64(word)
+				word &= word - 1
+				sum += w<<6 + t
+			}
+		}
+	}
+	_ = sum
+}
+
+// BenchmarkBitvecSquashRange measures a squash: counting the discarded
+// memory population with onesRange and mask-clearing a slot range across
+// all sixteen state bitvecs, as squashAfter does.
+func BenchmarkBitvecSquashRange(b *testing.B) {
+	vecs := make([]bitvec, 16)
+	for i := range vecs {
+		vecs[i] = benchVec(48, uint64(i))
+	}
+	save := make([]bitvec, 16)
+	for i := range save {
+		save[i] = make(bitvec, benchSlots/64)
+		copy(save[i], vecs[i])
+	}
+	lo, hi := 37, 219
+	var memPop int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memPop += vecs[0].onesRange(lo, hi)
+		for _, v := range vecs {
+			v.clearRange(lo, hi)
+		}
+		if i&1 == 0 { // restore so the clears are not all no-ops
+			for j := range vecs {
+				copy(vecs[j], save[j])
+			}
+		}
+	}
+	_ = memPop
 }

@@ -19,6 +19,10 @@ package core
 // Everything below is gated on engine.flt != nil: a run without a fault
 // plan pays one pointer test per cycle and per retire, keeping the
 // measured hot path allocation-free and bit-identical to the seed.
+//
+// Stations are addressed through the struct-of-arrays file (soa.go):
+// a fault site reads and writes the slot's parallel-slice entries and
+// bitmap bits directly, the same state the word-level phases scan.
 
 import (
 	"ultrascalar/internal/fault"
@@ -99,6 +103,7 @@ func (f *faultState) tickStuck(e *engine) {
 	if len(f.stuck) == 0 {
 		return
 	}
+	st := &e.st
 	kept := f.stuck[:0]
 	for _, h := range f.stuck {
 		if e.cycle >= h.until {
@@ -107,14 +112,11 @@ func (f *faultState) tickStuck(e *engine) {
 			continue
 		}
 		slot := int(h.f.Slot) % e.cfg.Window
-		if e.slots[slot] == slotOccupied {
-			s := &e.slab[slot]
-			if !s.started && s.opsReady {
-				s.opsReady = false
-				if !h.applied {
-					h.applied = true
-					e.faultApplied(h.f, s)
-				}
+		if st.busy.get(slot) && !st.started.get(slot) && st.ready.get(slot) {
+			st.ready.clear(slot)
+			if !h.applied {
+				h.applied = true
+				e.faultApplied(h.f, slot)
 			}
 		}
 		kept = append(kept, h)
@@ -126,6 +128,7 @@ func (f *faultState) tickStuck(e *engine) {
 // it fall vacuous when the target is empty or ineligible (slot free,
 // instruction already issued, operand not read).
 func (e *engine) applyFault(fl fault.Fault) {
+	st := &e.st
 	bit := isa.Word(1) << (fl.Bit % 32)
 	slot := int(fl.Slot) % e.cfg.Window
 
@@ -135,23 +138,23 @@ func (e *engine) applyFault(fl fault.Fault) {
 		// that register this cycle receives the corrupted value.
 		reg := fl.Reg % uint8(e.cfg.NumRegs)
 		hit := false
-		for _, si := range e.window {
-			t := &e.slab[si]
-			if t.started {
+		for i := 0; i < e.occ; i++ {
+			t := e.slotAt(i)
+			if st.started.get(t) {
 				continue
 			}
-			r1, r2, nr := t.inst.ReadRegs()
-			if nr >= 1 && r1 == reg {
-				t.a ^= bit
+			nr := int(st.nsrc[t])
+			if nr >= 1 && st.r1[t] == reg {
+				st.a[t] ^= bit
 				hit = true
 			}
-			if nr >= 2 && r2 == reg {
-				t.b ^= bit
+			if nr >= 2 && st.r2[t] == reg {
+				st.b[t] ^= bit
 				hit = true
 			}
 		}
 		if hit {
-			e.faultApplied(fl, nil)
+			e.faultApplied(fl, -1)
 		}
 		return
 
@@ -163,86 +166,80 @@ func (e *engine) applyFault(fl fault.Fault) {
 		h := stuckHold{f: fl, until: fl.Cycle + dur}
 		// The per-cycle re-assert already ran, so force the first cycle of
 		// the hold here.
-		if e.slots[slot] == slotOccupied {
-			s := &e.slab[slot]
-			if !s.started && s.opsReady {
-				s.opsReady = false
-				h.applied = true
-				e.faultApplied(fl, s)
-			}
+		if st.busy.get(slot) && !st.started.get(slot) && st.ready.get(slot) {
+			st.ready.clear(slot)
+			h.applied = true
+			e.faultApplied(fl, slot)
 		}
 		e.flt.stuck = append(e.flt.stuck, h)
 		return
 	}
 
-	if e.slots[slot] != slotOccupied {
+	if !st.busy.get(slot) {
 		return // vacuous: no live station in the target slot
 	}
-	s := &e.slab[slot]
 
 	switch fl.Site {
 	case fault.SiteResultBit:
-		if !s.done {
+		if !st.done.get(slot) {
 			return // no completed result circulating yet
 		}
-		s.result ^= bit
-		s.parityBad = true // the latched parity no longer matches
-		e.fwdDirty = true  // the corrupt value re-drives the CSPP wires
-		e.faultApplied(fl, s)
+		st.result[slot] ^= bit
+		st.parityBad.set(slot) // the latched parity no longer matches
+		e.fwdDirty = true      // the corrupt value re-drives the CSPP wires
+		e.faultApplied(fl, slot)
 
 	case fault.SiteOperandBit:
-		if s.started || !s.opsReady {
+		if st.started.get(slot) || !st.ready.get(slot) {
 			return
 		}
-		if _, _, nr := s.inst.ReadRegs(); int(fl.Op) >= nr {
+		if int(fl.Op) >= int(st.nsrc[slot]) {
 			return // the instruction does not read that operand
 		}
 		if fl.Op == 0 {
-			s.a ^= bit
+			st.a[slot] ^= bit
 		} else {
-			s.b ^= bit
+			st.b[slot] ^= bit
 		}
-		e.faultApplied(fl, s)
+		e.faultApplied(fl, slot)
 
 	case fault.SiteReadyStuck1:
-		if s.started || s.opsReady {
+		if st.started.get(slot) || st.ready.get(slot) {
 			return
 		}
-		s.opsReady = true // issues now, with stale latched operands
-		e.faultApplied(fl, s)
+		st.ready.set(slot) // issues now, with stale latched operands
+		e.faultApplied(fl, slot)
 
 	case fault.SiteDropForward:
-		if s.started || !s.opsReady {
+		if st.started.get(slot) || !st.ready.get(slot) {
 			return
 		}
-		r1, r2, nr := s.inst.ReadRegs()
-		if int(fl.Op) >= nr {
+		if int(fl.Op) >= int(st.nsrc[slot]) {
 			return
 		}
-		r := r1
+		r := st.r1[slot]
 		if fl.Op == 1 {
-			r = r2
+			r = st.r2[slot]
 		}
 		// The nearest-producer forward is dropped; the station latches the
 		// stale committed register value, as if the segment bit failed open.
 		if fl.Op == 0 {
-			s.a = e.commit[r]
+			st.a[slot] = e.commit[r]
 		} else {
-			s.b = e.commit[r]
+			st.b[slot] = e.commit[r]
 		}
-		e.faultApplied(fl, s)
+		e.faultApplied(fl, slot)
 
 	case fault.SiteDupForward:
-		if s.started || !s.opsReady {
+		if st.started.get(slot) || !st.ready.get(slot) {
 			return
 		}
-		r1, r2, nr := s.inst.ReadRegs()
-		if int(fl.Op) >= nr {
+		if int(fl.Op) >= int(st.nsrc[slot]) {
 			return
 		}
-		r := r1
+		r := st.r1[slot]
 		if fl.Op == 1 {
-			r = r2
+			r = st.r2[slot]
 		}
 		// A stale merge output wins the wired-OR: the station latches the
 		// value of the producer BEFORE its nearest one — the second-closest
@@ -250,42 +247,42 @@ func (e *engine) applyFault(fl fault.Fault) {
 		// when there is no such writer (or its value is still unknown).
 		v := e.commit[r]
 		seen := 0
-		for j := len(e.window) - 1; j >= 0; j-- {
-			t := &e.slab[e.window[j]]
-			if t.seq >= s.seq || !t.writes || t.dest != r {
+		for j := e.occ - 1; j >= 0; j-- {
+			t := e.slotAt(j)
+			if st.seq[t] >= st.seq[slot] || !st.writes.get(t) || st.dest[t] != r {
 				continue
 			}
 			seen++
 			if seen == 2 {
-				if t.done {
-					v = t.result
+				if st.done.get(t) {
+					v = st.result[t]
 				}
 				break
 			}
 		}
 		if fl.Op == 0 {
-			s.a = v
+			st.a[slot] = v
 		} else {
-			s.b = v
+			st.b[slot] = v
 		}
-		e.faultApplied(fl, s)
+		e.faultApplied(fl, slot)
 	}
 }
 
-// faultApplied accounts one landed fault (s is nil for register-scoped
+// faultApplied accounts one landed fault (slot is -1 for register-scoped
 // sites like the merge-node fault).
-func (e *engine) faultApplied(fl fault.Fault, s *station) {
+func (e *engine) faultApplied(fl fault.Fault, slot int) {
 	e.flt.applied++
-	seq, pc, slot := int64(-1), int32(-1), int32(-1)
-	if s != nil {
-		seq, pc, slot = s.seq, int32(s.pc), int32(s.slot)
+	seq, pc, sl := int64(-1), int32(-1), int32(-1)
+	if slot >= 0 {
+		seq, pc, sl = e.st.seq[slot], e.st.pc[slot], int32(slot)
 	}
 	e.flt.log.Add(fault.Record{
 		Kind: fault.RecInject, Cycle: e.cycle, Site: fl.Site,
-		Seq: seq, PC: pc, Slot: slot,
+		Seq: seq, PC: pc, Slot: sl,
 	})
 	if e.trc != nil {
-		e.trc.Record(obs.EvFaultInject, e.cycle, seq, pc, slot, int32(fl.Site))
+		e.trc.Record(obs.EvFaultInject, e.cycle, seq, pc, sl, int32(fl.Site))
 	}
 }
 
@@ -296,9 +293,10 @@ func (e *engine) faultApplied(fl fault.Fault, s *station) {
 // seq-sorted.
 //
 //uslint:allow hotpathalloc -- fault campaigns only; nil-guarded off the measured path
-func (f *faultState) noteStore(e *engine, s *station, addr isa.Word) {
-	s.storeAddr, s.storeVal = addr, s.b
-	f.undo = append(f.undo, storeUndo{seq: s.seq, addr: addr, prev: e.mem.Load(addr)})
+func (f *faultState) noteStore(e *engine, slot int, addr isa.Word) {
+	st := &e.st
+	st.storeAddr[slot], st.storeVal[slot] = addr, st.b[slot]
+	f.undo = append(f.undo, storeUndo{seq: st.seq[slot], addr: addr, prev: e.mem.Load(addr)})
 }
 
 // dropStore retires undo entries up to the given sequence number: their
@@ -336,14 +334,14 @@ func (f *faultState) rollbackStores(mem *memory.Flat, seq int64) {
 // should resume fetch from.
 //
 //uslint:allow hotpathalloc -- fault campaigns only; nil-guarded off the measured path
-func (f *faultState) checkRetire(e *engine, s *station) (resumePC int, detected bool) {
+func (f *faultState) checkRetire(e *engine, slot int) (resumePC int, detected bool) {
 	switch f.detect {
 	case fault.DetectParity:
 		// Parity travels with the circulating value; a result whose bits
 		// were flipped after parity generation fails the commit-port check.
-		if s.parityBad {
-			f.noteDetect(e, s, 0)
-			return s.pc, true
+		if e.st.parityBad.get(slot) {
+			f.noteDetect(e, slot, 0)
+			return int(e.st.pc[slot]), true
 		}
 
 	case fault.DetectGolden:
@@ -359,11 +357,11 @@ func (f *faultState) checkRetire(e *engine, s *station) (resumePC int, detected 
 			// The golden machine cannot even execute here — the engine
 			// committed onto a path that leaves the program. Refuse and
 			// resume at the golden PC.
-			f.noteDetect(e, s, 0)
+			f.noteDetect(e, slot, 0)
 			return m.PC(), true
 		}
-		if !effectMatches(s, eff) {
-			f.noteDetect(e, s, 0)
+		if !effectMatches(e, slot, eff) {
+			f.noteDetect(e, slot, 0)
 			return eff.PC, true
 		}
 		m.Advance(eff)
@@ -377,67 +375,73 @@ func (f *faultState) checkRetire(e *engine, s *station) (resumePC int, detected 
 // values: register result, store address and value, and the actual
 // control-flow successor. Loads compare the loaded value rather than
 // re-deriving the address — equal values commit equal state.
-func effectMatches(s *station, eff ref.Effect) bool {
-	if eff.PC != s.pc {
+func effectMatches(e *engine, slot int, eff ref.Effect) bool {
+	st := &e.st
+	if eff.PC != int(st.pc[slot]) {
 		return false
 	}
-	if eff.Halt || s.class&clsHalt != 0 {
-		return eff.Halt && s.class&clsHalt != 0
+	cl := st.class[slot]
+	if eff.Halt || cl&clsHalt != 0 {
+		return eff.Halt && cl&clsHalt != 0
 	}
-	if eff.WritesReg != s.writes {
+	writes := st.writes.get(slot)
+	if eff.WritesReg != writes {
 		return false
 	}
-	if eff.WritesReg && (eff.Reg != s.dest || eff.RegVal != s.result) {
+	if eff.WritesReg && (eff.Reg != st.dest[slot] || eff.RegVal != st.result[slot]) {
 		return false
 	}
-	if eff.IsStore && (s.storeAddr != eff.Addr || s.storeVal != eff.StoreVal) {
+	if eff.IsStore && (st.storeAddr[slot] != eff.Addr || st.storeVal[slot] != eff.StoreVal) {
 		return false
 	}
-	if s.class&clsFlow != 0 && s.actualNext != eff.Next {
+	if cl&clsFlow != 0 && int(st.actualNext[slot]) != eff.Next {
 		return false
 	}
 	return true
 }
 
 // noteDetect accounts one checker refusal (arg 1 marks a watchdog fire).
-func (f *faultState) noteDetect(e *engine, s *station, arg int32) {
+func (f *faultState) noteDetect(e *engine, slot int, arg int32) {
 	f.log.Add(fault.Record{
 		Kind: fault.RecDetect, Cycle: e.cycle,
-		Seq: s.seq, PC: int32(s.pc), Slot: int32(s.slot),
+		Seq: e.st.seq[slot], PC: e.st.pc[slot], Slot: int32(slot),
 	})
 	if e.trc != nil {
-		e.trc.Record(obs.EvFaultDetect, e.cycle, s.seq, int32(s.pc), int32(s.slot), arg)
+		e.trc.Record(obs.EvFaultDetect, e.cycle, e.st.seq[slot], e.st.pc[slot], int32(slot), arg)
 	}
 }
 
 // faultRecover is squash-and-replay pointed at a corrupted station: every
 // unretired instruction from age index `from` (the refused one) onward is
-// squashed, its speculatively performed stores are rolled back, and fetch
-// restarts at resumePC with the sequence counter reset — the engine's
-// misprediction recovery with the window's whole tail discarded. The
-// already-retired prefix window[:from] passed the checker and stands.
+// squashed — its state bits cleared with the same range masks as a
+// misprediction squash — its speculatively performed stores are rolled
+// back, and fetch restarts at resumePC with the sequence counter reset.
+// The already-retired prefix passed the checker and stands.
 //
 //uslint:allow hotpathalloc -- fault campaigns only; nil-guarded off the measured path
 func (e *engine) faultRecover(from int, resumePC int) {
 	f := e.flt
-	seq0 := e.slab[e.window[from]].seq
+	st := &e.st
+	seq0 := st.seq[e.slotAt(from)]
 	f.rollbackStores(e.mem, seq0)
-	squashed := 0
-	for _, vi := range e.window[from:] {
-		v := &e.slab[vi]
-		e.slots[v.slot] = slotFree
-		e.stats.Squashed++
-		squashed++
-		if v.class&clsMem != 0 {
-			e.memCount--
-		}
-		if e.trc != nil {
-			e.trc.Record(obs.EvSquash, e.cycle, v.seq, int32(v.pc), int32(v.slot), int32(resumePC))
+	squashed := e.occ - from
+	if e.trc != nil {
+		for j := from; j < e.occ; j++ {
+			v := e.slotAt(j)
+			e.trc.Record(obs.EvSquash, e.cycle, st.seq[v], st.pc[v], int32(v), int32(resumePC))
 		}
 	}
-	// Nothing unretired survives: the window empties, anchored back at
-	// windowBuf[0]. Replay refills it from resumePC this same cycle.
-	e.window = e.windowBuf[:0]
+	s1lo, s1hi, s2lo, s2hi := e.squashSpans(from)
+	e.memCount -= e.memOnes(s1lo, s1hi) + e.memOnes(s2lo, s2hi)
+	e.stats.Squashed += int64(squashed)
+	for _, v := range st.stateVecs {
+		v.clearRange(s1lo, s1hi)
+		v.clearRange(s2lo, s2hi)
+	}
+	// Nothing unretired survives: the window empties (fetch re-anchors
+	// head at the next slot). Replay refills it from resumePC this same
+	// cycle.
+	e.occ = 0
 	e.nextSeq = seq0
 	e.fetchPC = resumePC
 	e.haltStop, e.jalrWait = false, false
@@ -461,21 +465,21 @@ func (e *engine) faultRecover(from int, resumePC int) {
 // restoring progress — in which case Run returns the livelock error.
 func (e *engine) watchdogRecover() bool {
 	f := e.flt
-	if f == nil || f.applied == 0 || len(e.window) == 0 {
+	if f == nil || f.applied == 0 || e.occ == 0 {
 		return false
 	}
 	if f.watchdogRecoveries >= f.applied {
 		return false // recovery is not restoring progress; report the livelock
 	}
 	f.watchdogRecoveries++
-	head := &e.slab[e.window[0]]
-	resume := head.pc
+	head := e.slotAt(0)
+	resume := int(e.st.pc[head])
 	if f.golden != nil {
 		resume = f.golden.PC()
 	}
 	f.log.Add(fault.Record{
 		Kind: fault.RecWatchdog, Cycle: e.cycle,
-		Seq: head.seq, PC: int32(head.pc), Slot: int32(head.slot),
+		Seq: e.st.seq[head], PC: e.st.pc[head], Slot: int32(head),
 	})
 	f.noteDetect(e, head, 1)
 	e.faultRecover(0, resume)

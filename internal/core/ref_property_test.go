@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ultrascalar/internal/isa"
+	"ultrascalar/internal/memory"
+	"ultrascalar/internal/ref"
+)
+
+// TestPropertyRetiredStreamVsRef is the retired-stream property check for
+// the SoA engine: on all three paper architectures, the sequence of
+// retired instructions — not just the final architectural state — must be
+// exactly the golden machine's execution path. The ref machine is stepped
+// one Effect per engine retirement, so the first diverging instruction is
+// reported with its position in the stream; afterwards the registers,
+// memory, and retirement count must match the fully-stepped machine.
+// (The whole-run fuzz test checks final state across random configs; this
+// one pins down where in the stream a wakeup/forwarding bug first bites.)
+func TestPropertyRetiredStreamVsRef(t *testing.T) {
+	archs := []struct {
+		name string
+		gran func(w int) int
+	}{
+		{"ultra1", func(w int) int { return 1 }},
+		{"hybrid", func(w int) int { return max(1, w/8) }},
+		{"ultra2", func(w int) int { return w }},
+	}
+	rng := rand.New(rand.NewSource(20260807))
+	trials := 120
+	if testing.Short() {
+		trials = 25
+	}
+	for trial := 0; trial < trials; trial++ {
+		nregs := 4 + rng.Intn(29)
+		prog := randomProgram(rng, 10+rng.Intn(100), nregs)
+		seedMem := memory.NewFlat()
+		for i := 0; i < 24; i++ {
+			seedMem.Store(isa.Word(rng.Intn(96)), isa.Word(rng.Uint32()))
+		}
+		w := 1 << (2 + rng.Intn(5)) // windows 4..64
+		for _, arch := range archs {
+			cfg := Config{
+				Window:       w,
+				Granularity:  arch.gran(w),
+				NumRegs:      nregs,
+				KeepTimeline: true,
+				MemRenaming:  rng.Intn(2) == 0,
+			}
+			res, err := Run(prog, seedMem.Clone(), cfg)
+			if err != nil {
+				t.Fatalf("trial %d/%s: engine failed: %v", trial, arch.name, err)
+			}
+			m := ref.NewMachine(prog, seedMem.Clone(), nregs, nil)
+			for i, rec := range res.Timeline {
+				if m.Halted() {
+					t.Fatalf("trial %d/%s: engine retired %d instructions past the halt (first extra: pc=%d %v)",
+						trial, arch.name, len(res.Timeline)-i, rec.PC, rec.Inst)
+				}
+				eff, err := m.Effect()
+				if err != nil {
+					t.Fatalf("trial %d/%s: golden effect at stream index %d: %v", trial, arch.name, i, err)
+				}
+				if rec.PC != eff.PC {
+					t.Fatalf("trial %d/%s: retired stream diverges at index %d: engine retired pc=%d %v, golden executes pc=%d",
+						trial, arch.name, i, rec.PC, rec.Inst, eff.PC)
+				}
+				m.Advance(eff)
+			}
+			if !m.Halted() {
+				t.Fatalf("trial %d/%s: engine stream ended after %d instructions but golden machine has not halted (pc=%d)",
+					trial, arch.name, len(res.Timeline), m.PC())
+			}
+			if int64(m.Executed()) != res.Stats.Retired {
+				t.Fatalf("trial %d/%s: retired %d, golden executed %d", trial, arch.name, res.Stats.Retired, m.Executed())
+			}
+			for r := 0; r < nregs; r++ {
+				if res.Regs[r] != m.Regs()[r] {
+					t.Fatalf("trial %d/%s: r%d = %d, golden %d", trial, arch.name, r, res.Regs[r], m.Regs()[r])
+				}
+			}
+			if !res.Mem.Equal(m.Mem()) {
+				t.Fatalf("trial %d/%s: memory mismatch: %s", trial, arch.name, res.Mem.Diff(m.Mem()))
+			}
+		}
+	}
+}

@@ -14,24 +14,34 @@ package core
 // nothing is executing, nothing is ready to issue, and fetch cannot
 // supply new work. It is deliberately conservative — any in-flight
 // instruction, pending forwarding rescan, or fetchable slot counts as
-// potential progress — so it cannot fire on a slow-but-live window.
+// potential progress — so it cannot fire on a slow-but-live window. The
+// per-station conditions reduce to two word expressions over the station
+// bitmaps: started &^ finished (will complete) and busy &^ started &
+// ready (will issue).
 func (e *engine) livelocked() bool {
 	if e.fwdDirty {
 		return false // producer state changed; readiness may improve next scan
 	}
-	for _, si := range e.window {
-		s := &e.slab[si]
-		if s.started && !s.finished() {
-			return false // executing or awaiting memory: will complete
-		}
-		if !s.started && s.opsReady {
-			return false // will issue (or be granted memory) in a coming cycle
+	st := &e.st
+	var spans [2][2]int
+	spans[0][0], spans[0][1], spans[1][0], spans[1][1] = e.liveSpans()
+	for _, sp := range spans {
+		for w := sp[0] >> 6; w <= (sp[1]-1)>>6; w++ {
+			m := spanMask(sp[0], sp[1], w)
+			if st.started[w]&^e.finishedWord(w)&m != 0 {
+				return false // executing or awaiting memory: will complete
+			}
+			if st.busy[w]&^st.started[w]&st.ready[w]&m != 0 {
+				return false // will issue (or be granted memory) in a coming cycle
+			}
 		}
 	}
-	if len(e.window) < e.cfg.Window && !e.haltStop && !e.jalrWait &&
-		e.fetchPC >= 0 && e.fetchPC < len(e.prog) &&
-		e.slots[int(e.nextSeq)%e.cfg.Window] == slotFree {
-		return false // fetch can still inject new work
+	if e.occ < e.cfg.Window && !e.haltStop && !e.jalrWait &&
+		e.fetchPC >= 0 && e.fetchPC < len(e.prog) {
+		slot := int(e.nextSeq % int64(e.cfg.Window))
+		if !st.busy.get(slot) && !st.drained.get(slot) {
+			return false // fetch can still inject new work
+		}
 	}
 	return true
 }
@@ -44,21 +54,23 @@ func (e *engine) livelockError() error {
 		FetchPC:    e.fetchPC,
 		HeadPC:     -1,
 		HeadSeq:    -1,
-		Occupied:   len(e.window),
+		Occupied:   e.occ,
 		Window:     e.cfg.Window,
 	}
-	if len(e.window) > 0 {
-		h := &e.slab[e.window[0]]
-		le.HeadPC, le.HeadSeq = h.pc, h.seq
+	st := &e.st
+	if e.occ > 0 {
+		h := e.slotAt(0)
+		le.HeadPC, le.HeadSeq = int(st.pc[h]), st.seq[h]
 	}
-	for _, si := range e.window {
-		s := &e.slab[si]
+	for i := 0; i < e.occ; i++ {
+		s := e.slotAt(i)
+		started := st.started.get(s)
 		switch {
-		case s.started && !s.finished():
+		case started && !e.finishedSlot(s):
 			le.Started++
-		case s.started:
+		case started:
 			le.Finished++
-		case s.opsReady:
+		case st.ready.get(s):
 			le.Ready++
 		}
 	}

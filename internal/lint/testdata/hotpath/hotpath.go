@@ -189,3 +189,82 @@ func (e *cancelEngine) probeBoxing() error {
 	}
 	return nil
 }
+
+// The struct-of-arrays shapes below mirror internal/core's bitmap engine:
+// per-station flags live in []uint64 bitmaps walked word-at-a-time with
+// math/bits, and per-cycle scratch is carved from preallocated arenas.
+// The disciplined word loop — mask algebra, TrailingZeros64 iteration,
+// value writes into parallel slices — allocates nothing and must draw no
+// diagnostics. The naive variants (collecting set bits into a fresh
+// slice, growing scratch mid-scan, boxing per-word state) are the
+// regressions the checker must catch.
+
+type soaStations struct {
+	busy, ready, started []uint64
+	operand              []int64
+	scratch              []int32 // preallocated to the window size
+	scratchN             int
+}
+
+// trailingZeros64 stands in for math/bits.TrailingZeros64 (the fixture
+// package must not import anything beyond fmt).
+func trailingZeros64(x uint64) int {
+	n := 0
+	for x&1 == 0 && n < 64 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// wakeupScanOK is the engine's shape: per-word mask expression, set-bit
+// iteration, bitmap and parallel-slice writes. Allocation-free.
+//
+//uslint:hotpath
+func (s *soaStations) wakeupScanOK(lo, hi int) {
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		wait := s.busy[w] &^ s.started[w] &^ s.ready[w]
+		for wait != 0 {
+			b := trailingZeros64(wait)
+			wait &= wait - 1
+			slot := w<<6 + b
+			s.operand[slot] = int64(slot)    // parallel-slice value write
+			s.ready[w] |= 1 << uint(b)       // bitmap update, no allocation
+			s.scratch[s.scratchN] = int32(b) // reused scratch, indexed write
+			s.scratchN++
+		}
+	}
+}
+
+// wakeupScanCollect materializes the set-bit walk into a fresh slice per
+// scan — the tempting-but-wrong way to iterate a bitmap.
+//
+//uslint:hotpath
+func (s *soaStations) wakeupScanCollect(w int) {
+	slots := make([]int, 0, 64) // want "make allocates"
+	word := s.busy[w]
+	for word != 0 {
+		b := trailingZeros64(word)
+		word &= word - 1
+		slots = append(slots, w<<6+b) // want "append may grow its backing array"
+	}
+	for _, slot := range slots {
+		s.operand[slot] = 0
+	}
+}
+
+// squashGrowing appends squashed slots to scratch instead of mask-clearing
+// the range: the append can grow the backing array mid-squash.
+func (s *soaStations) squashGrowing(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.scratch = append(s.scratch, int32(i)) // want "append may grow its backing array"
+	}
+}
+
+//uslint:hotpath
+func (s *soaStations) squashStep(lo, hi int) {
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		s.busy[w] = 0 // range clear via mask algebra: no allocation
+	}
+	s.squashGrowing(lo, hi) // transitively hot: the append above is flagged
+}
