@@ -1,17 +1,32 @@
 // Command uslint runs the repository's custom static-analysis suite (see
 // internal/lint): hotpathalloc (the engine's per-cycle path must not
-// allocate), detorder (experiment sweeps must be deterministic) and
-// techonly (vlsi models must take technology constants from vlsi.Tech).
+// allocate), detorder (experiment sweeps and artifact emission must be
+// deterministic), techonly (vlsi models take technology constants from
+// vlsi.Tech), ctxflow (long-running entry points accept and propagate a
+// context.Context), atomicwrite (serve/exp artifacts are written through
+// internal/atomicio) and bitvecsafe (SoA bitmaps are mutated only
+// through the bitvec primitives) — plus the escapecheck verifier, which
+// cross-checks the hot path against the Go compiler's own escape
+// analysis (-gcflags=-m=2) and a checked-in golden budget.
 //
 // Usage:
 //
-//	uslint [-list] [packages]
+//	uslint [-list] [-json] [-escape-budget file] [-write-escape-budget] [packages]
 //
-// With no packages, ./... is linted. Exit status is 1 when any analyzer
-// reports a finding, 2 on a load failure.
+// With no packages, ./... is linted. The escape budget defaults to
+// internal/lint/escape_budget.txt relative to the working directory and
+// is checked whenever that file exists (always, for a checkout of this
+// repository); -write-escape-budget regenerates it instead of checking.
+//
+// Exit status: 0 when the tree is clean, 1 when any analyzer or the
+// escape verifier reports a finding, 2 on a load, parse, type-check or
+// escape-analysis failure. -json emits the diagnostics as a JSON array
+// on stdout (machine-readable for CI tooling) instead of compiler-style
+// lines; exit codes are identical in both modes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +34,26 @@ import (
 	"ultrascalar/internal/lint"
 )
 
+const defaultBudget = "internal/lint/escape_budget.txt"
+
+// jsonDiagnostic is the machine-readable form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	budget := flag.String("escape-budget", defaultBudget, "golden escape-budget file for the escapecheck verifier")
+	writeBudget := flag.Bool("write-escape-budget", false, "regenerate the escape budget instead of checking it")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -28,21 +61,75 @@ func main() {
 		for _, az := range analyzers {
 			fmt.Printf("%-14s %s\n", az.Name, az.Doc)
 		}
-		return
+		fmt.Printf("%-14s %s\n", "escapecheck",
+			"verify hot-path heap escapes against the golden budget via go build -gcflags=-m=2")
+		return 0
 	}
 
 	patterns := flag.Args()
 	prog, err := lint.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uslint:", err)
-		os.Exit(2)
+		return 2
 	}
+
+	if *writeBudget {
+		if err := lint.WriteEscapeBudget(prog, *budget); err != nil {
+			fmt.Fprintln(os.Stderr, "uslint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "uslint: wrote %s\n", *budget)
+		return 0
+	}
+
 	diags := prog.Lint(analyzers...)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	// The escape verifier runs whenever a budget is present. A missing
+	// file is only tolerated at the default path (a tree that has not
+	// adopted the budget yet); an explicit -escape-budget must exist.
+	budgetSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "escape-budget" {
+			budgetSet = true
+		}
+	})
+	if _, statErr := os.Stat(*budget); statErr == nil {
+		ed, err := lint.EscapeCheck(prog, *budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uslint:", err)
+			return 2
+		}
+		diags = append(diags, ed...)
+	} else if budgetSet {
+		fmt.Fprintf(os.Stderr, "uslint: escape budget %s: %v\n", *budget, statErr)
+		return 2
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "uslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "uslint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicWrite enforces the crash-atomicity contract PR 5 established for
+// durable artifacts: campaign checkpoints, serve job records and report
+// files must be written through internal/atomicio (temp file + fsync +
+// rename), so a crash — even power loss — leaves either the old complete
+// file or the new complete file, never a torn one. It applies to
+// ultrascalar/internal/serve and internal/exp, the two packages that
+// persist such artifacts.
+//
+// Flagged constructs:
+//   - os.Create, os.WriteFile and os.OpenFile — a raw destination write
+//     can be observed (and survive a crash) half-written.
+//   - io/ioutil.WriteFile, the legacy spelling of the same hazard.
+//   - bufio.NewWriter / bufio.NewWriterSize — a buffered writer over a
+//     destination file loses its unflushed tail on crash, and even a
+//     flushed one still exposes the torn-file window.
+//
+// Reads (os.ReadFile, os.Open, bufio.NewScanner) are untouched; so are
+// temp-file workflows that live inside atomicio itself. A site that
+// genuinely wants a raw write — a best-effort debug dump, say — carries
+// `//uslint:allow atomicwrite` with its justification.
+var AtomicWrite = &Analyzer{
+	Name: atomicWriteName,
+	Doc:  "serve/exp artifacts must be written via internal/atomicio, not raw os or bufio writes",
+	Run:  runAtomicWrite,
+}
+
+// atomicWriteScope reports whether the package persists durable
+// artifacts and is therefore under the contract.
+func atomicWriteScope(path string) bool {
+	return path == "ultrascalar/internal/serve" || path == "ultrascalar/internal/exp"
+}
+
+// rawWriteFuncs maps package path -> function name -> hazard note.
+var rawWriteFuncs = map[string]map[string]string{
+	"os": {
+		"Create":    "truncates the destination in place",
+		"WriteFile": "writes the destination in place",
+		"OpenFile":  "opens the destination for in-place writing",
+	},
+	"io/ioutil": {
+		"WriteFile": "writes the destination in place",
+	},
+	"bufio": {
+		"NewWriter":     "buffers writes that are lost or torn on crash",
+		"NewWriterSize": "buffers writes that are lost or torn on crash",
+	},
+}
+
+func runAtomicWrite(p *Program, pkg *Package) []Diagnostic {
+	if !atomicWriteScope(pkg.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if note, ok := rawWriteFuncs[fn.Pkg().Path()][fn.Name()]; ok {
+				out = append(out, report(p, atomicWriteName, sel.Pos(),
+					"%s.%s %s; write artifacts through atomicio.WriteFile",
+					fn.Pkg().Name(), fn.Name(), note))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// BitvecSafe freezes DESIGN.md §10's struct-of-arrays invariants: every
+// state bitmap is a subset of busy, and that holds only because all
+// mutation flows through the bitvec primitives (set, clear, put,
+// clearRange) defined in internal/core/soa.go — retire clears a slot in
+// every state vec, squash clears ranges with mask algebra, fetch only
+// sets bits. A stray `st.busy[w] |= mask` elsewhere in the engine could
+// break the subset invariant silently and corrupt every word scan that
+// relies on it.
+//
+// The rule: outside soa.go, a value of type core.bitvec may be read
+// word-at-a-time freely (that is the whole point of the layout — the
+// per-cycle phases are math/bits word scans), but never mutated
+// directly. Flagged, in ultrascalar/internal/core outside soa.go:
+//   - assignments (plain or compound: =, |=, &=, &^=, ^=, <<=, >>=,
+//     +=, -=) and ++/-- whose target indexes into a bitvec,
+//   - taking the address of a bitvec word (&b[w] aliases the word past
+//     the primitives),
+//   - append with a bitvec destination (would abandon the arena), and
+//   - converting a bitvec to a plain []uint64 (laundering the type
+//     defeats the rule).
+var BitvecSafe = &Analyzer{
+	Name: bitvecSafeName,
+	Doc:  "outside core/soa.go, SoA bitmaps are mutated only through the bitvec primitives",
+	Run:  runBitvecSafe,
+}
+
+const bitvecSafePkg = "ultrascalar/internal/core"
+
+// bitvecSafeExemptFile reports whether a file hosts the primitives
+// themselves.
+func bitvecSafeExemptFile(name string) bool {
+	return filepath.Base(name) == "soa.go"
+}
+
+// isBitvec reports whether t is the core package's bitvec type.
+func isBitvec(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "bitvec" && obj.Pkg() != nil && obj.Pkg().Path() == bitvecSafePkg
+}
+
+// bitvecIndex reports whether e indexes into a bitvec value.
+func bitvecIndex(info *types.Info, e ast.Expr) bool {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[idx.X]
+	return ok && isBitvec(tv.Type)
+}
+
+func runBitvecSafe(p *Program, pkg *Package) []Diagnostic {
+	if pkg.Path != bitvecSafePkg {
+		return nil
+	}
+	var out []Diagnostic
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		if bitvecSafeExemptFile(p.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if bitvecIndex(info, lhs) {
+						out = append(out, report(p, bitvecSafeName, lhs.Pos(),
+							"direct bitvec word write; mutate SoA bitmaps through the bitvec primitives (set/clear/put/clearRange)"))
+					}
+				}
+			case *ast.IncDecStmt:
+				if bitvecIndex(info, n.X) {
+					out = append(out, report(p, bitvecSafeName, n.X.Pos(),
+						"direct bitvec word write; mutate SoA bitmaps through the bitvec primitives (set/clear/put/clearRange)"))
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND && bitvecIndex(info, n.X) {
+					out = append(out, report(p, bitvecSafeName, n.Pos(),
+						"taking the address of a bitvec word aliases it past the primitives"))
+				}
+			case *ast.CallExpr:
+				out = append(out, checkBitvecCall(p, info, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkBitvecCall flags append-to-bitvec and bitvec -> []uint64
+// conversions.
+func checkBitvecCall(p *Program, info *types.Info, call *ast.CallExpr) []Diagnostic {
+	if fun, ok := call.Fun.(*ast.Ident); ok && len(call.Args) > 0 {
+		if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+			if tv, ok := info.Types[call.Args[0]]; ok && isBitvec(tv.Type) {
+				return []Diagnostic{report(p, bitvecSafeName, call.Pos(),
+					"append to a bitvec abandons its arena-carved backing array")}
+			}
+		}
+		return nil
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		src, ok := info.Types[call.Args[0]]
+		if ok && isBitvec(src.Type) && !isBitvec(tv.Type) {
+			if s, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+				if b, isBasic := s.Elem().Underlying().(*types.Basic); isBasic && b.Kind() == types.Uint64 {
+					return []Diagnostic{report(p, bitvecSafeName, call.Pos(),
+						"converting a bitvec to []uint64 launders it past the mutation primitives")}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the cancellation contract PR 5 threaded through the
+// stack: work that can run for a long time is bounded by exactly one
+// context.Context, rooted at the API boundary and passed down — never
+// re-rooted below it. It applies to ultrascalar/internal/exp,
+// internal/serve and internal/fault, the three packages whose entry
+// points launch simulations, sweeps and campaigns.
+//
+// Flagged constructs:
+//   - context.Background()/context.TODO() inside a function that already
+//     receives a context.Context — re-rooting discards the caller's
+//     cancellation and deadline.
+//   - context.Background()/context.TODO() inside an unexported function.
+//     Below the API boundary a context must come from the caller; only
+//     exported entry points may root a fresh one (and those that do own
+//     the justification).
+//   - a call, from a function holding a ctx, to a module-local function
+//     F that takes no context when the same package defines FCtx taking
+//     one — the ctx-aware variant exists precisely so cancellation is
+//     not dropped mid-stack.
+//   - an exported function with no context parameter calling a
+//     module-local context-taking function. The one sanctioned shape is
+//     the convenience twin — F calling FCtx — which is the boundary by
+//     construction; anything else is a long-running entry point that
+//     should accept a ctx.
+//
+// Deliberate roots — a job manager whose jobs outlive the submitting
+// request, for example — carry `//uslint:allow ctxflow` with their
+// justification.
+var CtxFlow = &Analyzer{
+	Name: ctxFlowName,
+	Doc:  "long-running entry points must accept and propagate a context.Context; no re-rooting below the API boundary",
+	Run:  runCtxFlow,
+}
+
+// ctxFlowScope reports whether the package is under the cancellation
+// contract.
+func ctxFlowScope(path string) bool {
+	return path == "ultrascalar/internal/exp" ||
+		path == "ultrascalar/internal/serve" ||
+		path == "ultrascalar/internal/fault"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasCtxParam reports whether the signature takes a context.Context.
+func hasCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxTwin returns the name of the context-aware sibling of fn (fn's name
+// plus "Ctx", defined in fn's package with a ctx parameter), or "".
+func ctxTwin(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name() + "Ctx"
+	twin, ok := fn.Pkg().Scope().Lookup(name).(*types.Func)
+	if !ok {
+		return ""
+	}
+	if sig, ok := twin.Type().(*types.Signature); ok && hasCtxParam(sig) {
+		return name
+	}
+	return ""
+}
+
+// moduleLocal reports whether fn is defined in this module.
+func moduleLocal(fn *types.Func) bool {
+	return fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), "ultrascalar/")
+}
+
+func runCtxFlow(p *Program, pkg *Package) []Diagnostic {
+	if !ctxFlowScope(pkg.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, fi := range p.funcs {
+		if fi.Pkg != pkg || fi.Decl.Body == nil {
+			continue
+		}
+		out = append(out, checkCtxFlow(p, pkg, fi)...)
+	}
+	return out
+}
+
+func checkCtxFlow(p *Program, pkg *Package, fi *FuncInfo) []Diagnostic {
+	var out []Diagnostic
+	info := pkg.Info
+	sig, _ := fi.Obj.Type().(*types.Signature)
+	hasCtx := sig != nil && hasCtxParam(sig)
+	exported := fi.Obj.Exported()
+	name := fi.Obj.Name()
+
+	// Closures are walked with the enclosing function's boundary status:
+	// a goroutine body inside an unexported helper is just as far below
+	// the boundary as the helper itself.
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			switch {
+			case hasCtx:
+				out = append(out, report(p, ctxFlowName, call.Pos(),
+					"context.%s re-roots the context inside %s, which already receives a ctx", fn.Name(), name))
+			case !exported:
+				out = append(out, report(p, ctxFlowName, call.Pos(),
+					"context.%s below the API boundary in unexported %s; accept a ctx from the caller", fn.Name(), name))
+			}
+			return true
+		}
+		if !moduleLocal(fn) {
+			return true
+		}
+		calleeSig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		calleeCtx := hasCtxParam(calleeSig)
+		if hasCtx && !calleeCtx {
+			if twin := ctxTwin(fn); twin != "" {
+				out = append(out, report(p, ctxFlowName, call.Pos(),
+					"%s drops the ctx held by %s; call %s instead", fn.Name(), name, twin))
+			}
+		}
+		if !hasCtx && exported && calleeCtx && fn.Name() != name+"Ctx" {
+			out = append(out, report(p, ctxFlowName, call.Pos(),
+				"exported %s launches cancellable work (%s) without accepting a context.Context", name, fn.Name()))
+		}
+		return true
+	})
+	return out
+}

@@ -9,7 +9,8 @@ import (
 // DetOrder enforces the deterministic-sweep contract of internal/exp (a
 // parallel sweep must be byte-identical to a serial one) and keeps the
 // command-line tools honest about wall-clock and randomness. It applies
-// to ultrascalar/internal/exp and every ultrascalar/cmd package.
+// to ultrascalar/internal/exp, internal/serve, internal/fault,
+// internal/obs and every ultrascalar/cmd package.
 //
 // Flagged constructs:
 //   - time.Now — results must not depend on when they were computed. The
@@ -24,7 +25,7 @@ import (
 //     as internal/exp's parMap does), never collected by append.
 var DetOrder = &Analyzer{
 	Name: detOrderName,
-	Doc:  "forbid nondeterministic time, randomness and ordering in internal/exp, internal/serve and cmd",
+	Doc:  "forbid nondeterministic time, randomness and ordering in internal/{exp,serve,fault,obs} and cmd",
 	Run:  runDetOrder,
 }
 
@@ -32,10 +33,15 @@ var DetOrder = &Analyzer{
 // serve package is in scope because job listings, recovery order and
 // report bytes are part of its determinism contract; its one legitimate
 // wall-clock use (serving policy: deadlines, cooldowns, Retry-After) is
-// allow-marked at the Clock default.
+// allow-marked at the Clock default. The fault and obs packages are in
+// scope because campaign plans, fault reports and every emitted artifact
+// (traces, metrics, manifests) are specified to be byte-identical given
+// the same seed and config.
 func detOrderScope(path string) bool {
 	return path == "ultrascalar/internal/exp" ||
 		path == "ultrascalar/internal/serve" ||
+		path == "ultrascalar/internal/fault" ||
+		path == "ultrascalar/internal/obs" ||
 		strings.HasPrefix(path, "ultrascalar/cmd/")
 }
 

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapecheck is the compiler-backed half of the hot-path contract.
+// hotpathalloc pattern-matches the AST for allocating constructs, but
+// the ground truth about what reaches the heap is the compiler's own
+// escape analysis. EscapeCheck runs `go build -gcflags=-m=2`, keeps
+// every "escapes to heap" / "moved to heap" line that falls inside a
+// //uslint:hotpath function or one of its transitive callees, and diffs
+// the result against a checked-in golden budget
+// (internal/lint/escape_budget.txt). A new escape the AST approximation
+// missed — an interface conversion, a variable outliving its frame via
+// a captured pointer, an inlining change — fails the check; so does a
+// stale budget entry, which keeps the golden file honest on both sides.
+//
+// Budget entries are function-qualified, not line-qualified:
+//
+//	<package path> <func>: <compiler message>
+//
+// so unrelated edits that shift line numbers do not churn the file; it
+// reproduces byte-identically on a clean rebuild of the same tree with
+// the same toolchain. Lines starting with '#' are comments.
+
+// escapeLineRe matches one compiler diagnostic: path:line:col: message.
+var escapeLineRe = regexp.MustCompile(`^(\S+\.go):(\d+):(\d+): (.+)$`)
+
+// escapeSite is one compiler-reported heap escape inside a hot function.
+type escapeSite struct {
+	entry string // budget entry: "<pkg> <func>: <msg>"
+	file  string // absolute source path
+	line  int
+}
+
+// hotRange is the source extent of one hot-path function.
+type hotRange struct {
+	file       string // absolute path
+	start, end int    // line range, inclusive
+	pkgPath    string
+	display    string // e.g. (*engine).forward
+}
+
+// funcDisplay renders a function the way budget entries name it,
+// package-qualifier-free: forward, (*engine).forward, (Tracer).Record.
+func funcDisplay(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// hotRanges indexes the hot-function set by source file.
+func (p *Program) hotRanges() map[string][]hotRange {
+	out := make(map[string][]hotRange)
+	for obj := range p.hotFuncs() {
+		fi := p.funcs[obj]
+		if fi == nil {
+			continue
+		}
+		start := p.Fset.Position(fi.Decl.Pos())
+		end := p.Fset.Position(fi.Decl.End())
+		out[start.Filename] = append(out[start.Filename], hotRange{
+			file:    start.Filename,
+			start:   start.Line,
+			end:     end.Line,
+			pkgPath: fi.Pkg.Path,
+			display: funcDisplay(obj),
+		})
+	}
+	return out
+}
+
+// escapeMessage reports whether a compiler message is a heap escape (as
+// opposed to inlining chatter or the indented explanation flow -m=2
+// appends). The trailing colon of an explanation header is stripped so
+// the -m=1-style line and its -m=2 header dedupe to one entry.
+func escapeMessage(msg string) (string, bool) {
+	if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+		return "", false
+	}
+	msg = strings.TrimSuffix(msg, ":")
+	if strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap") {
+		return msg, true
+	}
+	return "", false
+}
+
+// runEscapeAnalysis invokes the compiler over the program's packages and
+// returns its -m=2 diagnostics. The build cache replays compiler output,
+// so repeat runs are cheap and still deterministic. Binaries of any main
+// packages go to a throwaway directory.
+func runEscapeAnalysis(p *Program) (string, error) {
+	if p.Dir == "" {
+		return "", fmt.Errorf("lint: escapecheck needs a Load-ed program (no module directory)")
+	}
+	tmp, err := os.MkdirTemp("", "uslint-escape-*")
+	if err != nil {
+		return "", fmt.Errorf("lint: escapecheck temp dir: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	run := func(args []string) (string, error) {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = p.Dir
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		return stderr.String(), err
+	}
+	out, err := run(append([]string{"build", "-gcflags=-m=2", "-o", tmp}, p.Patterns...))
+	if err != nil && strings.Contains(out, "no main packages") {
+		// A library-only pattern set rejects -o; without it, go build
+		// discards the compiled objects, which is all we want anyway.
+		out, err = run(append([]string{"build", "-gcflags=-m=2"}, p.Patterns...))
+	}
+	if err != nil {
+		return "", fmt.Errorf("lint: escapecheck build: %v\n%s", err, out)
+	}
+	return out, nil
+}
+
+// escapeSites parses compiler output and keeps the heap escapes that
+// land inside hot-path functions, deduplicated and entry-sorted.
+func escapeSites(p *Program, compilerOut string) []escapeSite {
+	ranges := p.hotRanges()
+	seen := make(map[string]bool)
+	var out []escapeSite
+	for _, raw := range strings.Split(compilerOut, "\n") {
+		m := escapeLineRe.FindStringSubmatch(raw)
+		if m == nil {
+			continue
+		}
+		msg, ok := escapeMessage(m[4])
+		if !ok {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(p.Dir, file)
+		}
+		line, _ := strconv.Atoi(m[2])
+		for _, hr := range ranges[file] {
+			if line < hr.start || line > hr.end {
+				continue
+			}
+			entry := fmt.Sprintf("%s %s: %s", hr.pkgPath, hr.display, msg)
+			if !seen[entry] {
+				seen[entry] = true
+				out = append(out, escapeSite{entry: entry, file: file, line: line})
+			}
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].entry < out[j].entry })
+	return out
+}
+
+// EscapeEntries computes the current escape budget: one sorted entry per
+// distinct compiler-reported heap escape inside the hot-path closure.
+func EscapeEntries(p *Program) ([]string, error) {
+	compilerOut, err := runEscapeAnalysis(p)
+	if err != nil {
+		return nil, err
+	}
+	sites := escapeSites(p, compilerOut)
+	entries := make([]string, len(sites))
+	for i, s := range sites {
+		entries[i] = s.entry
+	}
+	return entries, nil
+}
+
+const escapeBudgetHeader = `# uslint escape budget: heap escapes the Go compiler (-gcflags=-m=2)
+# reports inside //uslint:hotpath functions and their transitive
+# callees. Every entry is a reviewed, justified allocation (amortized
+# scratch growth, cold error paths); escapecheck fails on any escape not
+# listed here and on any entry the compiler no longer produces.
+# Regenerate: go run ./cmd/uslint -write-escape-budget ./...
+`
+
+// WriteEscapeBudget regenerates the golden budget file.
+func WriteEscapeBudget(p *Program, path string) error {
+	entries, err := EscapeEntries(p)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(escapeBudgetHeader)
+	for _, e := range entries {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// readEscapeBudget parses the golden file into entry -> line number.
+func readEscapeBudget(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: escapecheck budget: %w", err)
+	}
+	entries := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries[line] = i + 1
+	}
+	return entries, nil
+}
+
+// entryPkg extracts the package path an entry belongs to (its first
+// space-separated field).
+func entryPkg(entry string) string {
+	pkg, _, _ := strings.Cut(entry, " ")
+	return pkg
+}
+
+// diffEscapeBudget compares the computed sites against the golden
+// entries. Stale-entry checks are restricted to packages actually in the
+// program, so linting a subtree does not spuriously report the rest of
+// the budget as stale.
+func diffEscapeBudget(p *Program, sites []escapeSite, budget map[string]int, budgetPath string) []Diagnostic {
+	loaded := make(map[string]bool, len(p.Pkgs))
+	for _, pkg := range p.Pkgs {
+		loaded[pkg.Path] = true
+	}
+	var out []Diagnostic
+	for _, s := range sites {
+		if _, ok := budget[s.entry]; ok {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+			Analyzer: escapeCheckName,
+			Message: fmt.Sprintf("heap escape not in budget: %s (justify and regenerate %s with uslint -write-escape-budget)",
+				s.entry, budgetPath),
+		})
+	}
+	produced := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		produced[s.entry] = true
+	}
+	for entry, line := range budget {
+		if produced[entry] || !loaded[entryPkg(entry)] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      token.Position{Filename: budgetPath, Line: line, Column: 1},
+			Analyzer: escapeCheckName,
+			Message:  fmt.Sprintf("stale budget entry no longer produced by the compiler: %s (regenerate with uslint -write-escape-budget)", entry),
+		})
+	}
+	return out
+}
+
+// EscapeCheck runs the compiler-backed escape verifier against the
+// golden budget at budgetPath and returns the surviving diagnostics.
+// Allow directives apply as usual: a line-level
+// `//uslint:allow escapecheck` at the escape site suppresses the
+// finding, though the budget itself is the intended mechanism.
+func EscapeCheck(p *Program, budgetPath string) ([]Diagnostic, error) {
+	budget, err := readEscapeBudget(budgetPath)
+	if err != nil {
+		return nil, err
+	}
+	compilerOut, err := runEscapeAnalysis(p)
+	if err != nil {
+		return nil, err
+	}
+	sites := escapeSites(p, compilerOut)
+	var out []Diagnostic
+	for _, d := range diffEscapeBudget(p, sites, budget, budgetPath) {
+		if !p.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}

@@ -1,8 +1,13 @@
-// Package lint is a custom static-analysis suite that locks in the two
-// invariants PR 1 established by hand: the engine's per-cycle path stays
-// allocation-free, and experiment sweeps stay deterministic. A third
-// analyzer keeps the vlsi package's delay/area formulas honest about
-// where technology numbers come from.
+// Package lint is a custom static-analysis suite that locks in the
+// invariants earlier PRs established by hand: the engine's per-cycle
+// path stays allocation-free (hotpathalloc), experiment sweeps stay
+// deterministic (detorder), vlsi formulas take technology numbers from
+// vlsi.Tech (techonly), cancellation flows through explicit contexts
+// (ctxflow), durable artifacts are written crash-atomically
+// (atomicwrite), and SoA bitmaps are mutated only through the bitvec
+// primitives (bitvecsafe). A compiler-backed verifier (escapecheck,
+// escape.go) cross-checks hotpathalloc's AST approximation against the
+// Go compiler's own escape analysis.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer / Pass / Diagnostic) but is built on the standard library
@@ -18,14 +23,15 @@
 //	    hot-path root. hotpathalloc checks it and every statically
 //	    resolvable callee for heap allocations.
 //
-//	//uslint:allow <analyzer> [-- reason]
-//	    Suppresses one analyzer. Placement decides scope: in a file's
-//	    header (before the package clause) it exempts the whole file;
-//	    in a function declaration's doc comment it exempts the function
-//	    (and stops hotpathalloc's callee traversal there); trailing on
-//	    a line, or alone on the line above, it exempts that line.
-//	    The reason is required by convention: an allow is a reviewed,
-//	    justified escape, not an off switch.
+//	//uslint:allow <analyzer>[,<analyzer>...] [-- reason]
+//	    Suppresses the named analyzers (comma-separated when one line
+//	    draws findings from several). Placement decides scope: in a
+//	    file's header (before the package clause) it exempts the whole
+//	    file; in a function declaration's doc comment it exempts the
+//	    function (and stops hotpathalloc's callee traversal there);
+//	    trailing on a line, or alone on the line above, it exempts that
+//	    line. The reason is required by convention: an allow is a
+//	    reviewed, justified escape, not an off switch.
 package lint
 
 import (
@@ -62,9 +68,11 @@ type Analyzer struct {
 	Run  func(prog *Program, pkg *Package) []Diagnostic
 }
 
-// All returns the uslint analyzer suite.
+// All returns the uslint analyzer suite. The escapecheck verifier is
+// not an Analyzer — it shells out to the compiler and can fail — and
+// runs separately via EscapeCheck.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, DetOrder, TechOnly}
+	return []*Analyzer{HotPathAlloc, DetOrder, TechOnly, CtxFlow, AtomicWrite, BitvecSafe}
 }
 
 // Package is one type-checked package under analysis.
@@ -96,6 +104,12 @@ type fileDirectives struct {
 type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+
+	// Dir and Patterns record how Load enumerated the program; the
+	// escapecheck verifier reruns the compiler with the same view.
+	// Both are empty for fixture programs assembled with NewProgram.
+	Dir      string
+	Patterns []string
 
 	funcs map[*types.Func]*FuncInfo
 	dirs  map[string]*fileDirectives // keyed by filename
@@ -135,11 +149,38 @@ func directive(c *ast.Comment) (verb, args string, ok bool) {
 	return verb, strings.TrimSpace(args), true
 }
 
-// allowName extracts the analyzer name from an allow directive's
-// arguments, dropping the "-- reason" tail.
-func allowName(args string) string {
-	name, _, _ := strings.Cut(args, "--")
-	return strings.TrimSpace(name)
+// allowNames extracts the analyzer names from an allow directive's
+// arguments — a comma-separated list — dropping the "-- reason" tail.
+func allowNames(args string) []string {
+	list, _, _ := strings.Cut(args, "--")
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// codeLines records which lines of a file contain non-comment tokens, so
+// the directive index can tell a trailing allow (code on its line) from
+// a standalone line-above allow (comment alone on the line).
+func (p *Program) codeLines(f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		if n.Pos().IsValid() {
+			lines[p.Fset.Position(n.Pos()).Line] = true
+		}
+		if n.End().IsValid() {
+			lines[p.Fset.Position(n.End()-1).Line] = true
+		}
+		return true
+	})
+	return lines
 }
 
 func (p *Program) indexDirectives(f *ast.File) {
@@ -156,27 +197,35 @@ func (p *Program) indexDirectives(f *ast.File) {
 		p.dirs[tf.Name()] = d
 	}
 	pkgLine := p.Fset.Position(f.Package).Line
+	code := p.codeLines(f)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			verb, args, ok := directive(c)
 			if !ok || verb != "allow" {
 				continue
 			}
-			name := allowName(args)
-			if name == "" {
+			names := allowNames(args)
+			if len(names) == 0 {
 				continue
 			}
 			line := p.Fset.Position(c.Pos()).Line
-			if line < pkgLine {
-				d.fileAllow[name] = true
-				continue
-			}
-			// Cover both the trailing-comment and the line-above styles.
-			for _, l := range []int{line, line + 1} {
-				if d.lineAllow[l] == nil {
-					d.lineAllow[l] = make(map[string]bool)
+			switch {
+			case line < pkgLine:
+				for _, name := range names {
+					d.fileAllow[name] = true
 				}
-				d.lineAllow[l][name] = true
+				continue
+			case code[line]:
+				// Trailing comment: exempts exactly its own line.
+			default:
+				// Standalone comment: exempts the line below it.
+				line++
+			}
+			if d.lineAllow[line] == nil {
+				d.lineAllow[line] = make(map[string]bool)
+			}
+			for _, name := range names {
+				d.lineAllow[line][name] = true
 			}
 		}
 	}
@@ -203,7 +252,7 @@ func (p *Program) indexFuncs(pkg *Package, f *ast.File) {
 				case "hotpath":
 					fi.Hotpath = true
 				case "allow":
-					if name := allowName(args); name != "" {
+					for _, name := range allowNames(args) {
 						fi.Allowed[name] = true
 					}
 				}
@@ -289,6 +338,12 @@ func (p *Program) Lint(analyzers ...*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -302,7 +357,6 @@ func (p *Program) Lint(analyzers ...*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }
 
 // report builds a Diagnostic at an AST node.
@@ -321,4 +375,8 @@ const (
 	hotPathAllocName = "hotpathalloc"
 	detOrderName     = "detorder"
 	techOnlyName     = "techonly"
+	ctxFlowName      = "ctxflow"
+	atomicWriteName  = "atomicwrite"
+	bitvecSafeName   = "bitvecsafe"
+	escapeCheckName  = "escapecheck"
 )

@@ -118,11 +118,58 @@ func TestTechOnlyFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "techonly"), "ultrascalar/internal/vlsi", lint.TechOnly)
 }
 
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "ctxflow"), "ultrascalar/internal/exp", lint.CtxFlow)
+}
+
+func TestAtomicWriteFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "atomicwrite"), "ultrascalar/internal/serve", lint.AtomicWrite)
+}
+
+func TestBitvecSafeFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "bitvecsafe"), "ultrascalar/internal/core", lint.BitvecSafe)
+}
+
 // TestDetOrderServeScope runs the same fixture under the serve import
 // path: handler/manager code is under the determinism contract too, so
 // every expectation must fire there as well.
 func TestDetOrderServeScope(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "detorder"), "ultrascalar/internal/serve", lint.DetOrder)
+}
+
+// TestDetOrderFaultScope and TestDetOrderObsScope pin the scope
+// extension to the fault and obs packages: campaign plans, fault reports
+// and emitted artifacts are all specified byte-identical per seed.
+func TestDetOrderFaultScope(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "detorder"), "ultrascalar/internal/fault", lint.DetOrder)
+}
+
+func TestDetOrderObsScope(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "detorder"), "ultrascalar/internal/obs", lint.DetOrder)
+}
+
+// TestCtxFlowScope and TestAtomicWriteScope and TestBitvecSafeScope
+// type-check their fixtures under out-of-scope import paths: the same
+// constructs draw no findings outside the contract packages.
+func TestCtxFlowScope(t *testing.T) {
+	prog, _ := loadFixture(t, filepath.Join("testdata", "ctxflow"), "example.com/elsewhere")
+	if diags := prog.Lint(lint.CtxFlow); len(diags) != 0 {
+		t.Fatalf("out-of-scope package drew %d findings: %v", len(diags), diags)
+	}
+}
+
+func TestAtomicWriteScope(t *testing.T) {
+	prog, _ := loadFixture(t, filepath.Join("testdata", "atomicwrite"), "example.com/elsewhere")
+	if diags := prog.Lint(lint.AtomicWrite); len(diags) != 0 {
+		t.Fatalf("out-of-scope package drew %d findings: %v", len(diags), diags)
+	}
+}
+
+func TestBitvecSafeScope(t *testing.T) {
+	prog, _ := loadFixture(t, filepath.Join("testdata", "bitvecsafe"), "example.com/elsewhere")
+	if diags := prog.Lint(lint.BitvecSafe); len(diags) != 0 {
+		t.Fatalf("out-of-scope package drew %d findings: %v", len(diags), diags)
+	}
 }
 
 // TestDetOrderScope type-checks the detorder fixture under an

@@ -19,6 +19,7 @@ type listedPackage struct {
 	Dir        string
 	GoFiles    []string
 	Imports    []string
+	Standard   bool
 }
 
 // Load enumerates the packages matching the patterns (relative to dir),
@@ -35,9 +36,22 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	listed, err := goList(dir, patterns)
+	targets, err := goList(dir, patterns, false)
 	if err != nil {
 		return nil, err
+	}
+	// Type-check the full module-local dependency closure, not just the
+	// matched packages: a subset load (./internal/core/...) still needs
+	// its module-local imports checked by this same load, or the source
+	// importer would re-check shared dependencies and break cross-package
+	// type identity. Only the matched targets are analyzed.
+	listed, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	for _, lp := range targets {
+		isTarget[lp.ImportPath] = true
 	}
 	fset := token.NewFileSet()
 	byPath := make(map[string]*listedPackage, len(listed))
@@ -81,12 +95,14 @@ func Load(dir string, patterns ...string) (*Program, error) {
 			return fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
 		}
 		imp.pkgs[lp.ImportPath] = tpkg
-		pkgs = append(pkgs, &Package{
-			Path:  lp.ImportPath,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
-		})
+		if isTarget[lp.ImportPath] {
+			pkgs = append(pkgs, &Package{
+				Path:  lp.ImportPath,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+			})
+		}
 		return nil
 	}
 	for _, lp := range listed {
@@ -94,7 +110,14 @@ func Load(dir string, patterns ...string) (*Program, error) {
 			return nil, err
 		}
 	}
-	return NewProgram(fset, pkgs), nil
+	prog := NewProgram(fset, pkgs)
+	if abs, err := filepath.Abs(dir); err == nil {
+		prog.Dir = abs
+	} else {
+		prog.Dir = dir
+	}
+	prog.Patterns = patterns
+	return prog, nil
 }
 
 // newInfo allocates the types.Info maps the analyzers consume.
@@ -108,9 +131,15 @@ func newInfo() *types.Info {
 }
 
 // goList shells out to the go tool for package enumeration — the one
-// piece of module logic not worth reimplementing.
-func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-json"}, patterns...)
+// piece of module logic not worth reimplementing. With deps it also
+// returns the patterns' dependency closure, minus the standard library
+// (checked from source by the fallback importer on demand).
+func goList(dir string, patterns []string, deps bool) ([]*listedPackage, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -125,6 +154,9 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 		lp := new(listedPackage)
 		if err := dec.Decode(lp); err != nil {
 			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if lp.Standard {
+			continue
 		}
 		out = append(out, lp)
 	}

@@ -1,0 +1,42 @@
+// Package artifacts is an atomicwrite fixture, loaded under the path
+// ultrascalar/internal/serve so the analyzer's scope applies.
+package artifacts
+
+import (
+	"bufio"
+	"os"
+)
+
+func writeRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile writes the destination in place"
+}
+
+func createRaw(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create truncates the destination in place"
+}
+
+func openRaw(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want "os.OpenFile opens the destination for in-place writing"
+}
+
+func buffered(f *os.File) *bufio.Writer {
+	return bufio.NewWriter(f) // want "bufio.NewWriter buffers writes that are lost or torn on crash"
+}
+
+func bufferedSized(f *os.File) *bufio.Writer {
+	return bufio.NewWriterSize(f, 1<<16) // want "bufio.NewWriterSize buffers writes that are lost or torn on crash"
+}
+
+// Reads are outside the contract.
+func readsAreFine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func scannersAreFine(f *os.File) *bufio.Scanner {
+	return bufio.NewScanner(f)
+}
+
+// allowedDump is a reviewed, best-effort raw write.
+func allowedDump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) //uslint:allow atomicwrite -- fixture: best-effort debug dump, loss tolerated
+}

@@ -1,0 +1,57 @@
+package core
+
+import "math/bits"
+
+type stations struct {
+	busy  bitvec
+	ready bitvec
+}
+
+// scan reads words directly — the sanctioned word-at-a-time idiom the
+// SoA layout exists for.
+func (st *stations) scan() int {
+	n := 0
+	for w := range st.busy {
+		n += bits.OnesCount64(st.busy[w] &^ st.ready[w])
+	}
+	return n
+}
+
+// retire mutates through the primitives: fine.
+func (st *stations) retire(i int) {
+	st.busy.clear(i)
+	st.ready.clear(i)
+}
+
+func (st *stations) corrupt(w int, mask uint64) {
+	st.busy[w] |= mask // want "direct bitvec word write"
+}
+
+func (st *stations) assign(w int, v uint64) {
+	st.ready[w] = v // want "direct bitvec word write"
+}
+
+func (st *stations) bump(w int) {
+	st.busy[w]++ // want "direct bitvec word write"
+}
+
+func (st *stations) alias(w int) *uint64 {
+	return &st.busy[w] // want "taking the address of a bitvec word"
+}
+
+func (st *stations) grow() {
+	st.busy = append(st.busy, 0) // want "append to a bitvec abandons its arena-carved backing array"
+}
+
+func (st *stations) launder() []uint64 {
+	return []uint64(st.busy) // want "converting a bitvec to ..uint64 launders it"
+}
+
+// plain []uint64 words are not bitvecs: out of the rule's reach.
+func rawWords(w []uint64, mask uint64) {
+	w[0] |= mask
+}
+
+func (st *stations) allowedInit(w int, mask uint64) {
+	st.busy[w] |= mask //uslint:allow bitvecsafe -- fixture: reviewed bulk initialization
+}

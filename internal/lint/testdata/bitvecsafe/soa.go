@@ -1,0 +1,17 @@
+// Package core is a bitvecsafe fixture, loaded under the path
+// ultrascalar/internal/core so the analyzer's scope applies. This file
+// plays the role of the real soa.go: it defines the bitvec type and its
+// mutation primitives, and is exempt from the rule by filename.
+package core
+
+type bitvec []uint64
+
+func (b bitvec) get(i int) bool { return b[i>>6]>>(uint(i)&63)&1 != 0 }
+func (b bitvec) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitvec) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+func (b bitvec) clearRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b.clear(i)
+	}
+}

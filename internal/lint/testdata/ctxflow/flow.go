@@ -1,0 +1,80 @@
+// Package flow is a ctxflow fixture, loaded under the path
+// ultrascalar/internal/exp so the analyzer's scope applies.
+package flow
+
+import "context"
+
+// RunAllCtx is the boundary entry point: exported, ctx-taking. Once it
+// holds a ctx it must not manufacture another root.
+func RunAllCtx(ctx context.Context, n int) int {
+	if n < 0 {
+		ctx = context.Background() // want "re-roots the context inside RunAllCtx"
+	}
+	return stepCtx(ctx, n)
+}
+
+// RunAll is the sanctioned convenience twin: F calling FCtx with a fresh
+// root IS the API boundary.
+func RunAll(n int) int {
+	return RunAllCtx(context.Background(), n)
+}
+
+// Broken launches cancellable work without accepting a context and is
+// not anyone's Ctx twin.
+func Broken(n int) int {
+	return stepCtx(context.Background(), n) // want "exported Broken launches cancellable work"
+}
+
+// stepCtx holds a ctx, so calling the ctx-less helper when helperCtx
+// exists drops cancellation mid-stack.
+func stepCtx(ctx context.Context, n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return sum
+		}
+		sum += helper(i) // want "helper drops the ctx held by stepCtx; call helperCtx instead"
+		sum += helperCtx(ctx, i)
+	}
+	return sum
+}
+
+func helper(n int) int { return n }
+
+func helperCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// lowLevel is below the API boundary: it must receive its context, not
+// root one.
+func lowLevel(n int) int {
+	ctx := context.Background() // want "context.Background below the API boundary in unexported lowLevel"
+	return helperCtx(ctx, n)
+}
+
+// launch checks that closures inherit the enclosing function's boundary
+// status: a goroutine body inside an unexported helper is still below
+// the boundary.
+func launch(n int) {
+	go func() {
+		_ = helperCtx(context.TODO(), n) // want "context.TODO below the API boundary in unexported launch"
+	}()
+}
+
+// jobRoot is a reviewed, deliberate root.
+func jobRoot(n int) int {
+	ctx := context.Background() //uslint:allow ctxflow -- fixture: detached job root outliving its caller
+	return helperCtx(ctx, n)
+}
+
+// onlyVariant has no ctx-less twin trap: calling a ctx-less function
+// with no Ctx sibling from a ctx holder is fine (nothing to upgrade to).
+func onlyVariant(ctx context.Context, n int) int {
+	_ = ctx
+	return helper2(n)
+}
+
+func helper2(n int) int { return n }

@@ -189,7 +189,7 @@ func WriteChromeTrace(w io.Writer, man Manifest, events []Event, name func(pc in
 	}
 	sortedSlots := make([]int32, 0, len(slots))
 	for s := range slots {
-		sortedSlots = append(sortedSlots, s)
+		sortedSlots = append(sortedSlots, s) //uslint:allow detorder -- keys are sorted on the next line; collection order cannot reach the output
 	}
 	sort.Slice(sortedSlots, func(i, j int) bool { return sortedSlots[i] < sortedSlots[j] })
 	for _, s := range sortedSlots {

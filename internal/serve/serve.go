@@ -537,7 +537,10 @@ func (m *Manager) runJob(id string) {
 	if timeout > m.cfg.MaxTimeout {
 		timeout = m.cfg.MaxTimeout
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	// Jobs outlive the HTTP request that submitted them, so the manager —
+	// not the handler — is each job's context root; Stop/drain cancels
+	// through m.cancels.
+	ctx, cancel := context.WithTimeout(context.Background(), timeout) //uslint:allow ctxflow -- the manager is the job's context root; jobs outlive their submitting request
 	m.cancels[id] = cancel
 	req := job.Request
 	m.mu.Unlock()
