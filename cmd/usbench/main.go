@@ -43,12 +43,17 @@ type EngineResult struct {
 }
 
 // SweepResult compares serial and parallel experiment-sweep wall-clock.
+// The task-latency quantiles come from the worker-pool histogram
+// (present only when -metrics gathered one).
 type SweepResult struct {
 	Workers    int     `json:"workers"`
 	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
 	SerialMs   float64 `json:"serial_ms"`
 	ParallelMs float64 `json:"parallel_ms"`
 	Speedup    float64 `json:"speedup"`
+	TaskP50Ms  float64 `json:"task_p50_ms,omitempty"`
+	TaskP90Ms  float64 `json:"task_p90_ms,omitempty"`
+	TaskP99Ms  float64 `json:"task_p99_ms,omitempty"`
 }
 
 // Report is the written JSON document.
@@ -139,6 +144,10 @@ func compare(old, new Report, tol float64) []string {
 		}
 	}
 	check("steady_state", old.SteadyState.NsPerCycle, new.SteadyState.NsPerCycle)
+	if new.Sweep.TaskP50Ms > 0 {
+		fmt.Printf("  %-24s P50 %.2f  P90 %.2f  P99 %.2f ms (informational)\n",
+			"sweep task latency", new.Sweep.TaskP50Ms, new.Sweep.TaskP90Ms, new.Sweep.TaskP99Ms)
+	}
 	return regressions
 }
 
@@ -232,6 +241,13 @@ func main() {
 		SerialMs:   float64(serial.Microseconds()) / 1e3,
 		ParallelMs: float64(parallel.Microseconds()) / 1e3,
 		Speedup:    float64(serial) / float64(parallel),
+	}
+	if poolReg != nil {
+		if hv, ok := poolReg.Peek(0).Histograms["exp.task_ms"]; ok && hv.Count > 0 {
+			rep.Sweep.TaskP50Ms = hv.Quantile(0.50)
+			rep.Sweep.TaskP90Ms = hv.Quantile(0.90)
+			rep.Sweep.TaskP99Ms = hv.Quantile(0.99)
+		}
 	}
 
 	if poolReg != nil {

@@ -7,7 +7,13 @@
 //
 // Endpoints (see the README "Serving" section): /healthz, /readyz,
 // /jobs (POST submit, GET list), /jobs/{id} (GET status, DELETE
-// cancel), /jobs/{id}/report, /metrics.
+// cancel), /jobs/{id}/report, /jobs/{id}/progress (?stream=1 for
+// NDJSON), /metrics (?format=prom for Prometheus text exposition), and
+// /debug/pprof/ behind -pprof.
+//
+// Telemetry flags: -log writes structured JSONL (one trace ID per job
+// across every span of its lifecycle), -trace-dir exports a Chrome
+// trace-event file per finished job, -pprof mounts the profiler.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"ultrascalar/internal/obs"
+	obslog "ultrascalar/internal/obs/log"
 	"ultrascalar/internal/serve"
 )
 
@@ -35,11 +43,38 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits before hard-canceling jobs")
 	breakerN := flag.Int("breaker-threshold", 3, "consecutive livelock/timeout failures that trip a config class")
 	breakerCool := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped class rejects jobs")
+	logPath := flag.String("log", "", "structured JSONL log file (\"-\" for stderr, empty = off)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	traceDir := flag.String("trace-dir", "", "directory for per-job Chrome trace-event files (empty = off)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "usserve: "+format+"\n", args...)
 		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+	var logger *obslog.Logger
+	if *logPath != "" {
+		level, ok := obslog.LevelFromString(*logLevel)
+		if !ok {
+			fail("unknown log level %q (want debug, info, warn or error)", *logLevel)
+		}
+		var w io.Writer = os.Stderr
+		if *logPath != "-" {
+			f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail("opening log: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		logger = obslog.New(w, obslog.Options{Level: level, Clock: time.Now}) //uslint:allow detorder -- log timestamps are telemetry, never report input
+	}
+	var spans *obslog.SpanRecorder
+	if logger != nil || *traceDir != "" {
+		spans = obslog.NewSpanRecorder(obslog.SpanOptions{Logger: logger, Metrics: reg, Clock: time.Now}) //uslint:allow detorder -- span timing is what tracing measures
 	}
 
 	mgr, err := serve.New(serve.Config{
@@ -50,7 +85,11 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		BreakerThreshold: *breakerN,
 		BreakerCooldown:  *breakerCool,
-		Metrics:          obs.NewRegistry(),
+		Metrics:          reg,
+		Log:              logger,
+		Spans:            spans,
+		TraceDir:         *traceDir,
+		EnablePprof:      *enablePprof,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -14,6 +14,7 @@ import (
 	"ultrascalar/internal/fault"
 	"ultrascalar/internal/hybrid"
 	"ultrascalar/internal/isa"
+	obslog "ultrascalar/internal/obs/log"
 	"ultrascalar/internal/ref"
 	"ultrascalar/internal/ultra1"
 	"ultrascalar/internal/ultra2"
@@ -59,6 +60,11 @@ type FaultCampaignConfig struct {
 	// Checkpoint is the shard checkpoint file path ("" disables
 	// checkpointing).
 	Checkpoint string
+	// Progress, when set, observes shard completion: it is called once
+	// at campaign start and once after every shard settles (resumed from
+	// checkpoint or freshly run) with the completed and total counts.
+	// Purely observational — it must not influence results.
+	Progress func(done, total int)
 }
 
 // FaultWorkloads returns the default campaign suite: small kernels that
@@ -219,6 +225,27 @@ func RunFaultCampaignCtx(ctx context.Context, cfg FaultCampaignConfig) (*fault.R
 		Detect: cfg.Detect.String(), Shards: len(shards), Resumed: len(ck.done),
 	}
 
+	// Telemetry rides on the context: the serve layer roots a trace ID,
+	// span recorder and logger there, and each shard reports its own
+	// span. All of it is observational — nothing below may feed back into
+	// the report, which stays a pure function of cfg.
+	trace := obslog.TraceIDFrom(ctx)
+	rec := obslog.RecorderFrom(ctx)
+	lg := obslog.LoggerFrom(ctx).With("campaign").WithTrace(trace)
+	completed := 0
+	settle := func() {
+		completed++
+		if cfg.Progress != nil {
+			cfg.Progress(completed, len(shards))
+		}
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(0, len(shards))
+	}
+	lg.Info("campaign start",
+		obslog.Int("shards", len(shards)), obslog.Int("resumed", len(ck.done)),
+		obslog.Int64("seed", cfg.Seed), obslog.Int("window", cfg.Window))
+
 	// Golden results are arch-independent; clean engine baselines are
 	// cached per (arch, workload).
 	goldens := make([]*ref.Result, len(wls))
@@ -242,6 +269,7 @@ func RunFaultCampaignCtx(ctx context.Context, cfg FaultCampaignConfig) (*fault.R
 	for si, sh := range shards {
 		if cell, ok := ck.done[sh.key()]; ok {
 			rep.Cells = append(rep.Cells, cell)
+			settle()
 			continue
 		}
 		if ctx != nil {
@@ -265,16 +293,28 @@ func RunFaultCampaignCtx(ctx context.Context, cfg FaultCampaignConfig) (*fault.R
 			cleans[cleanKey] = clean
 		}
 
+		sp := rec.Start(trace, "shard", sh.key())
 		cell, err := runShard(ctx, sh, si, cfg, ecfg, clean, golden)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		rep.Cells = append(rep.Cells, cell)
-		if err := ck.record(sh.key(), cell); err != nil {
+		cksp := rec.Start(trace, "checkpoint", sh.key())
+		err = ck.record(sh.key(), cell)
+		cksp.End()
+		if err != nil {
 			return nil, err
+		}
+		settle()
+		if lg.Enabled(obslog.LevelDebug) {
+			lg.Debug("shard done",
+				obslog.String("shard", sh.key()),
+				obslog.Int("done", completed), obslog.Int("total", len(shards)))
 		}
 	}
 	rep.SortCells()
+	lg.Info("campaign done", obslog.Int("shards", len(shards)))
 	return rep, nil
 }
 

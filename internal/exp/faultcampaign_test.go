@@ -1,12 +1,16 @@
 package exp
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"ultrascalar/internal/fault"
+	obslog "ultrascalar/internal/obs/log"
 	"ultrascalar/internal/workload"
 )
 
@@ -173,5 +177,80 @@ func TestFaultCampaignValidation(t *testing.T) {
 	cfg.Archs = []string{"ultra3"}
 	if _, err := RunFaultCampaign(cfg); err == nil {
 		t.Error("unknown architecture accepted")
+	}
+}
+
+// TestFaultCampaignProgressAndTelemetry: the Progress callback reports
+// a monotonic shard count from (0, total) to (total, total), a
+// context-carried logger and span recorder observe every shard under
+// one trace ID, and none of it changes a byte of the report.
+func TestFaultCampaignProgressAndTelemetry(t *testing.T) {
+	cfg := testCampaign()
+	plain, err := RunFaultCampaign(cfg)
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	want := renderReport(t, plain)
+
+	type call struct{ done, total int }
+	var mu sync.Mutex
+	var calls []call
+	cfg.Progress = func(done, total int) {
+		mu.Lock()
+		calls = append(calls, call{done, total})
+		mu.Unlock()
+	}
+
+	var logBuf bytes.Buffer
+	lg := obslog.New(&logBuf, obslog.Options{Level: obslog.LevelDebug})
+	rec := obslog.NewSpanRecorder(obslog.SpanOptions{})
+	trace := obslog.DeriveTraceID("job-000042")
+	ctx := obslog.WithLogger(obslog.WithRecorder(obslog.WithTraceID(context.Background(), trace), rec), lg)
+
+	traced, err := RunFaultCampaignCtx(ctx, cfg)
+	if err != nil {
+		t.Fatalf("traced campaign: %v", err)
+	}
+	if got := renderReport(t, traced); got != want {
+		t.Errorf("telemetry changed the report bytes:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+
+	if len(calls) == 0 {
+		t.Fatal("Progress never called")
+	}
+	total := calls[0].total
+	if calls[0].done != 0 || total == 0 {
+		t.Fatalf("first Progress call = %+v, want (0, total>0)", calls[0])
+	}
+	prev := -1
+	for _, c := range calls {
+		if c.total != total {
+			t.Fatalf("Progress total changed mid-campaign: %+v", c)
+		}
+		if c.done <= prev {
+			t.Fatalf("Progress not monotonic: %d after %d", c.done, prev)
+		}
+		prev = c.done
+	}
+	if last := calls[len(calls)-1]; last.done != total {
+		t.Errorf("final Progress call = %+v, want done == total", last)
+	}
+
+	shardSpans := 0
+	for _, ev := range rec.Events(trace) {
+		if ev.Name == "shard" {
+			shardSpans++
+		}
+	}
+	if shardSpans != total {
+		t.Errorf("%d shard spans on the trace, want %d", shardSpans, total)
+	}
+	for _, msg := range []string{"campaign start", "campaign done"} {
+		if !strings.Contains(logBuf.String(), `"msg":"`+msg+`"`) {
+			t.Errorf("log missing %q", msg)
+		}
+	}
+	if !strings.Contains(logBuf.String(), `"trace":"`+string(trace)+`"`) {
+		t.Error("log lines do not carry the campaign trace ID")
 	}
 }

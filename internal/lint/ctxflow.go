@@ -10,8 +10,10 @@ import (
 // stack: work that can run for a long time is bounded by exactly one
 // context.Context, rooted at the API boundary and passed down — never
 // re-rooted below it. It applies to ultrascalar/internal/exp,
-// internal/serve and internal/fault, the three packages whose entry
-// points launch simulations, sweeps and campaigns.
+// internal/serve and internal/fault — the three packages whose entry
+// points launch simulations, sweeps and campaigns — and to
+// internal/obs/log, whose context carriers (trace IDs, recorders,
+// loggers) ride the same ctx and must never re-root it.
 //
 // Flagged constructs:
 //   - context.Background()/context.TODO() inside a function that already
@@ -45,7 +47,8 @@ var CtxFlow = &Analyzer{
 func ctxFlowScope(path string) bool {
 	return path == "ultrascalar/internal/exp" ||
 		path == "ultrascalar/internal/serve" ||
-		path == "ultrascalar/internal/fault"
+		path == "ultrascalar/internal/fault" ||
+		path == "ultrascalar/internal/obs/log"
 }
 
 // isContextType reports whether t is context.Context.

@@ -10,7 +10,7 @@ import (
 // parallel sweep must be byte-identical to a serial one) and keeps the
 // command-line tools honest about wall-clock and randomness. It applies
 // to ultrascalar/internal/exp, internal/serve, internal/fault,
-// internal/obs and every ultrascalar/cmd package.
+// internal/obs, internal/obs/log and every ultrascalar/cmd package.
 //
 // Flagged constructs:
 //   - time.Now — results must not depend on when they were computed. The
@@ -36,12 +36,16 @@ var DetOrder = &Analyzer{
 // allow-marked at the Clock default. The fault and obs packages are in
 // scope because campaign plans, fault reports and every emitted artifact
 // (traces, metrics, manifests) are specified to be byte-identical given
-// the same seed and config.
+// the same seed and config. The obs/log package is in scope because a
+// log line's bytes are a pure function of the call — timestamps only
+// through an injected clock, sampling by deterministic counter, never
+// randomness or wall time.
 func detOrderScope(path string) bool {
 	return path == "ultrascalar/internal/exp" ||
 		path == "ultrascalar/internal/serve" ||
 		path == "ultrascalar/internal/fault" ||
 		path == "ultrascalar/internal/obs" ||
+		path == "ultrascalar/internal/obs/log" ||
 		strings.HasPrefix(path, "ultrascalar/cmd/")
 }
 

@@ -148,6 +148,20 @@ func TestDetOrderObsScope(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "detorder"), "ultrascalar/internal/obs", lint.DetOrder)
 }
 
+// TestDetOrderObsLogScope pins the scope extension to the logging
+// package: a log line's bytes are a pure function of the call, so the
+// fixture's wall-clock, global-rand and map-order shapes must all fire
+// under the obs/log import path too.
+func TestDetOrderObsLogScope(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "detorder"), "ultrascalar/internal/obs/log", lint.DetOrder)
+}
+
+// TestCtxFlowObsLogScope does the same for the cancellation contract:
+// the logging package's context carriers must not re-root contexts.
+func TestCtxFlowObsLogScope(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "ctxflow"), "ultrascalar/internal/obs/log", lint.CtxFlow)
+}
+
 // TestCtxFlowScope and TestAtomicWriteScope and TestBitvecSafeScope
 // type-check their fixtures under out-of-scope import paths: the same
 // constructs draw no findings outside the contract packages.

@@ -1,0 +1,64 @@
+// The logging shapes below mirror internal/obs/log, which the detorder
+// contract covers: a log line's bytes must be a pure function of the
+// call. Timestamps come only from an injected clock (nil = none),
+// sampling decisions from a deterministic counter — never from wall
+// time or the global rand — and multi-field encoders iterate fields in
+// caller order, never map order.
+package sweep
+
+import (
+	"math/rand"
+	"time"
+)
+
+type logSink struct {
+	clock func() time.Time
+	n     uint64
+}
+
+// stampInjected is the disciplined shape: the timestamp, when present,
+// comes from the injected clock.
+func (s *logSink) stampInjected() int64 {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock().UnixNano()
+}
+
+// stampWall hardwires wall time into the line — the bytes now depend on
+// when the call happened.
+func (s *logSink) stampWall() int64 {
+	return time.Now().UnixNano() // want "time.Now makes results depend on wall-clock time"
+}
+
+// sampleCounter keeps 1-in-every lines by a deterministic counter: the
+// k-th call's fate is a pure function of k.
+func (s *logSink) sampleCounter(every uint64) bool {
+	s.n++
+	return s.n%every == 1
+}
+
+// sampleRandom thins the stream with the global generator — two
+// identical runs keep different lines.
+func (s *logSink) sampleRandom(every int) bool {
+	return rand.Intn(every) == 0 // want "global math/rand generator is not reproducible"
+}
+
+// encodeCallerOrder renders fields in the order the caller passed them:
+// deterministic bytes.
+func encodeCallerOrder(keys []string, fields map[string]string) []string {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k+"="+fields[k])
+	}
+	return out
+}
+
+// encodeMapOrder renders whatever order the map iterator produces.
+func encodeMapOrder(fields map[string]string) []string {
+	var out []string
+	for k, v := range fields {
+		out = append(out, k+"="+v) // want "inside a range over a map"
+	}
+	return out
+}

@@ -268,3 +268,80 @@ func (s *soaStations) squashStep(lo, hi int) {
 	}
 	s.squashGrowing(lo, hi) // transitively hot: the append above is flagged
 }
+
+// The sampled-logging shapes below mirror internal/obs/log on the
+// engine's warm paths: a nil-safe logger guarded by one Enabled
+// comparison and a deterministic 1-in-N sample counter. The disciplined
+// hook decides *before* building anything — nil test, level test,
+// counter test are all allocation-free — and only then calls the emit
+// routine, which allocates (buffers, locking) but is reviewed as off
+// the measured path and allow-stopped at its declaration. The naive
+// shapes pay for the log line even when it is thrown away: formatting
+// fields before the guard, or collecting them through append.
+
+type logField struct {
+	key string
+	num int64
+}
+
+type hotLogger struct {
+	level   int
+	sampleN uint64
+	every   uint64
+}
+
+// emit is the line encoder: it allocates by design and runs only after
+// every guard has passed.
+//
+//uslint:allow hotpathalloc -- fixture: emit runs only on kept lines, off the measured path
+func (l *hotLogger) emit(msg string, fields ...logField) {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, msg...)
+	_ = buf
+}
+
+// enabled is the one-comparison guard.
+func (l *hotLogger) enabled(level int) bool {
+	return l != nil && level >= l.level
+}
+
+// sampled keeps 1-in-every calls by deterministic counter.
+func (l *hotLogger) sampled() bool {
+	l.sampleN++
+	return l.sampleN%l.every == 1
+}
+
+// logStepOK is the disciplined per-cycle shape: guards first (all
+// allocation-free), fields as plain value structs, emit allow-stopped.
+//
+//uslint:hotpath
+func (l *hotLogger) logStepOK(cycle int64) {
+	if !l.enabled(1) || !l.sampled() {
+		return
+	}
+	l.emit("step", logField{key: "cycle", num: cycle})
+}
+
+// logStepEager formats the line before asking whether anyone wants it.
+//
+//uslint:hotpath
+func (l *hotLogger) logStepEager(cycle int64, name string) {
+	msg := "step " + name // want "string concatenation allocates"
+	if !l.enabled(1) {
+		return
+	}
+	l.emit(msg)
+}
+
+// logStepCollect accumulates fields through append on every call,
+// sampled or not.
+//
+//uslint:hotpath
+func (l *hotLogger) logStepCollect(cycle int64) {
+	var fields []logField
+	fields = append(fields, logField{key: "cycle", num: cycle}) // want "append may grow its backing array"
+	if !l.enabled(1) || !l.sampled() {
+		return
+	}
+	l.emit("step", fields...)
+}

@@ -91,7 +91,10 @@ func ReadJSONL(r io.Reader) (Manifest, []Event, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return man, nil, fmt.Errorf("obs: reading trace: %w", err)
+		// The scanner stops mid-stream (oversized line, read error)
+		// without having surfaced a line: the failure is on the line
+		// after the last one it delivered.
+		return man, nil, fmt.Errorf("obs: line %d: reading trace: %w", line+1, err)
 	}
 	return man, events, nil
 }

@@ -76,6 +76,23 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestReadJSONLErrorsCarryLineNumber(t *testing.T) {
+	// A decode failure mid-stream names the offending line.
+	in := "{\"type\":\"manifest\"}\n{\"type\":\"event\",\"kind\":\"fetch\"}\nnot json\n"
+	_, _, err := ReadJSONL(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("decode error lost its line number: %v", err)
+	}
+	// So does a scanner failure (here: a line past the size bound). The
+	// scanner dies before delivering the line, so the error points one
+	// past the last line it produced.
+	big := "{\"type\":\"manifest\"}\n" + strings.Repeat("x", 1<<24+1) + "\n"
+	_, _, err = ReadJSONL(strings.NewReader(big))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("scanner error lost its line number: %v", err)
+	}
+}
+
 func TestChromeTraceValidatesAndRenders(t *testing.T) {
 	man := Manifest{Tool: "test", Prog: []string{"li r1, 1", "add r2, r1, r1", "halt"}}
 	var buf bytes.Buffer

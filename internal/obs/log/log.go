@@ -1,0 +1,313 @@
+// Package obslog is the serving stack's structured logging and
+// job-scoped tracing layer: a levelled, key-typed, allocation-conscious
+// logger with deterministic JSONL encoding, plus trace/span identity
+// propagated through contexts so every event a job causes — admission,
+// queue wait, shard runs, checkpoints, drain — carries one trace ID
+// from submission to report.
+//
+// Determinism contract (the same discipline as internal/obs artifacts):
+// a log line's bytes are a pure function of the call — field order is
+// caller order, numbers are encoded canonically, and no line carries a
+// timestamp unless a clock was injected. Production servers inject
+// time.Now and get timestamped lines; golden tests inject nothing (or a
+// fake clock) and diff bytes. The logger is a side channel: nothing in
+// a job's report may ever be derived from log state.
+//
+// Hot-path discipline: a nil *Logger is a valid no-op, every method is
+// nil-safe, and Enabled is one comparison — callers on warm paths guard
+// with `if lg.Enabled(...)` so a disabled logger costs neither time nor
+// allocation (the uslint hotpath fixture pins the shape). Sampled
+// loggers thin high-volume call sites (per-request, per-shard) by a
+// deterministic 1-in-N counter, not by randomness or wall time.
+package obslog
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// The levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// levelNames maps levels to their wire names.
+var levelNames = [...]string{"debug", "info", "warn", "error"}
+
+// String returns the level's wire name.
+func (l Level) String() string {
+	if l >= 0 && int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "unknown"
+}
+
+// LevelFromString inverts String; ok is false for unknown names.
+func LevelFromString(s string) (Level, bool) {
+	for i, n := range levelNames {
+		if n == s {
+			return Level(i), true
+		}
+	}
+	return 0, false
+}
+
+// Clock abstracts wall time. A nil clock means "no timestamps": every
+// emitted line is then byte-deterministic, which is what artifact tests
+// and the detorder contract want. Servers inject time.Now explicitly.
+type Clock func() time.Time
+
+// fieldKind discriminates the typed payload of a Field.
+type fieldKind uint8
+
+const (
+	kindString fieldKind = iota
+	kindInt
+	kindFloat
+	kindBool
+	kindDuration
+)
+
+// Field is one key-typed log field. Fields are plain values — building
+// one never allocates — and encode deterministically by kind.
+type Field struct {
+	Key  string
+	kind fieldKind
+	str  string
+	num  int64
+	fl   float64
+}
+
+// String fields render as JSON strings.
+func String(key, v string) Field { return Field{Key: key, kind: kindString, str: v} }
+
+// Int fields render as decimal integers.
+func Int(key string, v int) Field { return Field{Key: key, kind: kindInt, num: int64(v)} }
+
+// Int64 fields render as decimal integers.
+func Int64(key string, v int64) Field { return Field{Key: key, kind: kindInt, num: v} }
+
+// Float fields render in Go's shortest-roundtrip form.
+func Float(key string, v float64) Field { return Field{Key: key, kind: kindFloat, fl: v} }
+
+// Bool fields render as true/false.
+func Bool(key string, v bool) Field {
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	return Field{Key: key, kind: kindBool, num: n}
+}
+
+// Duration fields render as fractional milliseconds with fixed
+// three-decimal precision (canonical across platforms).
+func Duration(key string, d time.Duration) Field {
+	return Field{Key: key, kind: kindDuration, fl: float64(d.Nanoseconds()) / 1e6}
+}
+
+// sink is the shared back end of a logger family: one writer, one
+// encode buffer, one mutex. Every logger derived from the same New call
+// serializes through its sink, so concurrent components interleave at
+// line granularity and the buffer is reused across lines.
+type sink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	clock Clock
+	drops atomic.Int64 // lines lost to write errors
+}
+
+// Options configures a root logger.
+type Options struct {
+	// Level is the minimum level emitted (default LevelInfo).
+	Level Level
+	// Clock stamps lines with a "ts" field; nil omits the field and
+	// makes output byte-deterministic.
+	Clock Clock
+	// Component scopes the root logger ("" for none).
+	Component string
+}
+
+// Logger emits structured JSONL. Loggers are immutable; With, WithTrace
+// and Sampled derive children sharing the parent's sink. The zero value
+// is not usable — construct with New — but a nil *Logger is a valid
+// no-op recorder, so callers hold one unconditionally.
+type Logger struct {
+	s         *sink
+	level     Level
+	component string
+	trace     TraceID
+	every     uint64         // emit 1-in-every calls; 0 or 1 = all
+	n         *atomic.Uint64 // sample counter, shared by copies
+}
+
+// New builds a root logger writing JSONL to w.
+func New(w io.Writer, opts Options) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{
+		s:         &sink{w: w, clock: opts.Clock, buf: make([]byte, 0, 512)},
+		level:     opts.Level,
+		component: opts.Component,
+	}
+}
+
+// Enabled reports whether a line at lv would be emitted. It is the
+// hot-path guard: one nil check and one comparison, no allocation, so
+// `if lg.Enabled(LevelDebug) { lg.Debug(...) }` costs nothing when
+// logging is off or the level is filtered.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.level
+}
+
+// With returns a child logger scoped to the named component. Nested
+// scopes join with "/".
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	if child.component != "" && component != "" {
+		child.component = child.component + "/" + component
+	} else if component != "" {
+		child.component = component
+	}
+	return &child
+}
+
+// WithTrace returns a child logger that stamps every line with the
+// trace ID, tying the line to one job's lifecycle.
+func (l *Logger) WithTrace(id TraceID) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.trace = id
+	return &child
+}
+
+// Sampled returns a child logger that emits only one call in every n —
+// the hot-path thinning knob for per-request and per-shard sites. The
+// counter is deterministic (call-ordinal, not time or randomness): the
+// first call and every nth after it are kept. n <= 1 keeps everything.
+func (l *Logger) Sampled(n int) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	if n <= 1 {
+		child.every, child.n = 0, nil
+		return &child
+	}
+	child.every = uint64(n)
+	child.n = &atomic.Uint64{}
+	return &child
+}
+
+// Drops returns the number of lines lost to writer errors — logging is
+// best-effort by design, but the loss is counted, never silent.
+func (l *Logger) Drops() int64 {
+	if l == nil || l.s == nil {
+		return 0
+	}
+	return l.s.drops.Load()
+}
+
+// Debug emits a debug-level line.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info emits an info-level line.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn emits a warn-level line.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error emits an error-level line.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+// log encodes and writes one line. Field order is caller order after
+// the fixed prefix (ts?, level, component?, trace?, msg), so a given
+// call site always produces the same bytes under the same clock.
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	if l.every > 1 {
+		if l.n.Add(1)%l.every != 1 {
+			return
+		}
+	}
+	s := l.s
+	s.mu.Lock()
+	buf := s.buf[:0]
+	buf = append(buf, '{')
+	if s.clock != nil {
+		buf = append(buf, `"ts":"`...)
+		buf = s.clock().UTC().AppendFormat(buf, time.RFC3339Nano)
+		buf = append(buf, `",`...)
+	}
+	buf = append(buf, `"level":"`...)
+	buf = append(buf, lv.String()...)
+	buf = append(buf, '"')
+	if l.component != "" {
+		buf = append(buf, `,"component":`...)
+		buf = strconv.AppendQuote(buf, l.component)
+	}
+	if l.trace != "" {
+		buf = append(buf, `,"trace":"`...)
+		buf = append(buf, l.trace...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, `,"msg":`...)
+	buf = strconv.AppendQuote(buf, msg)
+	for i := range fields {
+		buf = appendField(buf, &fields[i])
+	}
+	buf = append(buf, '}', '\n')
+	s.buf = buf // keep the (possibly grown) buffer for reuse
+	if _, err := s.w.Write(buf); err != nil {
+		s.drops.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// maxJSONFloat bounds the floats encodable as JSON numbers.
+const maxJSONFloat = 1.7976931348623157e308
+
+// appendField encodes one field as `,"key":value`.
+func appendField(buf []byte, f *Field) []byte {
+	buf = append(buf, ',')
+	buf = strconv.AppendQuote(buf, f.Key)
+	buf = append(buf, ':')
+	switch f.kind {
+	case kindString:
+		buf = strconv.AppendQuote(buf, f.str)
+	case kindInt:
+		buf = strconv.AppendInt(buf, f.num, 10)
+	case kindFloat:
+		if f.fl != f.fl || f.fl > maxJSONFloat || f.fl < -maxJSONFloat {
+			buf = append(buf, "null"...) // NaN/Inf are not JSON numbers
+		} else {
+			buf = strconv.AppendFloat(buf, f.fl, 'g', -1, 64)
+		}
+	case kindBool:
+		if f.num != 0 {
+			buf = append(buf, "true"...)
+		} else {
+			buf = append(buf, "false"...)
+		}
+	case kindDuration:
+		buf = strconv.AppendFloat(buf, f.fl, 'f', 3, 64)
+	}
+	return buf
+}

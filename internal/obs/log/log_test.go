@@ -1,0 +1,186 @@
+package obslog_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	obslog "ultrascalar/internal/obs/log"
+)
+
+func TestDeterministicEncodingWithoutClock(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		lg := obslog.New(&buf, obslog.Options{Level: obslog.LevelDebug, Component: "serve"})
+		lg.Info("job admitted",
+			obslog.String("job", "job-000001"),
+			obslog.Int("window", 256),
+			obslog.Int64("seed", 7),
+			obslog.Float("ipc", 3.25),
+			obslog.Bool("resumed", true),
+			obslog.Duration("wait", 1500*time.Microsecond),
+		)
+		return buf.String()
+	}
+	got := render()
+	want := `{"level":"info","component":"serve","msg":"job admitted",` +
+		`"job":"job-000001","window":256,"seed":7,"ipc":3.25,"resumed":true,"wait":1.500}` + "\n"
+	if got != want {
+		t.Errorf("line mismatch:\n got %q\nwant %q", got, want)
+	}
+	if again := render(); again != got {
+		t.Errorf("same call produced different bytes:\n%q\n%q", got, again)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(got), &decoded); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestClockStampsTimestamp(t *testing.T) {
+	var buf bytes.Buffer
+	fixed := time.Date(2026, 8, 7, 12, 0, 0, 123456789, time.UTC)
+	lg := obslog.New(&buf, obslog.Options{Clock: func() time.Time { return fixed }})
+	lg.Info("tick")
+	want := `{"ts":"2026-08-07T12:00:00.123456789Z","level":"info","msg":"tick"}` + "\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	lg := obslog.New(&buf, obslog.Options{Level: obslog.LevelWarn})
+	lg.Debug("nope")
+	lg.Info("nope")
+	lg.Warn("yes")
+	lg.Error("also")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Errorf("got %d lines, want 2:\n%s", lines, buf.String())
+	}
+	if lg.Enabled(obslog.LevelInfo) || !lg.Enabled(obslog.LevelError) {
+		t.Error("Enabled disagrees with the filter")
+	}
+}
+
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var lg *obslog.Logger
+	// None of these may panic; Enabled must be false.
+	lg.Debug("x")
+	lg.Info("x", obslog.Int("n", 1))
+	lg.Warn("x")
+	lg.Error("x")
+	if lg.Enabled(obslog.LevelError) {
+		t.Error("nil logger reports Enabled")
+	}
+	if lg.With("c") != nil || lg.WithTrace("t") != nil || lg.Sampled(4) != nil {
+		t.Error("nil logger derivations must stay nil")
+	}
+	if lg.Drops() != 0 {
+		t.Error("nil logger drops != 0")
+	}
+}
+
+func TestComponentScoping(t *testing.T) {
+	var buf bytes.Buffer
+	lg := obslog.New(&buf, obslog.Options{Component: "serve"})
+	lg.With("http").Info("hi")
+	if !strings.Contains(buf.String(), `"component":"serve/http"`) {
+		t.Errorf("nested scope missing: %s", buf.String())
+	}
+}
+
+func TestTraceStamping(t *testing.T) {
+	var buf bytes.Buffer
+	lg := obslog.New(&buf, obslog.Options{})
+	id := obslog.DeriveTraceID("job-000001")
+	lg.WithTrace(id).Info("scoped")
+	if !strings.Contains(buf.String(), `"trace":"`+string(id)+`"`) {
+		t.Errorf("trace missing: %s", buf.String())
+	}
+}
+
+func TestSampling(t *testing.T) {
+	var buf bytes.Buffer
+	lg := obslog.New(&buf, obslog.Options{}).Sampled(4)
+	for i := 0; i < 12; i++ {
+		lg.Info("s")
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("sampled 1-in-4 over 12 calls emitted %d lines, want 3", got)
+	}
+	// The first call is always kept, so a burst shorter than the period
+	// still leaves evidence.
+	buf.Reset()
+	lg2 := obslog.New(&buf, obslog.Options{}).Sampled(100)
+	lg2.Info("first")
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("first sampled call dropped (%d lines)", got)
+	}
+}
+
+func TestConcurrentLinesStayWhole(t *testing.T) {
+	var buf bytes.Buffer
+	lg := obslog.New(&buf, obslog.Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := lg.With("worker")
+			for i := 0; i < 50; i++ {
+				sub.Info("line", obslog.Int("g", g), obslog.Int("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved/torn line %q: %v", line, err)
+		}
+	}
+}
+
+// errWriter fails after n writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, &json.UnsupportedValueError{}
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestDropsAreCounted(t *testing.T) {
+	lg := obslog.New(&errWriter{n: 2}, obslog.Options{})
+	for i := 0; i < 5; i++ {
+		lg.Info("x")
+	}
+	if got := lg.Drops(); got != 3 {
+		t.Errorf("Drops = %d, want 3", got)
+	}
+}
+
+func TestSpecialFloatsEncodeAsNull(t *testing.T) {
+	var buf bytes.Buffer
+	lg := obslog.New(&buf, obslog.Options{})
+	nan := 0.0
+	lg.Info("f", obslog.Float("bad", nan/nan))
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("NaN field broke JSON: %v (%s)", err, buf.String())
+	}
+	if v, ok := m["bad"]; !ok || v != nil {
+		t.Errorf("NaN field = %v, want null", v)
+	}
+}

@@ -105,11 +105,79 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 	return json.Marshal(noMethod(b))
 }
 
+// UnmarshalJSON inverts MarshalJSON, accepting both a numeric bound and
+// the string "+Inf" for the final bucket.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if err := json.Unmarshal(raw.Le, &s); err == nil {
+		if s != "+Inf" {
+			return fmt.Errorf("obs: bucket bound %q is neither a number nor \"+Inf\"", s)
+		}
+		b.Le = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.Le, &b.Le)
+}
+
 // HistogramValue is a histogram's state at snapshot time.
 type HistogramValue struct {
 	Count   int64    `json:"count"`
 	Sum     float64  `json:"sum"`
 	Buckets []Bucket `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observations by
+// linear interpolation within the bucket that contains the target rank.
+// Ranks landing in the +Inf bucket return the last finite bound (the
+// estimate cannot exceed what the histogram resolved — the Prometheus
+// convention); an empty histogram returns 0.
+func (hv HistogramValue) Quantile(q float64) float64 {
+	if hv.Count <= 0 || len(hv.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hv.Count)
+	var cum float64
+	for i, b := range hv.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = hv.Buckets[i-1].Le
+		}
+		next := cum + float64(b.Count)
+		if rank <= next {
+			if math.IsInf(b.Le, 1) {
+				return lower // the +Inf bucket has no width to interpolate in
+			}
+			if lower > b.Le { // degenerate (negative-bound first bucket)
+				lower = b.Le
+			}
+			frac := (rank - cum) / float64(b.Count)
+			return lower + (b.Le-lower)*frac
+		}
+		cum = next
+	}
+	// All counts consumed without reaching rank (float round-off): the
+	// maximum resolvable value.
+	last := hv.Buckets[len(hv.Buckets)-1]
+	if math.IsInf(last.Le, 1) && len(hv.Buckets) > 1 {
+		return hv.Buckets[len(hv.Buckets)-2].Le
+	}
+	return last.Le
 }
 
 // Snapshot is the value of every registered instrument at one tick.

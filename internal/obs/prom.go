@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition. The registry keeps one flat namespace of
+// dotted names; labeled series are encoded into the name with the
+// convention "base{key=value,key2=value2}" (LabeledName builds one,
+// SplitLabeledName parses one back). WritePrometheus renders a Peek
+// snapshot into the Prometheus text format (version 0.0.4): names are
+// sanitized (dots and other illegal characters become underscores),
+// histogram buckets turn cumulative with the canonical
+// _bucket{le=...}/_sum/_count triple, and families are emitted in
+// sorted order so the exposition is deterministic for a given snapshot.
+// ValidatePrometheus is the matching checker the smoke tests and usstat
+// run against a scraped exposition.
+
+// Label is one key=value pair of a labeled instrument name.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// LabeledName encodes a base name plus labels as "base{k=v,...}".
+// Labels are kept in argument order; values must not contain '}' or ','
+// (instrument names are code-authored, not user input).
+func LabeledName(base string, labels ...Label) string {
+	if len(labels) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabeledName inverts LabeledName. Names without a '{' come back
+// with nil labels; a malformed tail is treated as part of the base.
+func SplitLabeledName(name string) (string, []Label) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base := name[:i]
+	inner := name[i+1 : len(name)-1]
+	if inner == "" {
+		return base, nil
+	}
+	parts := strings.Split(inner, ",")
+	labels := make([]Label, 0, len(parts))
+	for _, p := range parts {
+		k, v, _ := strings.Cut(p, "=")
+		labels = append(labels, Label{Key: k, Value: v})
+	}
+	return base, labels
+}
+
+// promName sanitizes a base name into the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(base string) string {
+	var b strings.Builder
+	b.Grow(len(base))
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelName sanitizes a label key into [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelName(key string) string {
+	s := promName(key)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders a label set as {k="v",...}, or "" when empty.
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat renders a sample value. Prometheus accepts Go's 'g' format;
+// infinities spell +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSample is one rendered exposition line.
+type promSample struct {
+	name  string // full sample name (family name or family_bucket etc.)
+	label string // rendered label set, "" for none
+	value string
+}
+
+// promFamily is one metric family: a TYPE header plus its samples.
+type promFamily struct {
+	name    string
+	kind    string
+	samples []promSample
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format. Output is deterministic: families sort by name,
+// samples within a family by source instrument name.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	fams := map[string]*promFamily{}
+	family := func(base, kind string) *promFamily {
+		f := fams[base]
+		if f == nil {
+			f = &promFamily{name: base, kind: kind}
+			fams[base] = f
+		}
+		return f
+	}
+
+	counterNames := sortedKeys(s.Counters)
+	for _, name := range counterNames {
+		base, labels := SplitLabeledName(name)
+		f := family(promName(base), "counter")
+		f.samples = append(f.samples, promSample{
+			name:  f.name,
+			label: promLabels(labels),
+			value: strconv.FormatInt(s.Counters[name], 10),
+		})
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		base, labels := SplitLabeledName(name)
+		f := family(promName(base), "gauge")
+		f.samples = append(f.samples, promSample{
+			name:  f.name,
+			label: promLabels(labels),
+			value: promFloat(s.Gauges[name]),
+		})
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		base, labels := SplitLabeledName(name)
+		f := family(promName(base), "histogram")
+		hv := s.Histograms[name]
+		var cum int64
+		for _, b := range hv.Buckets {
+			cum += b.Count
+			le := append(append([]Label{}, labels...), Label{Key: "le", Value: promFloat(b.Le)})
+			f.samples = append(f.samples, promSample{
+				name:  f.name + "_bucket",
+				label: promLabels(le),
+				value: strconv.FormatInt(cum, 10),
+			})
+		}
+		f.samples = append(f.samples,
+			promSample{name: f.name + "_sum", label: promLabels(labels), value: promFloat(hv.Sum)},
+			promSample{name: f.name + "_count", label: promLabels(labels), value: strconv.FormatInt(hv.Count, 10)})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n) //uslint:allow detorder -- keys are sorted on the next line; collection order cannot reach the output
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, smp := range f.samples {
+			b.WriteString(smp.name)
+			b.WriteString(smp.label)
+			b.WriteByte(' ')
+			b.WriteString(smp.value)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) //uslint:allow detorder -- keys are sorted on the next line; collection order cannot reach the output
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidatePrometheus checks data against the exposition contract
+// WritePrometheus emits: every sample line parses (name, optional
+// label set, float value), every sample belongs to a family declared by
+// a preceding # TYPE line of a known kind, no family is declared
+// twice, and histogram families expose only the _bucket/_sum/_count
+// suffixes. It returns the first violation with its line number.
+func ValidatePrometheus(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("obs: empty prometheus exposition")
+	}
+	types := map[string]string{}
+	lines := strings.Split(string(data), "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	} else {
+		return fmt.Errorf("obs: prometheus exposition missing trailing newline")
+	}
+	for i, line := range lines {
+		no := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return fmt.Errorf("obs: prom line %d: malformed comment %q", no, line)
+			}
+			name, kind := fields[2], fields[3]
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("obs: prom line %d: unknown type %q", no, kind)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("obs: prom line %d: duplicate TYPE for %q", no, name)
+			}
+			types[name] = kind
+			continue
+		}
+		name, rest, err := splitPromSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: prom line %d: %w", no, err)
+		}
+		if !validPromName(name) {
+			return fmt.Errorf("obs: prom line %d: invalid metric name %q", no, name)
+		}
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			return fmt.Errorf("obs: prom line %d: bad value %q", no, rest)
+		}
+		fam, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) {
+				if _, ok := types[strings.TrimSuffix(name, s)]; ok {
+					fam, suffix = strings.TrimSuffix(name, s), s
+					break
+				}
+			}
+		}
+		kind, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("obs: prom line %d: sample %q has no TYPE declaration", no, name)
+		}
+		if suffix != "" && kind != "histogram" && kind != "summary" {
+			return fmt.Errorf("obs: prom line %d: suffix %q on %s family %q", no, suffix, kind, fam)
+		}
+		if kind == "histogram" && suffix == "" {
+			return fmt.Errorf("obs: prom line %d: bare sample %q on histogram family", no, name)
+		}
+	}
+	if len(types) == 0 {
+		return fmt.Errorf("obs: prometheus exposition declares no metric families")
+	}
+	return nil
+}
+
+// splitPromSample splits one sample line into its metric name and value
+// text, consuming an optional {label="value",...} block (quote- and
+// escape-aware).
+func splitPromSample(line string) (name, value string, err error) {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace < 0 || (space >= 0 && space < brace) {
+		if space < 0 {
+			return "", "", fmt.Errorf("no value on sample line %q", line)
+		}
+		return line[:space], strings.TrimSpace(line[space+1:]), nil
+	}
+	name = line[:brace]
+	inQuote, esc := false, false
+	for i := brace + 1; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case esc:
+			esc = false
+		case inQuote && c == '\\':
+			esc = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return name, strings.TrimSpace(line[i+1:]), nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label set in %q", line)
+}
+
+// validPromName reports whether s is a legal Prometheus metric name.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLabeledNameRoundTrip(t *testing.T) {
+	name := LabeledName("serve.requests", Label{"route", "GET /jobs"}, Label{"code", "200"})
+	if name != "serve.requests{route=GET /jobs,code=200}" {
+		t.Errorf("LabeledName = %q", name)
+	}
+	base, labels := SplitLabeledName(name)
+	if base != "serve.requests" || len(labels) != 2 ||
+		labels[0] != (Label{"route", "GET /jobs"}) || labels[1] != (Label{"code", "200"}) {
+		t.Errorf("SplitLabeledName = %q, %+v", base, labels)
+	}
+	base, labels = SplitLabeledName("plain.name")
+	if base != "plain.name" || labels != nil {
+		t.Errorf("unlabeled split = %q, %+v", base, labels)
+	}
+}
+
+func TestWritePrometheusDeterministicAndValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("serve.requests", Label{"route", "GET /jobs"}, Label{"code", "200"})).Add(5)
+	r.Counter(LabeledName("serve.requests", Label{"route", "POST /jobs"}, Label{"code", "202"})).Add(2)
+	r.Counter(LabeledName("serve.errors", Label{"kind", "timeout"})).Inc()
+	r.Gauge("serve.queue_depth").Set(3)
+	h := r.Histogram("serve.latency_ms", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Peek(0)); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	if err := ValidatePrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("own exposition fails validation: %v\n%s", err, out)
+	}
+
+	for _, want := range []string{
+		"# TYPE serve_requests counter\n",
+		`serve_requests{route="GET /jobs",code="200"} 5` + "\n",
+		`serve_requests{route="POST /jobs",code="202"} 2` + "\n",
+		`serve_errors{kind="timeout"} 1` + "\n",
+		"# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n",
+		"# TYPE serve_latency_ms histogram\n",
+		`serve_latency_ms_bucket{le="1"} 1` + "\n",
+		`serve_latency_ms_bucket{le="10"} 2` + "\n",
+		`serve_latency_ms_bucket{le="100"} 2` + "\n",
+		`serve_latency_ms_bucket{le="+Inf"} 3` + "\n",
+		"serve_latency_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, r.Peek(0)); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two expositions of the same snapshot differ")
+	}
+}
+
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no trailing newline", "# TYPE a counter\na 1"},
+		{"sample without TYPE", "orphan 1\n"},
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a gauge\na 1\n"},
+		{"unknown kind", "# TYPE a widget\na 1\n"},
+		{"bad value", "# TYPE a counter\na x\n"},
+		{"bad name", "# TYPE a counter\n2a 1\n"},
+		{"unterminated labels", "# TYPE a counter\na{b=\"c 1\n"},
+		{"bare histogram sample", "# TYPE a histogram\na 1\n"},
+		{"no families", "\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidatePrometheus([]byte(tc.in)); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+	good := "# TYPE a counter\na{b=\"x\\\"y\"} 1\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n"
+	if err := ValidatePrometheus([]byte(good)); err != nil {
+		t.Errorf("good exposition rejected: %v", err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	hv := HistogramValue{
+		Count: 100,
+		Buckets: []Bucket{
+			{Le: 1, Count: 50},
+			{Le: 10, Count: 40},
+			{Le: 100, Count: 9},
+			{Le: math.Inf(1), Count: 1},
+		},
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 1},    // exactly consumes the first bucket
+		{0.25, 0.5}, // halfway through [0,1]
+		{0.9, 10},   // exactly consumes the second bucket
+		{0.7, 5.5},  // halfway through (1,10]
+		{0.99, 100}, // exactly consumes the third bucket
+		{1.0, 100},  // lands in +Inf: clamps to last finite bound
+		{0, 0},
+	}
+	for _, tc := range cases {
+		if got := hv.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := (HistogramValue{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	// Out-of-range q clamps.
+	if got := hv.Quantile(2); got != 100 {
+		t.Errorf("Quantile(2) = %v, want 100", got)
+	}
+	if got := hv.Quantile(-1); got != 0 {
+		t.Errorf("Quantile(-1) = %v, want 0", got)
+	}
+}
+
+func TestBucketUnmarshalRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(50)
+	hv := h.value()
+	b, err := hv.Buckets[2].MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Bucket
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatalf("UnmarshalJSON(%s): %v", b, err)
+	}
+	if !math.IsInf(back.Le, 1) || back.Count != 1 {
+		t.Errorf("+Inf bucket round trip = %+v", back)
+	}
+	var finite Bucket
+	if err := finite.UnmarshalJSON([]byte(`{"le":10,"count":1}`)); err != nil || finite.Le != 10 {
+		t.Errorf("finite bucket round trip = %+v, %v", finite, err)
+	}
+	var bad Bucket
+	if err := bad.UnmarshalJSON([]byte(`{"le":"nope","count":1}`)); err == nil {
+		t.Error("bad bound string accepted")
+	}
+}

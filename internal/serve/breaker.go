@@ -15,11 +15,30 @@ import (
 // re-opens it for another cooldown. Classes are independent — a broken
 // config shape never blocks healthy traffic.
 
+// Breaker state names, as surfaced by transition events and metrics.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
 // breakerState is one config class's breaker.
 type breakerState struct {
 	fails     int       // consecutive counted failures
 	openUntil time.Time // zero when closed
 	probing   bool      // a half-open probe is in flight
+}
+
+// stateName names the breaker state for telemetry.
+func stateName(st *breakerState) string {
+	switch {
+	case st == nil || st.openUntil.IsZero():
+		return BreakerClosed
+	case st.probing:
+		return BreakerHalfOpen
+	default:
+		return BreakerOpen
+	}
 }
 
 // breakerSet holds per-class breakers behind one lock; breaker checks
@@ -30,6 +49,11 @@ type breakerSet struct {
 	cooldown  time.Duration
 	now       Clock
 	classes   map[string]*breakerState
+
+	// onTransition, when set, observes every state change (called with
+	// b.mu held; callbacks must only touch atomics/loggers, never call
+	// back into the breaker or take the manager lock).
+	onTransition func(class, from, to string)
 }
 
 func newBreakerSet(threshold int, cooldown time.Duration, now Clock) *breakerSet {
@@ -65,7 +89,48 @@ func (b *breakerSet) allow(class string) *Error {
 		}
 	}
 	st.probing = true
+	b.transition(class, BreakerOpen, BreakerHalfOpen)
 	return nil
+}
+
+// transition fires the observation hook when the state actually changed.
+// Callers hold b.mu.
+func (b *breakerSet) transition(class, from, to string) {
+	if b.onTransition != nil && from != to {
+		b.onTransition(class, from, to)
+	}
+}
+
+// breakerStateValue maps a state name to its gauge encoding
+// (closed=0, half-open=1, open=2).
+func breakerStateValue(state string) float64 {
+	switch state {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	}
+	return 0
+}
+
+// state returns the named class's current breaker state.
+func (b *breakerSet) state(class string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return stateName(b.classes[class])
+}
+
+// states returns every class not currently closed, by class name.
+func (b *breakerSet) states() map[string]string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := map[string]string{}
+	for class, st := range b.classes {
+		if s := stateName(st); s != BreakerClosed {
+			out[class] = s
+		}
+	}
+	return out
 }
 
 // report records a job outcome for class. ok resets the class to
@@ -77,9 +142,11 @@ func (b *breakerSet) report(class string, ok bool) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := b.classes[class]
+	from := stateName(st)
 	if ok {
 		if st != nil {
 			delete(b.classes, class)
+			b.transition(class, from, BreakerClosed)
 		}
 		return false
 	}
@@ -92,6 +159,7 @@ func (b *breakerSet) report(class string, ok bool) bool {
 	st.probing = false
 	if st.fails >= b.threshold || wasProbe {
 		st.openUntil = b.now().Add(b.cooldown)
+		b.transition(class, from, BreakerOpen)
 		return true
 	}
 	return false

@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -25,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ultrascalar/internal/atomicio"
@@ -32,6 +34,7 @@ import (
 	"ultrascalar/internal/exp"
 	"ultrascalar/internal/fault"
 	"ultrascalar/internal/obs"
+	obslog "ultrascalar/internal/obs/log"
 	"ultrascalar/internal/workload"
 )
 
@@ -102,6 +105,7 @@ type JobRequest struct {
 // finished — either a deterministic text report or a classified error.
 type Job struct {
 	ID            string     `json:"id"`
+	Trace         string     `json:"trace,omitempty"`
 	Request       JobRequest `json:"request"`
 	State         string     `json:"state"`
 	ErrorKind     string     `json:"error_kind,omitempty"`
@@ -139,6 +143,17 @@ type Config struct {
 	Metrics *obs.Registry
 	// Clock defaults to time.Now; tests inject a fake.
 	Clock Clock
+	// Log receives structured JSONL service events (nil = off; a nil
+	// logger is a valid no-op everywhere).
+	Log *obslog.Logger
+	// Spans records job-lifecycle spans — queue wait, run, per-shard
+	// work, checkpoints, drain (nil = off).
+	Spans *obslog.SpanRecorder
+	// TraceDir, when set, receives one Chrome trace-event JSON file per
+	// finished job (<id>.trace.json, written crash-atomically).
+	TraceDir string
+	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Manager owns the job store, admission queue, worker pool, breakers
@@ -146,14 +161,19 @@ type Config struct {
 type Manager struct {
 	cfg      Config
 	breakers *breakerSet
+	log      *obslog.Logger // component "serve"; nil when logging is off
+	trace    obslog.TraceID // the service's own lifecycle trace (drain etc.)
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // job IDs, ascending; listings and recovery iterate this
-	cancels  map[string]context.CancelFunc
-	nextSeq  int
-	depth    int // queued-but-not-yet-claimed jobs, vs cfg.QueueCap
-	draining bool
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string // job IDs, ascending; listings and recovery iterate this
+	cancels    map[string]context.CancelFunc
+	nextSeq    int
+	depth      int // queued-but-not-yet-claimed jobs, vs cfg.QueueCap
+	draining   bool
+	progress   map[string]shardProgress // campaign shard completion, by job ID
+	queueSpans map[string]obslog.Span   // open queue-wait spans, by job ID
+	progCond   *sync.Cond               // broadcast on progress / job-state change
 
 	queue chan string
 	stop  chan struct{}
@@ -163,10 +183,17 @@ type Manager struct {
 	mShed, mDone     *obs.Counter
 	mFailed, mSubmit *obs.Counter
 	mBreaker         *obs.Counter
+	inflight         atomic.Int64 // in-flight HTTP requests, mirrored to a gauge
 
 	// testExec, when set, replaces real job execution; tests use it to
 	// block, fail or classify jobs on cue.
 	testExec func(ctx context.Context, job *Job) (string, error)
+}
+
+// shardProgress is one campaign job's shard-completion count.
+type shardProgress struct {
+	Done  int
+	Total int
 }
 
 // New builds a Manager rooted at cfg.Dir, recovers any jobs a previous
@@ -202,15 +229,25 @@ func New(cfg Config) (*Manager, error) {
 			return nil, fmt.Errorf("serve: creating state dir: %w", err)
 		}
 	}
+	if cfg.TraceDir != "" {
+		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating trace dir: %w", err)
+		}
+	}
 
 	m := &Manager{
-		cfg:      cfg,
-		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
-		jobs:     map[string]*Job{},
-		cancels:  map[string]context.CancelFunc{},
-		stop:     make(chan struct{}),
-		nextSeq:  1,
+		cfg:        cfg,
+		breakers:   newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		log:        cfg.Log.With("serve"),
+		trace:      obslog.DeriveTraceID("usserve"),
+		jobs:       map[string]*Job{},
+		cancels:    map[string]context.CancelFunc{},
+		progress:   map[string]shardProgress{},
+		queueSpans: map[string]obslog.Span{},
+		stop:       make(chan struct{}),
+		nextSeq:    1,
 	}
+	m.progCond = sync.NewCond(&m.mu)
 	if r := cfg.Metrics; r != nil {
 		m.mDepth = r.Gauge("serve.queue_depth")
 		m.mShed = r.Counter("serve.shed")
@@ -219,10 +256,27 @@ func New(cfg Config) (*Manager, error) {
 		m.mSubmit = r.Counter("serve.jobs_submitted")
 		m.mBreaker = r.Counter("serve.breaker_trips")
 	}
+	// The transition hook runs under the breaker mutex: it may only
+	// touch atomics and the logger, never the manager lock or the
+	// breaker itself.
+	m.breakers.onTransition = func(class, from, to string) {
+		if r := cfg.Metrics; r != nil {
+			r.Counter(obs.LabeledName("serve.breaker_transitions",
+				obs.Label{Key: "class", Value: class}, obs.Label{Key: "to", Value: to})).Inc()
+			r.Gauge(obs.LabeledName("serve.breaker_state",
+				obs.Label{Key: "class", Value: class})).Set(breakerStateValue(to))
+		}
+		m.log.With("breaker").Info("breaker transition",
+			obslog.String("class", class), obslog.String("from", from), obslog.String("to", to))
+	}
 
 	runnable, err := m.recover()
 	if err != nil {
 		return nil, err
+	}
+	if len(m.order) > 0 {
+		m.log.Info("recovered jobs",
+			obslog.Int("jobs", len(m.order)), obslog.Int("runnable", len(runnable)))
 	}
 	// The channel never blocks a sender: capacity covers the admission
 	// bound plus everything recovery re-enqueues.
@@ -263,6 +317,12 @@ func (m *Manager) recover() ([]string, error) {
 		}
 		if job.State == StateRunning {
 			job.State = StateInterrupted
+		}
+		if job.Trace == "" {
+			// Records from before trace identity existed: derive it now —
+			// the ID→trace mapping is pure, so this is the same trace any
+			// other process would assign.
+			job.Trace = string(obslog.DeriveTraceID(job.ID))
 		}
 		m.jobs[job.ID] = &job
 		m.order = append(m.order, job.ID)
@@ -369,6 +429,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
 		if m.mShed != nil {
 			m.mShed.Inc()
 		}
+		m.log.Warn("job shed", obslog.String("kind", req.Kind), obslog.Int("depth", m.depth))
 		return nil, &Error{
 			Kind: KindShed, Status: 503, RetryAfter: time.Second,
 			Msg: fmt.Sprintf("admission queue full (%d queued)", m.depth),
@@ -380,6 +441,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
 		Request: req,
 		State:   StateQueued,
 	}
+	job.Trace = string(obslog.DeriveTraceID(job.ID))
 	m.nextSeq++
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
@@ -390,6 +452,12 @@ func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
 	if m.mSubmit != nil {
 		m.mSubmit.Inc()
 	}
+	// The queue-wait span stays open until a worker claims the job (or
+	// skims its cancellation tombstone off the channel).
+	m.queueSpans[job.ID] = m.cfg.Spans.Start(obslog.TraceID(job.Trace), "queue", req.Kind)
+	m.log.WithTrace(obslog.TraceID(job.Trace)).Info("job submitted",
+		obslog.String("id", job.ID), obslog.String("kind", req.Kind),
+		obslog.Int("window", req.Window), obslog.Int("depth", m.depth))
 	return snapshot(job), nil
 }
 
@@ -436,6 +504,9 @@ func (m *Manager) Cancel(id string) (*Job, *Error) {
 		job.ErrorKind = KindCanceled
 		job.Error = "canceled before start"
 		m.persistLocked(job)
+		m.progCond.Broadcast()
+		m.log.WithTrace(obslog.TraceID(job.Trace)).Info("job canceled while queued",
+			obslog.String("id", id))
 	case StateRunning:
 		if cancel := m.cancels[id]; cancel != nil {
 			cancel()
@@ -465,6 +536,10 @@ func (m *Manager) Drain(ctx context.Context) {
 	}
 	m.draining = true
 	close(m.stop)
+	sp := m.cfg.Spans.Start(m.trace, "drain", "")
+	defer sp.End()
+	m.log.Info("drain start", obslog.Int("depth", m.depth))
+	defer m.log.Info("drain done")
 	for _, id := range m.order {
 		job := m.jobs[id]
 		if job.State == StateRunning && job.Request.Kind == "campaign" {
@@ -516,11 +591,17 @@ func (m *Manager) worker() {
 }
 
 // runJob executes one job end to end: claim, execute under a deadline,
-// classify, persist, inform the breaker.
+// classify, persist, inform the breaker, export the lifecycle trace.
 func (m *Manager) runJob(id string) {
 	m.mu.Lock()
 	m.depth-- // every channel entry was counted once at enqueue
 	m.gaugeDepth()
+	if sp, ok := m.queueSpans[id]; ok {
+		// Queue wait ends at claim — even for a tombstone, whose queue
+		// span closes when its slot is skimmed.
+		delete(m.queueSpans, id)
+		sp.End()
+	}
 	job, ok := m.jobs[id]
 	if !ok || (job.State != StateQueued && job.State != StateInterrupted) {
 		m.mu.Unlock()
@@ -530,6 +611,7 @@ func (m *Manager) runJob(id string) {
 	job.Attempts++
 	job.ErrorKind, job.Error = "", ""
 	m.persistLocked(job)
+	m.progCond.Broadcast()
 	timeout := m.cfg.DefaultTimeout
 	if job.Request.TimeoutMs > 0 {
 		timeout = time.Duration(job.Request.TimeoutMs) * time.Millisecond
@@ -543,14 +625,51 @@ func (m *Manager) runJob(id string) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout) //uslint:allow ctxflow -- the manager is the job's context root; jobs outlive their submitting request
 	m.cancels[id] = cancel
 	req := job.Request
+	tid := obslog.TraceID(job.Trace)
+	attempt := job.Attempts
 	m.mu.Unlock()
 	defer cancel()
 
-	report, resumed, err := m.execute(ctx, job, req)
+	// Thread the job's telemetry identity through the context: the
+	// campaign runner (and anything below it) picks the trace ID, span
+	// recorder and logger back up with the obslog From functions.
+	ctx = obslog.WithTraceID(ctx, tid)
+	if m.cfg.Spans != nil {
+		ctx = obslog.WithRecorder(ctx, m.cfg.Spans)
+	}
+	if m.cfg.Log != nil {
+		ctx = obslog.WithLogger(ctx, m.cfg.Log)
+	}
+	jlog := m.log.With("job").WithTrace(tid)
+	jlog.Info("job start",
+		obslog.String("id", id), obslog.String("kind", req.Kind), obslog.Int("attempt", attempt))
 
+	runSpan := m.cfg.Spans.Start(tid, "run", req.Kind)
+	report, resumed, err := m.execute(ctx, job, req)
+	runSpan.End()
+
+	state, errKind := m.finishJob(id, req, report, resumed, err)
+	switch state {
+	case StateDone:
+		jlog.Info("job done", obslog.String("id", id), obslog.Int("resumed_shards", resumed))
+	case StateInterrupted:
+		jlog.Info("job interrupted for drain", obslog.String("id", id))
+	case StateCanceled:
+		jlog.Info("job canceled", obslog.String("id", id))
+	default:
+		jlog.Warn("job failed", obslog.String("id", id), obslog.String("kind", errKind))
+	}
+	m.exportTrace(tid, id)
+}
+
+// finishJob classifies one executed job's outcome, persists it and
+// informs the breaker; it returns the final state and error kind.
+func (m *Manager) finishJob(id string, req JobRequest, report string, resumed int, err error) (string, string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	job := m.jobs[id]
 	delete(m.cancels, id)
+	defer m.progCond.Broadcast()
 	class := configClass(req)
 	switch kind := classifyRunError(err); {
 	case err == nil:
@@ -583,6 +702,24 @@ func (m *Manager) runJob(id string) {
 		}
 	}
 	m.persistLocked(job)
+	return job.State, job.ErrorKind
+}
+
+// exportTrace writes the job's lifecycle spans as a Chrome trace-event
+// file — crash-atomically, outside the manager lock.
+func (m *Manager) exportTrace(tid obslog.TraceID, id string) {
+	if m.cfg.TraceDir == "" || m.cfg.Spans == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := m.cfg.Spans.WriteChromeTrace(&buf, tid); err != nil {
+		m.log.Warn("trace export failed", obslog.String("id", id), obslog.String("err", err.Error()))
+		return
+	}
+	path := filepath.Join(m.cfg.TraceDir, id+".trace.json")
+	if err := atomicio.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		m.log.Warn("trace write failed", obslog.String("id", id), obslog.String("err", err.Error()))
+	}
 }
 
 // execute dispatches one job to its engine entry point and renders the
@@ -618,6 +755,9 @@ func (m *Manager) execute(ctx context.Context, job *Job, req JobRequest) (string
 			N:          req.Trials,
 			Detect:     fault.DetectGolden,
 			Checkpoint: filepath.Join(m.cfg.Dir, "checkpoints", job.ID+".ckpt"),
+			Progress: func(done, total int) {
+				m.setProgress(job.ID, done, total)
+			},
 		})
 		if err != nil {
 			return "", 0, err
@@ -651,6 +791,80 @@ func classifyRunError(err error) string {
 		return KindInternal
 	}
 }
+
+// setProgress records one job's shard-completion count and wakes every
+// progress watcher.
+func (m *Manager) setProgress(id string, done, total int) {
+	m.mu.Lock()
+	m.progress[id] = shardProgress{Done: done, Total: total}
+	m.progCond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Progress is one job's progress view: its lifecycle state plus, for
+// campaign jobs, the shard-completion count.
+type Progress struct {
+	ID          string `json:"id"`
+	Trace       string `json:"trace,omitempty"`
+	State       string `json:"state"`
+	ShardsDone  int    `json:"shards_done"`
+	ShardsTotal int    `json:"shards_total"`
+}
+
+// terminalState reports whether a job state is final.
+func terminalState(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateCanceled, StateInterrupted:
+		return true
+	}
+	return false
+}
+
+// progressLocked composes one job's progress view; m.mu must be held.
+func (m *Manager) progressLocked(job *Job) Progress {
+	p := m.progress[job.ID]
+	return Progress{
+		ID: job.ID, Trace: job.Trace, State: job.State,
+		ShardsDone: p.Done, ShardsTotal: p.Total,
+	}
+}
+
+// Progress returns one job's current progress.
+func (m *Manager) Progress(id string) (Progress, *Error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return Progress{}, &Error{Kind: KindNotFound, Msg: "no job " + id, Status: 404}
+	}
+	return m.progressLocked(job), nil
+}
+
+// WaitProgress blocks until the job's progress view changes from prev
+// (or the job is already terminal, or wake fires), then returns the
+// current view. wake lets callers bound the wait: progCond has no
+// timeout, so a watcher arranges an external Broadcast (e.g. via
+// context.AfterFunc) and WaitProgress returns the unchanged view for
+// the caller to notice its context died.
+func (m *Manager) WaitProgress(id string, prev Progress, wake func() bool) (Progress, *Error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		job, ok := m.jobs[id]
+		if !ok {
+			return Progress{}, &Error{Kind: KindNotFound, Msg: "no job " + id, Status: 404}
+		}
+		cur := m.progressLocked(job)
+		if cur != prev || terminalState(cur.State) || (wake != nil && wake()) {
+			return cur, nil
+		}
+		m.progCond.Wait()
+	}
+}
+
+// BreakerStates returns every config class whose breaker is not
+// currently closed, keyed by class.
+func (m *Manager) BreakerStates() map[string]string { return m.breakers.states() }
 
 // snapshot copies a job for return outside the lock.
 func snapshot(job *Job) *Job {
