@@ -5,26 +5,35 @@
 //	usstat                          one status snapshot from the default address
 //	usstat -watch 2s                repaint every two seconds until interrupted
 //	usstat -job job-000003          follow one job's shard progress (streams NDJSON)
+//	usstat -fleet -addr http://host:8470
+//	                                render a usfleet coordinator's shard/lease/
+//	                                worker dashboard (point -addr at -status)
 //	usstat -validate-prom           scrape /metrics?format=prom and check the
 //	                                exposition against the obs schema; exit 1 on
 //	                                any violation (the CI smoke test's gate)
+//
+// Long-lived modes (-watch, -job, -fleet with -watch) survive server
+// restarts: a lost connection is retried behind the fleet's capped
+// exponential backoff with full jitter, with a reconnect notice on
+// stderr, instead of exiting mid-campaign.
 //
 // usstat is read-only: it never submits, cancels or mutates anything,
 // so it is safe to point at a production server mid-campaign.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"ultrascalar/internal/fleet"
 	"ultrascalar/internal/obs"
 )
 
@@ -53,9 +62,10 @@ type metricsDoc struct {
 }
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8460", "usserve base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8460", "usserve base URL (or usfleet -status URL with -fleet)")
 	watch := flag.Duration("watch", 0, "repaint the status every interval (0 = once)")
 	jobID := flag.String("job", "", "stream one job's shard progress instead of the dashboard")
+	fleetView := flag.Bool("fleet", false, "render a usfleet coordinator dashboard instead of a worker's")
 	validateProm := flag.Bool("validate-prom", false, "scrape /metrics?format=prom, validate the exposition, print it and exit")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
 	flag.Parse()
@@ -69,26 +79,76 @@ func main() {
 			fatal(err)
 		}
 	case *jobID != "":
-		if err := followJob(client, base, *jobID); err != nil {
+		if err := followJob(client, base, *jobID, newReconnector()); err != nil {
 			fatal(err)
 		}
+	case *fleetView:
+		watchLoop(*watch, func() error { return printFleet(client, base) })
 	default:
-		for {
-			if err := printStatus(client, base); err != nil {
-				fatal(err)
-			}
-			if *watch <= 0 {
-				return
-			}
-			time.Sleep(*watch)
-			fmt.Println()
-		}
+		watchLoop(*watch, func() error { return printStatus(client, base) })
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "usstat:", err)
 	os.Exit(1)
+}
+
+// reconnector drives usstat's reconnect loops with the fleet's retry
+// policy: capped exponential backoff with full jitter. The jitter
+// source is seeded from the PID so concurrently-watching operators
+// don't redial a restarted server in lockstep; determinism of the
+// observed system is untouched — this only schedules reads.
+type reconnector struct {
+	policy  fleet.Policy
+	rnd     func() float64
+	attempt int
+}
+
+func newReconnector() *reconnector {
+	src := rand.New(rand.NewSource(int64(os.Getpid())))
+	return &reconnector{policy: fleet.DefaultPolicy, rnd: src.Float64}
+}
+
+// pause sleeps out the next backoff step, printing the notice that
+// makes the wait visible to the operator.
+func (r *reconnector) pause(err error) {
+	wait := r.policy.Backoff(r.attempt, r.rnd)
+	r.attempt++
+	fmt.Fprintf(os.Stderr, "usstat: connection lost (%v); retrying in %s\n",
+		err, wait.Round(time.Millisecond))
+	time.Sleep(wait)
+}
+
+// recovered resets the backoff after a successful exchange, announcing
+// the reconnect if one happened.
+func (r *reconnector) recovered() {
+	if r.attempt > 0 {
+		fmt.Fprintln(os.Stderr, "usstat: reconnected")
+		r.attempt = 0
+	}
+}
+
+// watchLoop renders frames at the watch interval. One-shot mode
+// (interval <= 0) fails hard; watch mode reconnects with backoff so a
+// worker restart mid-campaign doesn't kill the operator's dashboard.
+func watchLoop(interval time.Duration, frame func() error) {
+	r := newReconnector()
+	for {
+		if err := frame(); err != nil {
+			if interval <= 0 {
+				fatal(err)
+			}
+			r.pause(err)
+			continue
+		}
+		r.recovered()
+		if interval <= 0 {
+			return
+		}
+		time.Sleep(interval)
+		fmt.Println()
+	}
 }
 
 // get fetches path and decodes the JSON body into v, translating the
@@ -145,30 +205,86 @@ func runValidateProm(client *http.Client, base string) error {
 	return nil
 }
 
+// terminalState mirrors the serve job lifecycle's final states.
+func terminalState(s string) bool {
+	switch s {
+	case "done", "failed", "canceled", "interrupted":
+		return true
+	}
+	return false
+}
+
 // followJob streams one job's NDJSON progress, one line per change,
-// until the job reaches a terminal state.
-func followJob(client *http.Client, base, id string) error {
+// until the job reaches a terminal state. A dropped stream (worker
+// restart, network blip) reconnects with backoff and resumes; the
+// first frame of a resumed stream repeats current state, so identical
+// consecutive frames are deduplicated. A definitive HTTP rejection
+// (404 and friends) stays fatal — retrying can't conjure the job.
+func followJob(client *http.Client, base, id string, r *reconnector) error {
 	// Streaming outlives any sane per-request timeout.
 	streamClient := &http.Client{}
-	resp, err := streamClient.Get(base + "/jobs/" + id + "/progress?stream=1")
-	if err != nil {
+	var last progress
+	var printed bool
+	for {
+		resp, err := streamClient.Get(base + "/jobs/" + id + "/progress?stream=1")
+		if err != nil {
+			r.pause(err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("GET /jobs/%s/progress: HTTP %d", id, resp.StatusCode)
+		}
+		r.recovered()
+		sc := obs.NewLineScanner(resp.Body)
+		for sc.Scan() {
+			var p progress
+			if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+				resp.Body.Close()
+				return fmt.Errorf("bad progress line %q: %w", sc.Text(), err)
+			}
+			if printed && p == last {
+				continue
+			}
+			last, printed = p, true
+			bar := renderBar(p.ShardsDone, p.ShardsTotal, 30)
+			fmt.Printf("%s  %s  %s %d/%d shards  trace=%s\n",
+				p.ID, p.State, bar, p.ShardsDone, p.ShardsTotal, p.Trace)
+		}
+		serr := sc.Err()
+		resp.Body.Close()
+		if printed && terminalState(last.State) {
+			return nil
+		}
+		if serr == nil {
+			serr = fmt.Errorf("stream ended before job %s finished", id)
+		}
+		r.pause(serr)
+	}
+}
+
+// printFleet renders one usfleet coordinator frame from its /status
+// endpoint: overall shard progress, failure-handling tallies, and the
+// per-worker lease/breaker table.
+func printFleet(client *http.Client, base string) error {
+	var st fleet.Status
+	if err := get(client, base, "/status", &st); err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET /jobs/%s/progress: HTTP %d", id, resp.StatusCode)
+	bar := renderBar(st.ShardsDone, st.ShardsTotal, 30)
+	fmt.Printf("fleet: %-8s %s %d/%d shards  resumed=%d\n",
+		st.State, bar, st.ShardsDone, st.ShardsTotal, st.Resumed)
+	fmt.Printf("recovery: retries=%d lease-expired=%d hedges=%d hedge-wins=%d\n",
+		st.Retries, st.LeaseExpired, st.Hedges, st.HedgeWins)
+	if st.Err != "" {
+		fmt.Printf("error: %s\n", st.Err)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		var p progress
-		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
-			return fmt.Errorf("bad progress line %q: %w", sc.Text(), err)
-		}
-		bar := renderBar(p.ShardsDone, p.ShardsTotal, 30)
-		fmt.Printf("%s  %s  %s %d/%d shards  trace=%s\n",
-			p.ID, p.State, bar, p.ShardsDone, p.ShardsTotal, p.Trace)
+	fmt.Printf("  %-40s %-10s %7s %6s %8s\n", "worker", "breaker", "leases", "done", "retries")
+	for _, w := range st.Workers {
+		fmt.Printf("  %-40s %-10s %7d %6d %8d\n",
+			w.URL, w.Breaker, w.ActiveLeases, w.Done, w.Retries)
 	}
-	return sc.Err()
+	return nil
 }
 
 // renderBar draws a fixed-width progress bar.

@@ -1,25 +1,48 @@
-// Package atomicio provides crash-atomic file writes: a reader never
-// observes a half-written file, even across power loss. The pattern is
-// the standard one — write to a temporary file in the destination
-// directory, fsync it, rename over the destination, then fsync the
-// directory so the rename itself is durable. Campaign checkpoints and
-// serve job records go through this path, so a crash mid-write leaves
-// either the old complete file or the new complete file, never a torn
-// one.
+// Package atomicio provides crash-atomic, crash-durable file writes: a
+// reader never observes a half-written file, and a completed write
+// survives power loss. The pattern is the standard one — write to a
+// temporary file in the destination directory, fsync it, rename over
+// the destination, then fsync the directory. The directory fsync is not
+// optional garnish: the rename lives in the directory's metadata, and
+// until that metadata is on stable storage a power failure can undo the
+// rename even though the new file's *data* was synced — the reader
+// would come back up seeing the old file (acceptable) or, on some
+// filesystems, a directory entry pointing at nothing (not acceptable
+// for a checkpoint that claimed to be durable). Campaign checkpoints,
+// serve job records and fleet coordinator state all go through this
+// path, so the resume guarantees those layers advertise hold across
+// kill -9 and power loss alike.
 package atomicio
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
-// WriteFile atomically replaces the file at path with data. The
-// temporary file is created in path's directory (renames across
+// crashPoint names a stage of the write sequence; the test hook fires
+// between stages so crash-simulation tests can stop the sequence at
+// every boundary and assert what a reader would find on disk.
+const (
+	crashAfterWrite  = "after-temp-write" // temp holds data, not yet synced
+	crashAfterSync   = "after-temp-sync"  // temp durable, rename not done
+	crashAfterRename = "after-rename"     // renamed, directory not yet synced
+)
+
+// testCrash, when non-nil, is invoked at each stage boundary with the
+// stage name; returning a non-nil error aborts the sequence there, the
+// way a crash would. Only tests set it.
+var testCrash func(stage string) error
+
+// WriteFile atomically and durably replaces the file at path with data.
+// The temporary file is created in path's directory (renames across
 // filesystems are not atomic), synced before the rename, and removed on
-// any failure. The directory sync after the rename is best-effort: some
-// filesystems refuse to fsync a directory handle, and by that point the
-// data file itself is already durable.
+// any failure. After the rename the parent directory is synced so the
+// rename itself survives power loss; a filesystem that cannot fsync a
+// directory (EINVAL/ENOTSUP — e.g. some network and FUSE filesystems)
+// is tolerated, every other directory-sync failure is returned.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
@@ -32,6 +55,10 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 		tmp.Close()
 		return fmt.Errorf("atomicio: writing %s: %w", path, err)
 	}
+	if err := crash(crashAfterWrite); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("atomicio: syncing %s: %w", path, err)
@@ -43,12 +70,47 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("atomicio: closing temp for %s: %w", path, err)
 	}
+	if err := crash(crashAfterSync); err != nil {
+		return err
+	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("atomicio: renaming into %s: %w", path, err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	if err := crash(crashAfterRename); err != nil {
+		return err
+	}
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: syncing directory of %s: %w", path, err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so renames and unlinks inside it are
+// durable. Filesystems that refuse to sync a directory handle
+// (EINVAL/ENOTSUP) are tolerated — on those there is nothing stronger
+// available — but every other failure is real and returned.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncError(err) {
+		return err
+	}
+	return nil
+}
+
+// ignorableSyncError reports whether a directory-fsync failure means
+// "this filesystem cannot do that" rather than "the sync was lost".
+func ignorableSyncError(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}
+
+// crash fires the crash-simulation hook, if armed.
+func crash(stage string) error {
+	if testCrash != nil {
+		return testCrash(stage)
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package atomicio
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -47,5 +49,109 @@ func TestWriteFileMissingDirFails(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "no-such-dir", "out.txt")
 	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
 		t.Fatal("expected error writing into a missing directory")
+	}
+}
+
+// errSimCrash stands in for the process dying at a stage boundary.
+var errSimCrash = errors.New("simulated crash")
+
+// crashAt arms the crash hook to abort the write sequence at the named
+// stage, and disarms it on test cleanup.
+func crashAt(t *testing.T, stage string) {
+	t.Helper()
+	testCrash = func(s string) error {
+		if s == stage {
+			return errSimCrash
+		}
+		return nil
+	}
+	t.Cleanup(func() { testCrash = nil })
+}
+
+// TestWriteFileCrashSimulation kills the write sequence at every stage
+// boundary and asserts the atomicity contract a reader depends on: the
+// destination holds either the complete old content or the complete
+// new content — never a torn mix, never nothing. Before the rename the
+// old file must be untouched; after the rename the new content must be
+// in place even though the directory sync never ran (the kernel still
+// has the rename; only power loss could lose it, which is exactly what
+// the directory fsync exists to close).
+func TestWriteFileCrashSimulation(t *testing.T) {
+	const oldContent = "old checkpoint, fully intact"
+	const newContent = "new checkpoint, longer than the old one was"
+	cases := []struct {
+		stage string
+		want  string
+	}{
+		{crashAfterWrite, oldContent},
+		{crashAfterSync, oldContent},
+		{crashAfterRename, newContent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.stage, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "ckpt")
+			if err := os.WriteFile(path, []byte(oldContent), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			crashAt(t, tc.stage)
+			err := WriteFile(path, []byte(newContent), 0o644)
+			if !errors.Is(err, errSimCrash) {
+				t.Fatalf("crash at %s: err = %v, want simulated crash", tc.stage, err)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("crash at %s left no readable file: %v", tc.stage, rerr)
+			}
+			if string(got) != tc.want {
+				t.Fatalf("crash at %s: file holds %q, want %q", tc.stage, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestWriteFileCrashThenRetry: the recovery path after a simulated
+// crash — a fresh WriteFile with the hook disarmed — must succeed and
+// leave exactly the new content, with no temp debris surviving either
+// attempt. (The crashed attempt's deferred cleanup removes its temp
+// file when the process survives; after a real crash the stale temp is
+// harmless — writers never read temp names, and the next successful
+// write supersedes it.)
+func TestWriteFileCrashThenRetry(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	if err := os.WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crashAt(t, crashAfterSync)
+	if err := WriteFile(path, []byte("v2"), 0o644); !errors.Is(err, errSimCrash) {
+		t.Fatalf("err = %v, want simulated crash", err)
+	}
+	testCrash = nil
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatalf("retry after crash: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("after retry: got %q, want v2", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".ckpt.tmp") {
+			t.Fatalf("temp debris survived: %s", e.Name())
+		}
+	}
+}
+
+// TestSyncDir: syncing a real directory succeeds; syncing a missing one
+// reports the failure instead of swallowing it.
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("SyncDir on a missing directory should fail")
 	}
 }

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,6 +13,7 @@ import (
 	"ultrascalar/internal/fault"
 	"ultrascalar/internal/hybrid"
 	"ultrascalar/internal/isa"
+	"ultrascalar/internal/obs"
 	obslog "ultrascalar/internal/obs/log"
 	"ultrascalar/internal/ref"
 	"ultrascalar/internal/ultra1"
@@ -118,13 +118,60 @@ func ArchConfig(arch string, n, c int) (core.Config, error) {
 }
 
 // pointSeed derives one trial's fault-plan seed from the campaign seed
-// and the point's position — a splitmix64 finalizer, so neighbouring
-// points get decorrelated draws and the mapping is a pure function.
-func pointSeed(campaign int64, shard, i int) int64 {
-	z := uint64(campaign) ^ 0x9e3779b97f4a7c15*uint64(shard*1_000_003+i+1)
+// and the point's identity — FNV-1a over the shard key, mixed with the
+// trial index through a splitmix64 finalizer, so neighbouring points
+// get decorrelated draws and the mapping is a pure function. Keying on
+// the shard's *identity* (arch/workload/site) rather than its index in
+// the shard list is what makes sub-campaigns composable: a fleet worker
+// running any subset of the cells draws exactly the seeds the full
+// campaign would, so merged fleet reports are byte-identical to a
+// single-process run.
+func pointSeed(campaign int64, shardKey string, i int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for j := 0; j < len(shardKey); j++ {
+		h ^= uint64(shardKey[j])
+		h *= prime64
+	}
+	z := uint64(campaign) ^ h ^ 0x9e3779b97f4a7c15*uint64(i+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return int64(z ^ (z >> 31))
+}
+
+// CampaignShard names one (arch × workload × site) campaign cell — the
+// unit of checkpointing, and the unit of distribution when a fleet
+// coordinator spreads a campaign across workers.
+type CampaignShard struct {
+	Arch     string
+	Workload string
+	Site     string
+}
+
+// Key is the shard's stable identity: the same string the campaign
+// checkpointer records and pointSeed hashes.
+func (s CampaignShard) Key() string {
+	return s.Arch + "/" + s.Workload + "/" + s.Site
+}
+
+// CampaignShards enumerates the default full campaign's shards in the
+// deterministic order the campaign runner sweeps them (arch-major, then
+// workload, then site). A fleet coordinator partitions this list; each
+// element round-trips into a single-cell sub-campaign whose one result
+// cell is byte-identical to the corresponding cell of the full run.
+func CampaignShards() []CampaignShard {
+	var out []CampaignShard
+	for _, arch := range FaultArchs {
+		for _, wl := range FaultWorkloads() {
+			for _, site := range fault.AllSites() {
+				out = append(out, CampaignShard{Arch: arch, Workload: wl.Name, Site: site.String()})
+			}
+		}
+	}
+	return out
 }
 
 // stateMatches compares a faulted run's final architectural state against
@@ -202,7 +249,9 @@ func RunFaultCampaignCtx(ctx context.Context, cfg FaultCampaignConfig) (*fault.R
 		wls = FaultWorkloads()
 	}
 
-	// The shard list in deterministic order; its index feeds pointSeed.
+	// The shard list in deterministic order; each shard's key feeds
+	// pointSeed, so the list's composition — not its order — shapes
+	// results.
 	var shards []faultShard
 	for _, arch := range archs {
 		if _, err := ArchConfig(arch, cfg.Window, cfg.Cluster); err != nil {
@@ -266,7 +315,7 @@ func RunFaultCampaignCtx(ctx context.Context, cfg FaultCampaignConfig) (*fault.R
 		return -1
 	}
 
-	for si, sh := range shards {
+	for _, sh := range shards {
 		if cell, ok := ck.done[sh.key()]; ok {
 			rep.Cells = append(rep.Cells, cell)
 			settle()
@@ -294,7 +343,7 @@ func RunFaultCampaignCtx(ctx context.Context, cfg FaultCampaignConfig) (*fault.R
 		}
 
 		sp := rec.Start(trace, "shard", sh.key())
-		cell, err := runShard(ctx, sh, si, cfg, ecfg, clean, golden)
+		cell, err := runShard(ctx, sh, cfg, ecfg, clean, golden)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -320,7 +369,7 @@ func RunFaultCampaignCtx(ctx context.Context, cfg FaultCampaignConfig) (*fault.R
 
 // runShard runs one shard's N injection trials through the sweep pool,
 // bounded by ctx (nil = unbounded).
-func runShard(ctx context.Context, sh faultShard, si int, cfg FaultCampaignConfig, ecfg core.Config,
+func runShard(ctx context.Context, sh faultShard, cfg FaultCampaignConfig, ecfg core.Config,
 	clean *core.Result, golden *ref.Result) (fault.Cell, error) {
 	maxCycle := clean.Stats.Cycles - 1
 	if maxCycle < 1 {
@@ -340,7 +389,7 @@ func runShard(ctx context.Context, sh faultShard, si int, cfg FaultCampaignConfi
 		idx[i] = i
 	}
 	points, err := parMapCtx(ctx, idx, func(i int) (faultPoint, error) {
-		plan := fault.NewPlan(pointSeed(cfg.Seed, si, i), fault.GenParams{
+		plan := fault.NewPlan(pointSeed(cfg.Seed, sh.key(), i), fault.GenParams{
 			Window: cfg.Window, NumRegs: nregs, MaxCycle: maxCycle,
 			Sites: []fault.Site{sh.site}, N: 1,
 		})
@@ -409,7 +458,10 @@ type checkpointLine struct {
 	Cell  fault.Cell `json:"cell"`
 }
 
-const checkpointMagic = "usfault-checkpoint/v1"
+// v2: point seeds are keyed by shard identity (arch/workload/site)
+// instead of shard index, so v1 checkpoints hold cells a v2 campaign
+// would not reproduce; the magic bump makes them fail loudly.
+const checkpointMagic = "usfault-checkpoint/v2"
 
 // fingerprint binds a checkpoint to everything that shapes shard results.
 func fingerprint(cfg FaultCampaignConfig, archs []string, sites []fault.Site, wls []workload.Workload) string {
@@ -472,7 +524,9 @@ func openCheckpoint(cfg FaultCampaignConfig, archs []string, sites []fault.Site,
 		return nil, fmt.Errorf("exp: reading checkpoint: %w", err)
 	}
 	var lines []string
-	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	// The shared big-buffer scanner: checkpoint records can exceed
+	// bufio.Scanner's default 64 KiB token cap.
+	sc := obs.NewLineScanner(strings.NewReader(string(data)))
 	for sc.Scan() {
 		if len(strings.TrimSpace(sc.Text())) > 0 {
 			lines = append(lines, sc.Text())

@@ -254,3 +254,51 @@ func TestFaultCampaignProgressAndTelemetry(t *testing.T) {
 		t.Error("log lines do not carry the campaign trace ID")
 	}
 }
+
+// TestFaultCampaignCheckpointOversizedLine: a checkpoint whose shard
+// record exceeds bufio.Scanner's default 64 KiB token cap must still
+// load (JSON tolerates whitespace between tokens, so a record is
+// inflated without changing its meaning). Before the shared big-buffer
+// scanner this failed with "token too long" and a valid checkpoint
+// became unreadable.
+func TestFaultCampaignCheckpointOversizedLine(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCampaign()
+	cfg.Checkpoint = filepath.Join(dir, "campaign.ckpt")
+	full, err := RunFaultCampaign(cfg)
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	want := renderReport(t, full)
+
+	data, err := os.ReadFile(cfg.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("checkpoint has %d lines, want header + shards", len(lines))
+	}
+	// Inflate the first shard record past the default scanner cap.
+	fat := strings.Replace(lines[1], `{"shard":`, `{`+strings.Repeat(" ", 96*1024)+`"shard":`, 1)
+	if len(fat) <= 64*1024 {
+		t.Fatalf("inflated line only %d bytes", len(fat))
+	}
+	lines[1] = fat
+	if err := os.WriteFile(cfg.Checkpoint, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := RunFaultCampaign(cfg)
+	if err != nil {
+		t.Fatalf("campaign with oversized checkpoint line: %v", err)
+	}
+	if resumed.Resumed != resumed.Shards {
+		t.Errorf("resumed %d of %d shards; the oversized record was dropped instead of read",
+			resumed.Resumed, resumed.Shards)
+	}
+	resumed.Resumed = 0
+	if got := renderReport(t, resumed); got != want {
+		t.Error("report after oversized-line resume diverges from reference")
+	}
+}

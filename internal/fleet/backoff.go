@@ -1,0 +1,78 @@
+package fleet
+
+import "time"
+
+// Retry policy: capped exponential backoff with full jitter. Full
+// jitter — a uniform draw over [0, capped-exponential] — is the
+// variant that decorrelates a thundering herd fastest: after a worker
+// restart every waiting client redials at a different moment instead
+// of in synchronized waves. The same policy backs the coordinator's
+// shard retries and usstat's reconnect loop, so the whole toolchain
+// applies one well-understood pressure curve to a struggling worker.
+
+// Policy is a capped exponential backoff schedule.
+type Policy struct {
+	// Base is attempt 0's ceiling (default 100ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 10s).
+	Max time.Duration
+	// Mult is the per-attempt growth factor (default 2).
+	Mult float64
+}
+
+// DefaultPolicy is the fleet-wide retry curve: 100ms doubling to a
+// 10s ceiling.
+var DefaultPolicy = Policy{Base: 100 * time.Millisecond, Max: 10 * time.Second, Mult: 2}
+
+// withDefaults fills zero fields from DefaultPolicy.
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultPolicy.Base
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultPolicy.Max
+	}
+	if p.Mult < 1 {
+		p.Mult = DefaultPolicy.Mult
+	}
+	return p
+}
+
+// Ceiling returns the un-jittered backoff ceiling for the given
+// attempt number (0-based): min(Base·Mult^attempt, Max).
+func (p Policy) Ceiling(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Mult
+		if d >= float64(p.Max) {
+			return p.Max
+		}
+	}
+	if d > float64(p.Max) {
+		return p.Max
+	}
+	return time.Duration(d)
+}
+
+// Backoff draws a full-jitter wait for the given attempt: uniform over
+// [0, Ceiling(attempt)]. rnd must return values in [0, 1); pass a
+// rand.Float64-compatible source.
+func (p Policy) Backoff(attempt int, rnd func() float64) time.Duration {
+	c := p.Ceiling(attempt)
+	if rnd == nil {
+		return c
+	}
+	return time.Duration(rnd() * float64(c))
+}
+
+// Wait combines a jittered backoff with a server-supplied Retry-After
+// hint: the server's hint is a floor (it knows when capacity returns),
+// the backoff a pressure-relief ramp — take whichever is longer.
+func (p Policy) Wait(attempt int, retryAfter time.Duration, rnd func() float64) time.Duration {
+	d := p.Backoff(attempt, rnd)
+	if retryAfter > d {
+		return retryAfter
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ultrascalar/internal/atomicio"
+	"ultrascalar/internal/fault"
+	"ultrascalar/internal/obs"
+)
+
+// The coordinator checkpoint is the fleet's crash story: every merged
+// shard result is on stable storage before the coordinator acts on it,
+// so a SIGKILLed coordinator restarts, replays the file, and
+// re-dispatches only the shards it never finished. The file is JSONL —
+// a header line binding the run manifest, then one line per completed
+// shard — rewritten whole through atomicio on every merge (a campaign
+// checkpoint is a few hundred small lines; rewriting buys atomicity
+// and durability for the price of a page or two of IO). Results are
+// content-addressed: the header fingerprint names the run manifest,
+// each line's shard key names the shard, and a line is only ever
+// written once — re-delivery of a shard (a hedge loser, a resumed
+// lease) merges idempotently by key instead of double-counting.
+
+const checkpointMagic = "usfleet-checkpoint/v1"
+
+type checkpointHeader struct {
+	Magic       string `json:"magic"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type checkpointLine struct {
+	Shard string     `json:"shard"`
+	Cell  fault.Cell `json:"cell"`
+}
+
+// Fingerprint names the run manifest: every campaign parameter that
+// shapes results. Two runs share shard results exactly when their
+// fingerprints match; anything else is a different campaign and a
+// stale checkpoint must fail loudly, not merge silently.
+func (s CampaignSpec) Fingerprint() string {
+	return fmt.Sprintf("seed=%d n=%d window=%d cluster=%d detect=golden",
+		s.Seed, s.Trials, s.Window, s.Cluster)
+}
+
+// loadCheckpoint reads the checkpoint at path, if any, returning the
+// completed shard cells by shard key. A missing file is a fresh run; a
+// file with a mismatched fingerprint is an error.
+func loadCheckpoint(path string, spec CampaignSpec) (map[string]fault.Cell, error) {
+	done := map[string]fault.Cell{}
+	if path == "" {
+		return done, nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := obs.NewLineScanner(f)
+	if !sc.Scan() {
+		if serr := sc.Err(); serr != nil {
+			return nil, fmt.Errorf("fleet: reading checkpoint header: %w", serr)
+		}
+		return done, nil // empty file: treat as fresh
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("fleet: corrupt checkpoint header: %w", err)
+	}
+	if hdr.Magic != checkpointMagic {
+		return nil, fmt.Errorf("fleet: checkpoint magic %q, want %q — refusing to resume from an incompatible file", hdr.Magic, checkpointMagic)
+	}
+	if hdr.Fingerprint != spec.Fingerprint() {
+		return nil, fmt.Errorf("fleet: checkpoint is for campaign %q, this run is %q — delete %s or match the configuration",
+			hdr.Fingerprint, spec.Fingerprint(), path)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec checkpointLine
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// A torn tail cannot happen through atomicio; a corrupt
+			// interior line means the file is not ours to trust.
+			return nil, fmt.Errorf("fleet: corrupt checkpoint line: %w", err)
+		}
+		done[rec.Shard] = rec.Cell
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: reading checkpoint: %w", err)
+	}
+	return done, nil
+}
+
+// writeCheckpoint atomically and durably replaces the checkpoint with
+// the given completed set. Shard keys are written sorted so the file
+// is a deterministic function of its contents.
+func writeCheckpoint(path string, spec CampaignSpec, done map[string]fault.Cell) error {
+	if path == "" {
+		return nil
+	}
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	if err := enc.Encode(checkpointHeader{Magic: checkpointMagic, Fingerprint: spec.Fingerprint()}); err != nil {
+		return fmt.Errorf("fleet: encoding checkpoint header: %w", err)
+	}
+	keys := make([]string, 0, len(done))
+	for k := range done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := enc.Encode(checkpointLine{Shard: k, Cell: done[k]}); err != nil {
+			return fmt.Errorf("fleet: encoding checkpoint line: %w", err)
+		}
+	}
+	if err := atomicio.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("fleet: writing checkpoint: %w", err)
+	}
+	return nil
+}

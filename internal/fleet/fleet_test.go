@@ -1,0 +1,490 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ultrascalar/internal/exp"
+	"ultrascalar/internal/fault"
+	"ultrascalar/internal/obs"
+	"ultrascalar/internal/serve"
+)
+
+// testSpec is the campaign every fleet test distributes: the full
+// default shard grid at a small window and one trial per cell, so a
+// complete distributed run takes milliseconds of engine time.
+var testSpec = CampaignSpec{Seed: 5, Window: 6, Trials: 1}
+
+// directReport runs the same campaign in-process — the byte-identity
+// reference every fleet result is compared against.
+func directReport(t *testing.T) string {
+	t.Helper()
+	rep, err := exp.RunFaultCampaign(exp.FaultCampaignConfig{
+		Seed: testSpec.Seed, Window: testSpec.Window, Cluster: testSpec.Cluster,
+		N: testSpec.Trials, Detect: fault.DetectGolden,
+	})
+	if err != nil {
+		t.Fatalf("direct campaign: %v", err)
+	}
+	var b strings.Builder
+	if err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// newWorker starts a real usserve worker (manager + HTTP server) and
+// returns its base URL.
+func newWorker(t *testing.T) string {
+	t.Helper()
+	m, err := serve.New(serve.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return srv.URL
+}
+
+// fastConfig is the test coordinator baseline: tight heartbeats so a
+// full 63-shard run finishes quickly, hedging off unless a test wants
+// it, deterministic mid-range jitter.
+func fastConfig(workers ...string) Config {
+	return Config{
+		Workers:   workers,
+		Campaign:  testSpec,
+		Heartbeat: 5 * time.Millisecond,
+		LeaseTTL:  time.Minute,
+		// Hedging off by default: these tests assert exact event
+		// tallies, and an unasked-for hedge would perturb them.
+		HedgeAfter: -1,
+		Retry:      Policy{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond, Mult: 2},
+		Rand:       func() float64 { return 0.5 },
+	}
+}
+
+func runFleet(t *testing.T, cfg Config) (*Coordinator, string) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := c.Run(ctx)
+	if err != nil {
+		t.Fatalf("fleet.Run: %v", err)
+	}
+	var b strings.Builder
+	if err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return c, b.String()
+}
+
+// TestFleetMergedReportMatchesDirect is the core byte-identity bar:
+// the merged report from 1 and 2 distributed workers must equal a
+// single-process campaign byte for byte.
+func TestFleetMergedReportMatchesDirect(t *testing.T) {
+	want := directReport(t)
+	for _, n := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			var workers []string
+			for i := 0; i < n; i++ {
+				workers = append(workers, newWorker(t))
+			}
+			c, got := runFleet(t, fastConfig(workers...))
+			if got != want {
+				t.Fatalf("merged report diverges from direct run\n--- direct ---\n%s--- fleet(%d) ---\n%s", want, n, got)
+			}
+			st := c.Status()
+			if st.State != "done" || st.ShardsDone != st.ShardsTotal {
+				t.Fatalf("status after success: %+v", st)
+			}
+		})
+	}
+}
+
+// TestFleetResume: a coordinator restarted over a complete checkpoint
+// must not contact any worker, and a partial checkpoint must only
+// dispatch the missing shards — both producing the reference report.
+func TestFleetResume(t *testing.T) {
+	want := directReport(t)
+	ckpt := filepath.Join(t.TempDir(), "fleet.ckpt")
+
+	cfg := fastConfig(newWorker(t))
+	cfg.Checkpoint = ckpt
+	_, got := runFleet(t, cfg)
+	if got != want {
+		t.Fatalf("first run diverges from direct report")
+	}
+
+	// Full checkpoint: resume with a worker that cannot be reached. If
+	// any shard were re-dispatched the run would stall on retries.
+	cfg2 := fastConfig("http://127.0.0.1:1") // nothing listens there
+	cfg2.Checkpoint = ckpt
+	c2, got2 := runFleet(t, cfg2)
+	if got2 != want {
+		t.Fatalf("resumed report diverges from direct report")
+	}
+	if st := c2.Status(); st.Resumed != st.ShardsTotal {
+		t.Fatalf("resume should recover every shard from checkpoint, got %d/%d", st.Resumed, st.ShardsTotal)
+	}
+
+	// Partial checkpoint: drop some shards and resume against a real
+	// worker; only the dropped ones may be dispatched.
+	done, err := loadCheckpoint(ckpt, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	for k := range done {
+		if dropped == 7 {
+			break
+		}
+		delete(done, k)
+		dropped++
+	}
+	if err := writeCheckpoint(ckpt, testSpec, done); err != nil {
+		t.Fatal(err)
+	}
+	cfg3 := fastConfig(newWorker(t))
+	cfg3.Checkpoint = ckpt
+	c3, got3 := runFleet(t, cfg3)
+	if got3 != want {
+		t.Fatalf("partially-resumed report diverges from direct report")
+	}
+	st := c3.Status()
+	if st.Resumed != st.ShardsTotal-dropped {
+		t.Fatalf("partial resume: got %d resumed, want %d", st.Resumed, st.ShardsTotal-dropped)
+	}
+}
+
+// TestFleetCheckpointFingerprintMismatch: a checkpoint from a
+// different campaign configuration must refuse to load.
+func TestFleetCheckpointFingerprintMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fleet.ckpt")
+	if err := writeCheckpoint(ckpt, testSpec, map[string]fault.Cell{"a/b/c": {}}); err != nil {
+		t.Fatal(err)
+	}
+	other := testSpec
+	other.Seed++
+	if _, err := loadCheckpoint(ckpt, other); err == nil {
+		t.Fatal("loading a checkpoint with a mismatched fingerprint should fail")
+	}
+}
+
+// shedOnce wraps a real worker and sheds the first N submits with
+// 503 + Retry-After, recording submit arrival times so the test can
+// assert the client honored the hint.
+type shedOnce struct {
+	mu      sync.Mutex
+	sheds   int
+	submits []time.Time
+	backend http.Handler
+}
+
+func (s *shedOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/jobs" {
+		s.mu.Lock()
+		s.submits = append(s.submits, time.Now())
+		shed := s.sheds > 0
+		if shed {
+			s.sheds--
+		}
+		s.mu.Unlock()
+		if shed {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":{"kind":%q,"message":"queue full"}}`, serve.KindShed)
+			return
+		}
+	}
+	s.backend.ServeHTTP(w, r)
+}
+
+// TestFleetHonorsRetryAfter: after a shed with Retry-After: 1 the
+// client must not resubmit to that worker for at least a second, even
+// though its backoff policy alone would retry much sooner.
+func TestFleetHonorsRetryAfter(t *testing.T) {
+	m, err := serve.New(serve.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := &shedOnce{sheds: 1, backend: m.Handler()}
+	srv := httptest.NewServer(shed)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+
+	cfg := fastConfig(srv.URL)
+	// One lease slot: with two, the second agent's submit is already in
+	// flight when the shed lands, and the arrival-gap assertion below
+	// would race it.
+	cfg.LeasesPerWorker = 1
+	cfg.Metrics = obs.NewRegistry()
+	want := directReport(t)
+	_, got := runFleet(t, cfg)
+	if got != want {
+		t.Fatalf("report diverges after shed + retry")
+	}
+
+	shed.mu.Lock()
+	defer shed.mu.Unlock()
+	if len(shed.submits) < 2 {
+		t.Fatalf("want the shed submit and a retry, got %d submits", len(shed.submits))
+	}
+	if gap := shed.submits[1].Sub(shed.submits[0]); gap < time.Second {
+		t.Fatalf("resubmitted %v after a shed with Retry-After: 1 — hint not honored", gap)
+	}
+	if v := counterValue(cfg.Metrics, "fleet.backpressure"); v < 1 {
+		t.Fatalf("fleet.backpressure = %d, want >= 1", v)
+	}
+}
+
+// counterValue sums a counter across its label variants.
+func counterValue(r *obs.Registry, name string) int64 {
+	var total int64
+	for n, v := range r.Peek(0).Counters {
+		base, _ := obs.SplitLabeledName(n)
+		if base == name {
+			total += v
+		}
+	}
+	return total
+}
+
+// blackhole accepts submits and then answers every progress poll with
+// a server error — a worker that went silently wrong mid-job. Cancel
+// succeeds so reaping is visible.
+type blackhole struct {
+	mu       sync.Mutex
+	submits  int
+	cancels  int
+	progress int
+}
+
+func (b *blackhole) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/jobs":
+		b.submits++
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.Job{ID: fmt.Sprintf("bh-%d", b.submits), State: serve.StateQueued})
+	case r.Method == http.MethodDelete:
+		b.cancels++
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "{}")
+	case strings.HasSuffix(r.URL.Path, "/progress"):
+		b.progress++
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":{"kind":"internal","message":"lost my mind"}}`)
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "{}")
+	}
+}
+
+// TestFleetSurvivesSilentWorkerDeath: one worker takes jobs and never
+// heartbeats a result; the fleet must detect the silent death via
+// missed heartbeats, trip that worker's breaker, and finish the whole
+// campaign on the healthy worker with a byte-identical report.
+func TestFleetSurvivesSilentWorkerDeath(t *testing.T) {
+	bh := &blackhole{}
+	bhSrv := httptest.NewServer(bh)
+	t.Cleanup(bhSrv.Close)
+
+	cfg := fastConfig(newWorker(t), bhSrv.URL)
+	cfg.MissedHeartbeats = 2
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Minute // long: once open it stays open for the test
+	cfg.Metrics = obs.NewRegistry()
+	want := directReport(t)
+	c, got := runFleet(t, cfg)
+	if got != want {
+		t.Fatalf("report diverges with a silently-dead worker in the fleet")
+	}
+	st := c.Status()
+	if st.Retries == 0 {
+		t.Fatalf("expected worker-dead retries, status %+v", st)
+	}
+	opened := false
+	for _, w := range st.Workers {
+		if w.URL == bhSrv.URL && w.Breaker != serve.BreakerClosed {
+			opened = true
+		}
+	}
+	if !opened {
+		t.Fatalf("dead worker's breaker never opened: %+v", st.Workers)
+	}
+	if v := counterValue(cfg.Metrics, "fleet.retries"); v < 1 {
+		t.Fatalf("fleet.retries = %d, want >= 1", v)
+	}
+}
+
+// stuckWorker accepts submits and reports the job running forever —
+// responsive but never finishing. Exercises lease expiry (and, with a
+// healthy partner, hedging).
+type stuckWorker struct {
+	mu      sync.Mutex
+	submits int
+	cancels int
+}
+
+func (s *stuckWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/jobs":
+		s.submits++
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.Job{ID: fmt.Sprintf("stuck-%d", s.submits), State: serve.StateQueued})
+	case r.Method == http.MethodDelete:
+		s.cancels++
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "{}")
+	case strings.HasSuffix(r.URL.Path, "/progress"):
+		parts := strings.Split(r.URL.Path, "/")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serve.Progress{ID: parts[2], State: serve.StateRunning})
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "{}")
+	}
+}
+
+// TestFleetLeaseExpiry: a worker that holds jobs forever must lose its
+// leases at the TTL, have the jobs cancelled, and the shards re-run
+// elsewhere — report still byte-identical.
+func TestFleetLeaseExpiry(t *testing.T) {
+	stuck := &stuckWorker{}
+	stuckSrv := httptest.NewServer(stuck)
+	t.Cleanup(stuckSrv.Close)
+
+	cfg := fastConfig(newWorker(t), stuckSrv.URL)
+	cfg.LeaseTTL = 40 * time.Millisecond
+	cfg.BreakerThreshold = 1000 // keep the breaker out of this test
+	cfg.Metrics = obs.NewRegistry()
+	want := directReport(t)
+	c, got := runFleet(t, cfg)
+	if got != want {
+		t.Fatalf("report diverges with an infinitely-slow worker in the fleet")
+	}
+	st := c.Status()
+	if st.LeaseExpired == 0 {
+		t.Fatalf("expected lease expirations, status %+v", st)
+	}
+	stuck.mu.Lock()
+	cancels := stuck.cancels
+	stuck.mu.Unlock()
+	if cancels == 0 {
+		t.Fatal("expired leases should cancel the abandoned jobs")
+	}
+	if v := counterValue(cfg.Metrics, "fleet.lease_expired"); v < 1 {
+		t.Fatalf("fleet.lease_expired = %d, want >= 1", v)
+	}
+}
+
+// TestFleetHedging: with hedging enabled and a worker sitting on its
+// jobs, an idle healthy worker must re-dispatch the straggler shards,
+// win, and cancel the losers — without double-counting any shard.
+func TestFleetHedging(t *testing.T) {
+	stuck := &stuckWorker{}
+	stuckSrv := httptest.NewServer(stuck)
+	t.Cleanup(stuckSrv.Close)
+
+	cfg := fastConfig(newWorker(t), stuckSrv.URL)
+	cfg.HedgeAfter = 20 * time.Millisecond
+	cfg.LeaseTTL = time.Minute // leases never expire: only hedging can save the stuck shards
+	cfg.BreakerThreshold = 1000
+	cfg.Metrics = obs.NewRegistry()
+	want := directReport(t)
+	c, got := runFleet(t, cfg)
+	if got != want {
+		t.Fatalf("report diverges under hedged re-dispatch")
+	}
+	st := c.Status()
+	if st.HedgeWins == 0 {
+		t.Fatalf("expected hedge wins against the stuck worker, status %+v", st)
+	}
+	stuck.mu.Lock()
+	cancels := stuck.cancels
+	stuck.mu.Unlock()
+	if cancels == 0 {
+		t.Fatal("hedge losers should be cancelled")
+	}
+	if v := counterValue(cfg.Metrics, "fleet.hedge_wins"); v < 1 {
+		t.Fatalf("fleet.hedge_wins = %d, want >= 1", v)
+	}
+}
+
+// TestPolicyBackoff covers the retry curve: exponential growth, the
+// cap, full-jitter bounds, and Retry-After acting as a floor.
+func TestPolicyBackoff(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Mult: 2}
+	wantCeil := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second, 2 * time.Second,
+	}
+	for i, want := range wantCeil {
+		if got := p.Ceiling(i); got != want {
+			t.Fatalf("Ceiling(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := p.Backoff(3, func() float64 { return 0 }); got != 0 {
+		t.Fatalf("full jitter floor: got %v, want 0", got)
+	}
+	if got := p.Backoff(3, func() float64 { return 0.5 }); got != 400*time.Millisecond {
+		t.Fatalf("mid jitter: got %v, want 400ms", got)
+	}
+	if got := p.Wait(0, 5*time.Second, func() float64 { return 0.99 }); got != 5*time.Second {
+		t.Fatalf("Retry-After should floor the wait: got %v", got)
+	}
+	if got := p.Wait(5, 0, func() float64 { return 1 - 1e-12 }); got > 2*time.Second {
+		t.Fatalf("wait above cap: %v", got)
+	}
+	var zero Policy
+	if got := zero.Ceiling(0); got != DefaultPolicy.Base {
+		t.Fatalf("zero policy should adopt defaults, Ceiling(0) = %v", got)
+	}
+}
+
+// TestClientErrorClassification: backpressure kinds are not breaker
+// failures; transport errors and plain 5xx are.
+func TestClientErrorClassification(t *testing.T) {
+	shed := &HTTPError{Status: 503, Kind: serve.KindShed, RetryAfter: time.Second}
+	if !shed.Backpressure() || IsBreakerFailure(shed) {
+		t.Fatalf("shed should be backpressure, not a breaker failure")
+	}
+	boom := &HTTPError{Status: 500, Kind: serve.KindInternal}
+	if boom.Backpressure() || !IsBreakerFailure(boom) {
+		t.Fatalf("internal 500 should count toward the breaker")
+	}
+	notFound := &HTTPError{Status: 404, Kind: serve.KindNotFound}
+	if IsBreakerFailure(notFound) {
+		t.Fatalf("a 404 comes from a healthy worker; not a breaker failure")
+	}
+	if !IsBreakerFailure(fmt.Errorf("dial tcp: connection refused")) {
+		t.Fatalf("transport errors are breaker failures")
+	}
+}

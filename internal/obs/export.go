@@ -53,14 +53,32 @@ func WriteJSONL(w io.Writer, man Manifest, events []Event) error {
 	return bw.Flush()
 }
 
+// MaxLineBytes bounds one line of any JSONL artifact this tree reads:
+// traces, metrics snapshots, campaign checkpoints, progress streams.
+// bufio.Scanner's default cap is 64 KiB, which large campaign
+// checkpoint records overflow — the scanner then fails with "token too
+// long" and a perfectly good file becomes unreadable. 64 MiB is far
+// above any record we emit while still bounding a corrupt (newline-
+// free) file's memory cost.
+const MaxLineBytes = 1 << 26
+
+// NewLineScanner returns a line scanner whose buffer admits lines up to
+// MaxLineBytes. Every bufio.Scanner over checkpoint/metrics/trace JSONL
+// in this tree must come from here, so the line-length ceiling is one
+// constant rather than a scattering of per-call-site defaults.
+func NewLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), MaxLineBytes)
+	return sc
+}
+
 // ReadJSONL parses a stream written by WriteJSONL. A missing manifest
 // line is tolerated (the zero Manifest is returned) so hand-built event
 // streams remain loadable.
 func ReadJSONL(r io.Reader) (Manifest, []Event, error) {
 	var man Manifest
 	var events []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	sc := NewLineScanner(r)
 	line := 0
 	for sc.Scan() {
 		line++

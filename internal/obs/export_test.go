@@ -186,3 +186,36 @@ func TestManifest(t *testing.T) {
 		t.Error("git commit must be filled (or \"unknown\")")
 	}
 }
+
+// TestReadJSONLOversizedLine: a record far beyond bufio.Scanner's
+// default 64 KiB token cap must still parse — large campaign checkpoint
+// records hit this in the field. JSON tolerates whitespace between
+// tokens, so the line is inflated without changing its meaning.
+func TestReadJSONLOversizedLine(t *testing.T) {
+	pad := strings.Repeat(" ", 96*1024)
+	line := `{"type":` + pad + `"event","kind":"fetch","cycle":3,"seq":7,"pc":1,"slot":2}`
+	if len(line) <= 64*1024 {
+		t.Fatalf("test line only %d bytes; not past the default scanner cap", len(line))
+	}
+	man, events, err := ReadJSONL(strings.NewReader(line + "\n"))
+	if err != nil {
+		t.Fatalf("ReadJSONL on a %d-byte line: %v", len(line), err)
+	}
+	_ = man
+	if len(events) != 1 || events[0].Kind != EvFetch || events[0].Seq != 7 {
+		t.Fatalf("oversized line decoded wrong: %+v", events)
+	}
+}
+
+// TestNewLineScannerCap: the shared scanner accepts lines right up to
+// its documented ceiling and still fails loudly beyond it.
+func TestNewLineScannerCap(t *testing.T) {
+	big := strings.Repeat("a", 1<<20)
+	sc := NewLineScanner(strings.NewReader(big + "\n" + "tail"))
+	if !sc.Scan() || len(sc.Bytes()) != 1<<20 {
+		t.Fatalf("1 MiB line rejected: err=%v", sc.Err())
+	}
+	if !sc.Scan() || sc.Text() != "tail" {
+		t.Fatal("scanner lost the line after the big one")
+	}
+}

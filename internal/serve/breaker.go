@@ -133,6 +133,45 @@ func (b *breakerSet) states() map[string]string {
 	return out
 }
 
+// Breakers is the exported face of the per-class circuit breaker, for
+// callers outside the serve manager — the fleet coordinator keys one
+// set by worker URL instead of config class, so a worker that fails
+// repeatedly is cooled down exactly the way a pathological config
+// shape is. Semantics are identical: threshold consecutive failures
+// open the breaker for the cooldown, then one probe is admitted.
+type Breakers struct {
+	set *breakerSet
+}
+
+// NewBreakers builds a breaker set with the given trip threshold and
+// open-state cooldown. clock supplies the time source (pass time.Now
+// outside tests).
+func NewBreakers(threshold int, cooldown time.Duration, clock Clock) *Breakers {
+	return &Breakers{set: newBreakerSet(threshold, cooldown, clock)}
+}
+
+// Allow reports whether class may be used now. A non-nil error is a
+// KindBreakerOpen *Error carrying the remaining cooldown as RetryAfter.
+func (b *Breakers) Allow(class string) *Error { return b.set.allow(class) }
+
+// Report records an outcome for class and reports whether this call
+// tripped the breaker open.
+func (b *Breakers) Report(class string, ok bool) bool { return b.set.report(class, ok) }
+
+// State returns the named class's current breaker state.
+func (b *Breakers) State(class string) string { return b.set.state(class) }
+
+// States returns every class not currently closed, by class name.
+func (b *Breakers) States() map[string]string { return b.set.states() }
+
+// OnTransition registers fn to observe every state change. fn runs with
+// the breaker lock held: it must not call back into the breaker.
+func (b *Breakers) OnTransition(fn func(class, from, to string)) { b.set.onTransition = fn }
+
+// BreakerStateValue maps a breaker state name to its gauge encoding
+// (closed=0, half-open=1, open=2), shared by serve and fleet metrics.
+func BreakerStateValue(state string) float64 { return breakerStateValue(state) }
+
 // report records a job outcome for class. ok resets the class to
 // closed; a counted failure (livelock or timeout — the caller filters)
 // increments the consecutive count and, at the threshold or on a failed

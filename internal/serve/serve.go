@@ -96,6 +96,23 @@ type JobRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Trials is the campaign's injections per cell (default 4).
 	Trials int `json:"trials,omitempty"`
+	// Archs restricts a campaign to a subset of architectures (nil =
+	// all). With Sites and Workloads this is how a fleet coordinator
+	// scopes one job to one shard of a larger campaign; point seeds are
+	// keyed by shard identity, so the sub-campaign's cells are
+	// byte-identical to the same cells of a full run.
+	Archs []string `json:"archs,omitempty"`
+	// Sites restricts a campaign to a subset of fault sites by name
+	// (nil = all).
+	Sites []string `json:"sites,omitempty"`
+	// Workloads restricts a campaign to a subset of the campaign
+	// workload suite by name (nil = all).
+	Workloads []string `json:"workloads,omitempty"`
+	// Trace, when set (16 lowercase hex chars), is adopted as the job's
+	// trace ID instead of deriving one from the job ID — the fleet
+	// coordinator assigns each shard job a trace so coordinator and
+	// worker telemetry share one identity.
+	Trace string `json:"trace,omitempty"`
 	// TimeoutMs bounds the job (0 = service default; capped at the
 	// service maximum).
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -104,15 +121,19 @@ type JobRequest struct {
 // Job is one managed job: the request, its lifecycle state, and — once
 // finished — either a deterministic text report or a classified error.
 type Job struct {
-	ID            string     `json:"id"`
-	Trace         string     `json:"trace,omitempty"`
-	Request       JobRequest `json:"request"`
-	State         string     `json:"state"`
-	ErrorKind     string     `json:"error_kind,omitempty"`
-	Error         string     `json:"error,omitempty"`
-	Report        string     `json:"report,omitempty"`
-	Attempts      int        `json:"attempts"`
-	ResumedShards int        `json:"resumed_shards,omitempty"`
+	ID        string     `json:"id"`
+	Trace     string     `json:"trace,omitempty"`
+	Request   JobRequest `json:"request"`
+	State     string     `json:"state"`
+	ErrorKind string     `json:"error_kind,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Report    string     `json:"report,omitempty"`
+	// Cells carries a finished campaign job's per-shard result cells in
+	// structured form, so a fleet coordinator can merge shard results
+	// without parsing the text report.
+	Cells         []fault.Cell `json:"cells,omitempty"`
+	Attempts      int          `json:"attempts"`
+	ResumedShards int          `json:"resumed_shards,omitempty"`
 }
 
 // Clock abstracts wall time so tests drive deadlines and breaker
@@ -392,10 +413,52 @@ func (m *Manager) validate(req *JobRequest) *Error {
 		if req.Trials < 1 || req.Trials > 1024 {
 			return bad("trials must be in [1, 1024], got %d", req.Trials)
 		}
+		for _, a := range req.Archs {
+			if _, err := exp.ArchConfig(a, req.Window, req.Cluster); err != nil {
+				return bad("%v", err)
+			}
+		}
+		for _, s := range req.Sites {
+			if _, ok := fault.SiteFromString(s); !ok {
+				return bad("unknown fault site %q", s)
+			}
+		}
+		for _, w := range req.Workloads {
+			if _, ok := campaignWorkloadByName(w); !ok {
+				return bad("unknown campaign workload %q", w)
+			}
+		}
 	default:
 		return bad("unknown job kind %q (want sim, sweep or campaign)", req.Kind)
 	}
+	if req.Trace != "" && !validTraceID(req.Trace) {
+		return bad("trace must be 16 lowercase hex characters, got %q", req.Trace)
+	}
 	return nil
+}
+
+// validTraceID checks the 16-lowercase-hex trace shape obslog emits.
+func validTraceID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// campaignWorkloadByName resolves a campaign-suite workload by name.
+func campaignWorkloadByName(name string) (workload.Workload, bool) {
+	for _, w := range exp.FaultWorkloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return workload.Workload{}, false
 }
 
 // kernelByName resolves a kernel-suite workload by name.
@@ -441,7 +504,13 @@ func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
 		Request: req,
 		State:   StateQueued,
 	}
-	job.Trace = string(obslog.DeriveTraceID(job.ID))
+	if req.Trace != "" {
+		// Caller-assigned identity (fleet shard jobs): coordinator and
+		// worker telemetry share one trace.
+		job.Trace = req.Trace
+	} else {
+		job.Trace = string(obslog.DeriveTraceID(job.ID))
+	}
 	m.nextSeq++
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
@@ -645,10 +714,11 @@ func (m *Manager) runJob(id string) {
 		obslog.String("id", id), obslog.String("kind", req.Kind), obslog.Int("attempt", attempt))
 
 	runSpan := m.cfg.Spans.Start(tid, "run", req.Kind)
-	report, resumed, err := m.execute(ctx, job, req)
+	res, err := m.execute(ctx, job, req)
 	runSpan.End()
 
-	state, errKind := m.finishJob(id, req, report, resumed, err)
+	state, errKind := m.finishJob(id, req, res, err)
+	resumed := res.resumed
 	switch state {
 	case StateDone:
 		jlog.Info("job done", obslog.String("id", id), obslog.Int("resumed_shards", resumed))
@@ -664,7 +734,7 @@ func (m *Manager) runJob(id string) {
 
 // finishJob classifies one executed job's outcome, persists it and
 // informs the breaker; it returns the final state and error kind.
-func (m *Manager) finishJob(id string, req JobRequest, report string, resumed int, err error) (string, string) {
+func (m *Manager) finishJob(id string, req JobRequest, res execResult, err error) (string, string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	job := m.jobs[id]
@@ -674,8 +744,9 @@ func (m *Manager) finishJob(id string, req JobRequest, report string, resumed in
 	switch kind := classifyRunError(err); {
 	case err == nil:
 		job.State = StateDone
-		job.Report = report
-		job.ResumedShards = resumed
+		job.Report = res.report
+		job.Cells = res.cells
+		job.ResumedShards = res.resumed
 		m.breakers.report(class, true)
 		if m.mDone != nil {
 			m.mDone.Inc()
@@ -722,37 +793,59 @@ func (m *Manager) exportTrace(tid obslog.TraceID, id string) {
 	}
 }
 
+// execResult is one executed job's payload: the deterministic text
+// report, checkpoint-resume metadata, and (campaign jobs) the
+// structured result cells a fleet coordinator merges.
+type execResult struct {
+	report  string
+	resumed int
+	cells   []fault.Cell
+}
+
 // execute dispatches one job to its engine entry point and renders the
 // deterministic report.
-func (m *Manager) execute(ctx context.Context, job *Job, req JobRequest) (string, int, error) {
+func (m *Manager) execute(ctx context.Context, job *Job, req JobRequest) (execResult, error) {
 	if m.testExec != nil {
 		rep, err := m.testExec(ctx, job)
-		return rep, 0, err
+		return execResult{report: rep}, err
 	}
 	switch req.Kind {
 	case "sim":
 		cfg, err := exp.ArchConfig(req.Arch, req.Window, req.Cluster)
 		if err != nil {
-			return "", 0, err
+			return execResult{}, err
 		}
 		w, _ := kernelByName(req.Workload)
 		res, err := core.RunCtx(ctx, w.Prog, w.Mem(), cfg)
 		if err != nil {
-			return "", 0, err
+			return execResult{}, err
 		}
-		return fmt.Sprintf(
+		return execResult{report: fmt.Sprintf(
 			"usserve sim: arch=%s workload=%s window=%d cluster=%d\ncycles=%d retired=%d ipc=%.3f occupancy=%.1f\n",
 			req.Arch, req.Workload, req.Window, req.Cluster,
-			res.Stats.Cycles, res.Stats.Retired, res.Stats.IPC(), res.Stats.MeanOccupancy()), 0, nil
+			res.Stats.Cycles, res.Stats.Retired, res.Stats.IPC(), res.Stats.MeanOccupancy())}, nil
 	case "sweep":
 		rep, err := exp.IPCReportCtx(ctx, req.Window, req.Cluster)
-		return rep, 0, err
+		return execResult{report: rep}, err
 	case "campaign":
+		var sites []fault.Site
+		for _, s := range req.Sites {
+			site, _ := fault.SiteFromString(s) // validated at admission
+			sites = append(sites, site)
+		}
+		var wls []workload.Workload
+		for _, name := range req.Workloads {
+			w, _ := campaignWorkloadByName(name) // validated at admission
+			wls = append(wls, w)
+		}
 		rep, err := exp.RunFaultCampaignCtx(ctx, exp.FaultCampaignConfig{
 			Seed:       req.Seed,
 			Window:     req.Window,
 			Cluster:    req.Cluster,
 			N:          req.Trials,
+			Archs:      req.Archs,
+			Sites:      sites,
+			Workloads:  wls,
 			Detect:     fault.DetectGolden,
 			Checkpoint: filepath.Join(m.cfg.Dir, "checkpoints", job.ID+".ckpt"),
 			Progress: func(done, total int) {
@@ -760,7 +853,7 @@ func (m *Manager) execute(ctx context.Context, job *Job, req JobRequest) (string
 			},
 		})
 		if err != nil {
-			return "", 0, err
+			return execResult{}, err
 		}
 		// Resumed-shard count is invocation metadata: surfacing it in the
 		// job record but zeroing it in the report keeps a resumed run's
@@ -769,11 +862,11 @@ func (m *Manager) execute(ctx context.Context, job *Job, req JobRequest) (string
 		rep.Resumed = 0
 		var b strings.Builder
 		if err := rep.WriteText(&b); err != nil {
-			return "", 0, err
+			return execResult{}, err
 		}
-		return b.String(), resumed, nil
+		return execResult{report: b.String(), resumed: resumed, cells: rep.Cells}, nil
 	}
-	return "", 0, fmt.Errorf("unknown job kind %q", req.Kind)
+	return execResult{}, fmt.Errorf("unknown job kind %q", req.Kind)
 }
 
 // classifyRunError maps an execution error into the taxonomy.
