@@ -1,7 +1,11 @@
 // Command usserve runs the simulator as an HTTP service: simulations,
 // IPC sweeps and fault campaigns submitted as managed jobs with
-// per-request deadlines, bounded-queue admission control, a per-config-
-// class circuit breaker, graceful drain on SIGTERM, and crash-safe job
+// per-request deadlines, bounded-queue admission control plus a
+// CoDel-style queue-delay controller that sheds job classes in
+// priority order under sustained overload (-admit-target,
+// -admit-interval), a per-config-class circuit breaker, an optional
+// content-addressed result cache with SHA-256 integrity checking
+// (-cache-dir), graceful drain on SIGTERM, and crash-safe job
 // recovery — a job interrupted by a kill resumes from its checkpoint on
 // restart and produces a byte-identical report.
 //
@@ -25,9 +29,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"ultrascalar/internal/atomicio"
 	"ultrascalar/internal/obs"
 	obslog "ultrascalar/internal/obs/log"
 	"ultrascalar/internal/serve"
@@ -43,6 +50,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits before hard-canceling jobs")
 	breakerN := flag.Int("breaker-threshold", 3, "consecutive livelock/timeout failures that trip a config class")
 	breakerCool := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped class rejects jobs")
+	admitTarget := flag.Duration("admit-target", 0, "queue-delay target for adaptive admission (0 = default 100ms, negative = hard queue bound only)")
+	admitInterval := flag.Duration("admit-interval", 0, "sustained-overload interval before shedding escalates a class (0 = default 1s)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
+	injectFaults := flag.String("inject-disk-faults", "", "inject storage faults, e.g. enospc=7,fsync=11,dirsync=13 (every Nth op fails; testing only)")
 	logPath := flag.String("log", "", "structured JSONL log file (\"-\" for stderr, empty = off)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	traceDir := flag.String("trace-dir", "", "directory for per-job Chrome trace-event files (empty = off)")
@@ -77,10 +88,36 @@ func main() {
 		spans = obslog.NewSpanRecorder(obslog.SpanOptions{Logger: logger, Metrics: reg, Clock: time.Now}) //uslint:allow detorder -- span timing is what tracing measures
 	}
 
+	if *injectFaults != "" {
+		var f atomicio.Faults
+		for _, part := range strings.Split(*injectFaults, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+			n, perr := strconv.Atoi(val)
+			if !ok || perr != nil || n < 0 {
+				fail("bad -inject-disk-faults entry %q (want name=N)", part)
+			}
+			switch name {
+			case "enospc":
+				f.WriteENOSPCEvery = n
+			case "fsync":
+				f.SyncFailEvery = n
+			case "dirsync":
+				f.DirSyncFailEvery = n
+			default:
+				fail("unknown fault point %q (want enospc, fsync or dirsync)", name)
+			}
+		}
+		atomicio.SetFaults(f)
+		fmt.Fprintf(os.Stderr, "usserve: CHAOS: injecting storage faults (%s)\n", *injectFaults)
+	}
+
 	mgr, err := serve.New(serve.Config{
 		Dir:              *dir,
 		QueueCap:         *queueCap,
 		Workers:          *workers,
+		AdmitTarget:      *admitTarget,
+		AdmitInterval:    *admitInterval,
+		CacheDir:         *cacheDir,
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTimeout,
 		BreakerThreshold: *breakerN,

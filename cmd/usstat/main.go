@@ -276,6 +276,8 @@ func printFleet(client *http.Client, base string) error {
 		st.State, bar, st.ShardsDone, st.ShardsTotal, st.Resumed)
 	fmt.Printf("recovery: retries=%d lease-expired=%d hedges=%d hedge-wins=%d\n",
 		st.Retries, st.LeaseExpired, st.Hedges, st.HedgeWins)
+	fmt.Printf("retry budget: dispatches=%d retries=%d slow-lane=%d\n",
+		st.Dispatches, st.Retries, st.BudgetExhausted)
 	if st.Err != "" {
 		fmt.Printf("error: %s\n", st.Err)
 	}
@@ -333,6 +335,40 @@ func printStatus(client *http.Client, base string) error {
 	fmt.Printf("queue depth: %.0f   http in-flight: %.0f   shed: %d\n",
 		snap.Gauges["serve.queue_depth"], snap.Gauges["serve.http_inflight"],
 		snap.Counters["serve.shed"])
+
+	// Adaptive admission: controller level, queue-delay quantiles, and
+	// the per-class shed tallies — the overload story in one line each.
+	if hv, ok := snap.Histograms["serve.queue_delay_ms"]; ok && hv.Count > 0 {
+		fmt.Printf("admission: level=%.0f   queue delay (ms): n=%d P50=%.2f P90=%.2f P99=%.2f\n",
+			snap.Gauges["serve.admit_level"], hv.Count,
+			hv.Quantile(0.50), hv.Quantile(0.90), hv.Quantile(0.99))
+	}
+	var shedClasses []string
+	for name := range snap.Counters {
+		if baseName, _ := obs.SplitLabeledName(name); baseName == "serve.shed_class" {
+			shedClasses = append(shedClasses, name) //uslint:allow detorder -- sorted before rendering
+		}
+	}
+	sort.Strings(shedClasses)
+	if len(shedClasses) > 0 {
+		fmt.Print("sheds by class:")
+		for _, name := range shedClasses {
+			_, labels := obs.SplitLabeledName(name)
+			for _, l := range labels {
+				if l.Key == "class" {
+					fmt.Printf("  %s=%d", l.Value, snap.Counters[name])
+				}
+			}
+		}
+		fmt.Println()
+	}
+
+	// Result cache, when the server runs one.
+	if hits, ok := snap.Counters["serve.cache.hits"]; ok {
+		fmt.Printf("cache: hits=%d misses=%d stores=%d quarantines=%d\n",
+			hits, snap.Counters["serve.cache.misses"],
+			snap.Counters["serve.cache.stores"], snap.Counters["serve.cache.quarantines"])
+	}
 
 	// Breakers: every serve.breaker_state gauge that is not closed (0).
 	type breaker struct {

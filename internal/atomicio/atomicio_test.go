@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -153,5 +154,120 @@ func TestSyncDir(t *testing.T) {
 	}
 	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("SyncDir on a missing directory should fail")
+	}
+}
+
+// assertNoDebris fails the test if any temp file survived in dir.
+func assertNoDebris(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp debris survived: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileFailuresAreTypedAndClean walks every in-process failure
+// point of the write sequence — injected ENOSPC mid-write, injected
+// fsync EIO, injected directory-fsync EIO, and a real create-temp
+// failure — and asserts the satellite contract at each: the error is a
+// typed *Error naming the stage, it unwraps to the underlying syscall
+// error, the destination still holds the complete old content (or the
+// complete new content once the rename happened), and no temp file is
+// left behind.
+func TestWriteFileFailuresAreTypedAndClean(t *testing.T) {
+	const oldContent = "old record, fully intact"
+	const newContent = "new record, longer than before"
+	cases := []struct {
+		name    string
+		faults  Faults
+		op      string
+		sysErr  error
+		wantNew bool // destination holds new content after the failure
+	}{
+		{"enospc-mid-write", Faults{WriteENOSPCEvery: 1}, OpWrite, syscall.ENOSPC, false},
+		{"fsync-eio", Faults{SyncFailEvery: 1}, OpSync, syscall.EIO, false},
+		{"dir-fsync-eio", Faults{DirSyncFailEvery: 1}, OpSyncDir, syscall.EIO, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "record")
+			if err := os.WriteFile(path, []byte(oldContent), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			SetFaults(tc.faults)
+			t.Cleanup(func() { SetFaults(Faults{}) })
+			err := WriteFile(path, []byte(newContent), 0o644)
+			var aerr *Error
+			if !errors.As(err, &aerr) {
+				t.Fatalf("err = %v (%T), want *atomicio.Error", err, err)
+			}
+			if aerr.Op != tc.op {
+				t.Fatalf("Op = %q, want %q", aerr.Op, tc.op)
+			}
+			if aerr.Path != path {
+				t.Fatalf("Path = %q, want %q", aerr.Path, path)
+			}
+			if !errors.Is(err, tc.sysErr) {
+				t.Fatalf("err = %v, want errors.Is(%v)", err, tc.sysErr)
+			}
+			want := oldContent
+			if tc.wantNew {
+				want = newContent
+			}
+			if got, _ := os.ReadFile(path); string(got) != want {
+				t.Fatalf("destination holds %q, want %q", got, want)
+			}
+			assertNoDebris(t, dir)
+		})
+	}
+}
+
+// TestWriteFileCreateTempFailureTyped: a failure before the temp file
+// even exists (unwritable directory) still comes back typed.
+func TestWriteFileCreateTempFailureTyped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "no-such-dir")
+	err := WriteFile(filepath.Join(dir, "out"), []byte("x"), 0o644)
+	var aerr *Error
+	if !errors.As(err, &aerr) {
+		t.Fatalf("err = %v (%T), want *atomicio.Error", err, err)
+	}
+	if aerr.Op != OpCreateTemp {
+		t.Fatalf("Op = %q, want %q", aerr.Op, OpCreateTemp)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want errors.Is(os.ErrNotExist)", err)
+	}
+}
+
+// TestFaultsEveryNth: with WriteENOSPCEvery=3 exactly every third
+// write fails, deterministically, and successful writes in between are
+// complete and durable.
+func TestFaultsEveryNth(t *testing.T) {
+	dir := t.TempDir()
+	SetFaults(Faults{WriteENOSPCEvery: 3})
+	t.Cleanup(func() { SetFaults(Faults{}) })
+	var failed []int
+	for i := 0; i < 9; i++ {
+		path := filepath.Join(dir, "f")
+		err := WriteFile(path, []byte("payload payload payload"), 0o644)
+		if err != nil {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("write %d: err = %v, want ENOSPC", i, err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 3 || failed[0] != 2 || failed[1] != 5 || failed[2] != 8 {
+		t.Fatalf("failed writes at %v, want [2 5 8]", failed)
+	}
+	assertNoDebris(t, dir)
+	if got, _ := os.ReadFile(filepath.Join(dir, "f")); string(got) != "payload payload payload" {
+		t.Fatalf("surviving file torn: %q", got)
 	}
 }

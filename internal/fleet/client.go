@@ -156,9 +156,16 @@ func (c *Client) Cancel(ctx context.Context, id string) (serve.Job, error) {
 	return job, err
 }
 
-// Healthz probes worker liveness.
+// Healthz probes worker liveness: the process is up and serving HTTP.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ready probes worker readiness: alive AND accepting new jobs. A
+// draining worker fails this while still answering Healthz, so
+// dispatchers and chaos harnesses gate on Ready, not Healthz.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
 }
 
 // IsBreakerFailure classifies an error from this client for the

@@ -79,6 +79,15 @@ type Config struct {
 	// Retry is the backoff policy for shard re-dispatch (zero value =
 	// DefaultPolicy).
 	Retry Policy
+	// RetryBudget bounds retry amplification: the fraction of total
+	// dispatches that may be retries (default 0.5; negative = no
+	// budget). Once spent, shards still re-dispatch — the campaign must
+	// converge — but only on the slow lane: the full un-jittered
+	// Policy.Max wait, with hedging (speculative extra dispatches)
+	// suppressed. A fleet retrying into an overloaded worker set
+	// therefore decays to at most one retry per Max interval per shard
+	// instead of multiplying the load that caused the failures.
+	RetryBudget float64
 	// BreakerThreshold / BreakerCooldown tune the per-worker circuit
 	// breaker (defaults 3 and 15s).
 	BreakerThreshold int
@@ -115,6 +124,9 @@ func (cfg Config) withDefaults() Config {
 		cfg.LeasesPerWorker = 2
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 0.5
+	}
 	if cfg.BreakerThreshold <= 0 {
 		cfg.BreakerThreshold = 3
 	}
@@ -183,10 +195,27 @@ type Coordinator struct {
 
 	// event tallies mirrored into Status (metrics hold the same data,
 	// but Status must work with a nil registry).
-	retries      int
-	leaseExpired int
-	hedges       int
-	hedgeWins    int
+	dispatches      int
+	retries         int
+	leaseExpired    int
+	hedges          int
+	hedgeWins       int
+	budgetExhausted int
+}
+
+// overBudget reports whether one more retry would push the retry count
+// past budget·dispatches. Retries themselves count as dispatches, so
+// under sustained failure the ratio tends to 1 and the budget stays
+// exhausted until fresh work succeeds.
+func overBudget(budget float64, retries, dispatches int) bool {
+	if budget < 0 {
+		return false
+	}
+	return float64(retries+1) > budget*float64(dispatches)
+}
+
+func (c *Coordinator) overBudgetLocked() bool {
+	return overBudget(c.cfg.RetryBudget, c.retries, c.dispatches)
 }
 
 // New builds a coordinator. Run may be called once.
@@ -396,6 +425,7 @@ func (c *Coordinator) claim(ctx context.Context, worker string) (*shardState, *l
 					l := &lease{worker: worker, start: now, hedge: hedge}
 					st.leases = append(st.leases, l)
 					st.attempts++
+					c.dispatches++
 					ws.active++
 					c.gaugeSet("fleet.worker_queue_depth", float64(ws.active), obs.Label{Key: "worker", Value: worker})
 					if hedge {
@@ -420,6 +450,12 @@ func (c *Coordinator) claimableLocked(worker string, now time.Time) (*shardState
 		}
 	}
 	if c.cfg.HedgeAfter < 0 {
+		return nil, false
+	}
+	// Hedges are speculative extra dispatches; with the retry budget
+	// spent the fleet is already amplifying load, which is exactly when
+	// speculation must stop.
+	if c.overBudgetLocked() {
 		return nil, false
 	}
 	var pick *shardState
@@ -468,7 +504,21 @@ func (c *Coordinator) release(sh *shardState, l *lease) {
 // lease, honoring any server Retry-After hint.
 func (c *Coordinator) retryShard(sh *shardState, l *lease, reason string, retryAfter time.Duration) {
 	c.mu.Lock()
-	wait := c.cfg.Retry.Wait(sh.attempts, retryAfter, c.cfg.Rand)
+	over := c.overBudgetLocked()
+	var wait time.Duration
+	if over {
+		// Budget spent: slow lane. The shard still re-enters the queue —
+		// the campaign must converge — but at the policy's full ceiling,
+		// un-jittered, so retries cannot amplify whatever overload is
+		// causing the failures. A Retry-After hint can only lengthen it.
+		wait = c.cfg.Retry.Max
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		c.budgetExhausted++
+	} else {
+		wait = c.cfg.Retry.Wait(sh.attempts, retryAfter, c.cfg.Rand)
+	}
 	sh.notBefore = c.cfg.Clock().Add(wait)
 	c.retries++
 	c.workers[l.worker].retries++
@@ -477,13 +527,16 @@ func (c *Coordinator) retryShard(sh *shardState, l *lease, reason string, retryA
 	}
 	c.mu.Unlock()
 	c.inc("fleet.retries", obs.Label{Key: "reason", Value: reason})
+	if over {
+		c.inc("fleet.retry_budget_exhausted", obs.Label{Key: "reason", Value: reason})
+	}
 	if reason == retryLeaseExpired {
 		c.inc("fleet.lease_expired", obs.Label{Key: "worker", Value: l.worker})
 	}
 	c.log.Warn("shard retry",
 		obslog.String("shard", sh.shard.Key()), obslog.String("worker", l.worker),
 		obslog.String("reason", reason), obslog.Int("attempts", sh.attempts),
-		obslog.Duration("backoff", wait))
+		obslog.Duration("backoff", wait), obslog.Bool("budget_exhausted", over))
 	c.release(sh, l)
 }
 
@@ -547,6 +600,12 @@ func (c *Coordinator) runLease(ctx context.Context, worker string, sh *shardStat
 		Workloads: []string{sh.shard.Workload},
 		Sites:     []string{sh.shard.Site},
 		Trace:     string(trace),
+		// Deadline propagation: the worker-side job is bounded by the
+		// lease. When the lease expires the coordinator walks away and
+		// re-dispatches — without this the abandoned job would keep
+		// burning worker capacity until the service's own default
+		// timeout, amplifying the overload that slowed it down.
+		TimeoutMs: c.cfg.LeaseTTL.Milliseconds(),
 	}
 	job, err := cl.Submit(ctx, req)
 	if err != nil {
@@ -755,16 +814,20 @@ type WorkerView struct {
 // Status is a point-in-time fleet snapshot, served by usfleet -status
 // and rendered by usstat -fleet.
 type Status struct {
-	State        string       `json:"state"` // running | done | failed
-	ShardsTotal  int          `json:"shards_total"`
-	ShardsDone   int          `json:"shards_done"`
-	Resumed      int          `json:"resumed"`
-	Retries      int          `json:"retries"`
-	LeaseExpired int          `json:"lease_expired"`
-	Hedges       int          `json:"hedges"`
-	HedgeWins    int          `json:"hedge_wins"`
-	Workers      []WorkerView `json:"workers"`
-	Err          string       `json:"error,omitempty"`
+	State        string `json:"state"` // running | done | failed
+	ShardsTotal  int    `json:"shards_total"`
+	ShardsDone   int    `json:"shards_done"`
+	Resumed      int    `json:"resumed"`
+	Dispatches   int    `json:"dispatches"`
+	Retries      int    `json:"retries"`
+	LeaseExpired int    `json:"lease_expired"`
+	Hedges       int    `json:"hedges"`
+	HedgeWins    int    `json:"hedge_wins"`
+	// BudgetExhausted counts retries that were forced onto the slow
+	// lane because the retry budget was spent.
+	BudgetExhausted int          `json:"budget_exhausted"`
+	Workers         []WorkerView `json:"workers"`
+	Err             string       `json:"error,omitempty"`
 }
 
 // Status snapshots the fleet.
@@ -774,8 +837,9 @@ func (c *Coordinator) Status() Status {
 	st := Status{
 		State:       "running",
 		ShardsTotal: len(c.shards), ShardsDone: c.doneCount,
-		Resumed: c.resumed, Retries: c.retries,
+		Resumed: c.resumed, Dispatches: c.dispatches, Retries: c.retries,
 		LeaseExpired: c.leaseExpired, Hedges: c.hedges, HedgeWins: c.hedgeWins,
+		BudgetExhausted: c.budgetExhausted,
 	}
 	if c.runErr != nil {
 		st.State, st.Err = "failed", c.runErr.Error()

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -486,5 +488,153 @@ func TestClientErrorClassification(t *testing.T) {
 	}
 	if !IsBreakerFailure(fmt.Errorf("dial tcp: connection refused")) {
 		t.Fatalf("transport errors are breaker failures")
+	}
+}
+
+// TestOverBudget pins the retry-budget arithmetic: a fraction of total
+// dispatches, exhausted when one more retry would cross it, disabled
+// by a negative budget.
+func TestOverBudget(t *testing.T) {
+	cases := []struct {
+		budget              float64
+		retries, dispatches int
+		want                bool
+	}{
+		{0.5, 0, 1, true},    // 1 retry against 1 dispatch is 100% retries
+		{0.5, 0, 2, false},   // 1 of 2 is exactly the budget
+		{0.5, 1, 2, true},    // 2 of 2 is over
+		{0.5, 30, 63, false}, // 31 of 63 still under half
+		{0.5, 32, 63, true},
+		{-1, 1000, 1, false}, // negative disables the budget entirely
+	}
+	for _, c := range cases {
+		if got := overBudget(c.budget, c.retries, c.dispatches); got != c.want {
+			t.Errorf("overBudget(%v, %d, %d) = %v, want %v",
+				c.budget, c.retries, c.dispatches, got, c.want)
+		}
+	}
+}
+
+// flakyFront wraps a real worker: the first N submits fail with a
+// plain 500, and every submit's decoded request is recorded so the
+// test can check deadline propagation.
+type flakyFront struct {
+	mu       sync.Mutex
+	failures int
+	reqs     []serve.JobRequest
+	backend  http.Handler
+}
+
+func (f *flakyFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/jobs" {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		var req serve.JobRequest
+		json.Unmarshal(data, &req)
+		f.mu.Lock()
+		f.reqs = append(f.reqs, req)
+		fail := f.failures > 0
+		if fail {
+			f.failures--
+		}
+		f.mu.Unlock()
+		if fail {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, "transient storage error")
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(data))
+	}
+	f.backend.ServeHTTP(w, r)
+}
+
+// TestFleetRetryBudgetAndDeadlinePropagation: with a near-zero retry
+// budget, submit failures push retries onto the slow lane (visible in
+// Status and metrics) but the campaign still converges byte-identical;
+// and every dispatched job carries the lease TTL as its server-side
+// timeout so abandoned jobs die with their lease.
+func TestFleetRetryBudgetAndDeadlinePropagation(t *testing.T) {
+	m, err := serve.New(serve.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := &flakyFront{failures: 4, backend: m.Handler()}
+	srv := httptest.NewServer(front)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+
+	cfg := fastConfig(srv.URL)
+	cfg.RetryBudget = 0.01      // first failed submit already exhausts it
+	cfg.BreakerThreshold = 1000 // keep the breaker out of this test
+	cfg.Retry.Max = 30 * time.Millisecond
+	cfg.Metrics = obs.NewRegistry()
+	want := directReport(t)
+	c, got := runFleet(t, cfg)
+	if got != want {
+		t.Fatalf("report diverges after budget-limited retries")
+	}
+
+	st := c.Status()
+	if st.BudgetExhausted < 1 {
+		t.Fatalf("budget never reported exhausted: %+v", st)
+	}
+	if st.Retries < 4 {
+		t.Fatalf("retries = %d, want >= 4 (one per injected failure)", st.Retries)
+	}
+	if st.Dispatches < st.ShardsTotal {
+		t.Fatalf("dispatches = %d, want >= %d shards", st.Dispatches, st.ShardsTotal)
+	}
+	if v := counterValue(cfg.Metrics, "fleet.retry_budget_exhausted"); v < 1 {
+		t.Fatalf("fleet.retry_budget_exhausted = %d, want >= 1", v)
+	}
+
+	front.mu.Lock()
+	defer front.mu.Unlock()
+	if len(front.reqs) == 0 {
+		t.Fatal("no submits recorded")
+	}
+	for i, req := range front.reqs {
+		if req.TimeoutMs != cfg.LeaseTTL.Milliseconds() {
+			t.Fatalf("submit %d carried timeout_ms %d, want lease TTL %d",
+				i, req.TimeoutMs, cfg.LeaseTTL.Milliseconds())
+		}
+	}
+}
+
+// TestClientReadyTracksDrain: readiness fails once the worker starts
+// draining while liveness keeps answering — the signal deploy and
+// chaos tooling must gate dispatch on.
+func TestClientReadyTracksDrain(t *testing.T) {
+	m, err := serve.New(serve.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	cl := NewClient(srv.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Ready(ctx); err != nil {
+		t.Fatalf("healthy worker not ready: %v", err)
+	}
+	m.Drain(ctx)
+	if err := cl.Healthz(ctx); err != nil {
+		t.Fatalf("drained worker should stay live: %v", err)
+	}
+	err = cl.Ready(ctx)
+	if err == nil {
+		t.Fatal("drained worker still reports ready")
+	}
+	herr, ok := err.(*HTTPError)
+	if !ok || herr.Status != 503 || herr.Kind != serve.KindDraining {
+		t.Fatalf("readiness failure = %v, want 503 %s", err, serve.KindDraining)
 	}
 }

@@ -10,8 +10,10 @@ import (
 // files must be written through internal/atomicio (temp file + fsync +
 // rename), so a crash — even power loss — leaves either the old complete
 // file or the new complete file, never a torn one. It applies to
-// ultrascalar/internal/serve and internal/exp, the two packages that
-// persist such artifacts.
+// ultrascalar/internal/serve, internal/exp and internal/rescache, the
+// packages that persist such artifacts — rescache especially: a torn
+// cache entry would fail its own SHA-256 check and force a pointless
+// quarantine + recompute on the next read.
 //
 // Flagged constructs:
 //   - os.Create, os.WriteFile and os.OpenFile — a raw destination write
@@ -34,7 +36,13 @@ var AtomicWrite = &Analyzer{
 // atomicWriteScope reports whether the package persists durable
 // artifacts and is therefore under the contract.
 func atomicWriteScope(path string) bool {
-	return path == "ultrascalar/internal/serve" || path == "ultrascalar/internal/exp"
+	switch path {
+	case "ultrascalar/internal/serve",
+		"ultrascalar/internal/exp",
+		"ultrascalar/internal/rescache":
+		return true
+	}
+	return false
 }
 
 // rawWriteFuncs maps package path -> function name -> hazard note.

@@ -126,6 +126,14 @@ func TestAtomicWriteFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "atomicwrite"), "ultrascalar/internal/serve", lint.AtomicWrite)
 }
 
+// TestAtomicWriteRescacheScope runs the same fixture under the result
+// cache's import path: cache entries carry a SHA-256 over their payload,
+// so a torn raw write would be quarantined as corruption on the next
+// read — every crash-atomicity expectation must fire there too.
+func TestAtomicWriteRescacheScope(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "atomicwrite"), "ultrascalar/internal/rescache", lint.AtomicWrite)
+}
+
 func TestBitvecSafeFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "bitvecsafe"), "ultrascalar/internal/core", lint.BitvecSafe)
 }

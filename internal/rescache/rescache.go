@@ -1,0 +1,201 @@
+// Package rescache is a content-addressed result cache for simulation
+// artifacts. An entry is keyed by the SHA-256 of a canonical run
+// manifest (normalized job config + the commit the binary was built
+// from), so "same config at the same code" can serve a stored report
+// instead of re-simulating — and nothing else ever can, because a code
+// or config change moves the key.
+//
+// Integrity is not assumed, it is checked: every entry embeds the
+// SHA-256 and byte length of its payload, and Get re-verifies both on
+// every read. A corrupted or truncated entry — a flipped bit, a torn
+// tail, a hand-edited file — is never served; it is moved into a
+// quarantine/ subdirectory for post-mortems, counted, logged, and
+// reported as a miss so the caller recomputes and re-stores. Entries
+// are written only through internal/atomicio (enforced by the uslint
+// atomicwrite analyzer), so a crash mid-store leaves the previous
+// complete entry or none, never a torn one. Stores are best-effort:
+// a full disk degrades the cache to a pass-through, it never fails
+// the job that produced the result.
+package rescache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ultrascalar/internal/atomicio"
+	"ultrascalar/internal/obs"
+	obslog "ultrascalar/internal/obs/log"
+)
+
+// QuarantineDir is the subdirectory of the cache root that corrupt
+// entries are moved into (never deleted — they are the evidence).
+const QuarantineDir = "quarantine"
+
+// Options configures a Cache.
+type Options struct {
+	// Metrics receives hit/miss/store/quarantine counters. Nil uses a
+	// private registry (the counters still work, nobody scrapes them).
+	Metrics *obs.Registry
+	// Prefix is the metric-name prefix (default "cache"): the cache
+	// registers <prefix>.hits, .misses, .stores, .store_errors and
+	// .quarantines.
+	Prefix string
+	// Log, when non-nil, receives warnings for quarantines and store
+	// failures under component "cache".
+	Log *obslog.Logger
+}
+
+// Cache is a directory of integrity-checked result entries. All
+// methods are safe for concurrent use (atomicio renames are atomic;
+// counters are atomic; quarantine renames are idempotent).
+type Cache struct {
+	dir        string
+	quarantine string
+	log        *obslog.Logger
+
+	hits        *obs.Counter
+	misses      *obs.Counter
+	stores      *obs.Counter
+	storeErrors *obs.Counter
+	quarantines *obs.Counter
+}
+
+// Key derives the cache key for a canonical manifest: the lowercase
+// hex SHA-256 of its bytes. Callers are responsible for canonical
+// encoding (deterministic field order — e.g. json.Marshal of a fixed
+// struct), so equal configs collide and unequal ones cannot.
+func Key(manifest []byte) string {
+	sum := sha256.Sum256(manifest)
+	return hex.EncodeToString(sum[:])
+}
+
+// Open creates (if needed) the cache directory and its quarantine
+// subdirectory and returns the cache handle.
+func Open(dir string, opts Options) (*Cache, error) {
+	q := filepath.Join(dir, QuarantineDir)
+	if err := os.MkdirAll(q, 0o755); err != nil {
+		return nil, fmt.Errorf("rescache: creating %s: %w", q, err)
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	prefix := opts.Prefix
+	if prefix == "" {
+		prefix = "cache"
+	}
+	return &Cache{
+		dir:         dir,
+		quarantine:  q,
+		log:         opts.Log.With("cache"),
+		hits:        reg.Counter(prefix + ".hits"),
+		misses:      reg.Counter(prefix + ".misses"),
+		stores:      reg.Counter(prefix + ".stores"),
+		storeErrors: reg.Counter(prefix + ".store_errors"),
+		quarantines: reg.Counter(prefix + ".quarantines"),
+	}, nil
+}
+
+// Dir returns the cache root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// header is the first line of an entry file: the key it claims to be,
+// and the length and SHA-256 of the payload that follows the newline.
+type header struct {
+	Key    string `json:"key"`
+	SHA256 string `json:"sha256"`
+	Len    int64  `json:"len"`
+}
+
+// entryPath places entries flat in the root; keys are 64 hex chars so
+// names never collide with the quarantine directory.
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".entry")
+}
+
+// Get returns the payload stored under key, verifying length and
+// SHA-256 first. A missing entry is a plain miss. An entry that fails
+// any check — unparsable header, key mismatch, truncation, hash
+// mismatch — is quarantined, logged and reported as a miss: a corrupt
+// result is never served, the caller recomputes.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	path := c.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.misses.Inc()
+		return nil, false
+	}
+	reason, payload := verify(key, data)
+	if reason != "" {
+		c.quarantineEntry(path, key, reason)
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	return payload, true
+}
+
+// verify checks an entry's framing and integrity; it returns a
+// non-empty reason on any failure, or the verified payload.
+func verify(key string, data []byte) (reason string, payload []byte) {
+	idx := bytes.IndexByte(data, '\n')
+	if idx < 0 {
+		return "missing header delimiter", nil
+	}
+	var h header
+	if err := json.Unmarshal(data[:idx], &h); err != nil {
+		return "unparsable header", nil
+	}
+	if h.Key != key {
+		return "key mismatch (entry claims " + h.Key + ")", nil
+	}
+	payload = data[idx+1:]
+	if int64(len(payload)) != h.Len {
+		return fmt.Sprintf("truncated payload: %d bytes, header says %d", len(payload), h.Len), nil
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != h.SHA256 {
+		return "payload hash mismatch", nil
+	}
+	return "", payload
+}
+
+// Put stores payload under key, best-effort. It reports whether the
+// store succeeded; a failure (disk full, I/O error) is counted and
+// logged but must never fail the computation that produced the
+// payload — the cache degrades to a pass-through.
+func (c *Cache) Put(key string, payload []byte) bool {
+	sum := sha256.Sum256(payload)
+	hb, err := json.Marshal(header{Key: key, SHA256: hex.EncodeToString(sum[:]), Len: int64(len(payload))})
+	if err != nil {
+		c.storeErrors.Inc()
+		return false
+	}
+	buf := make([]byte, 0, len(hb)+1+len(payload))
+	buf = append(append(append(buf, hb...), '\n'), payload...)
+	if err := atomicio.WriteFile(c.entryPath(key), buf, 0o644); err != nil {
+		c.storeErrors.Inc()
+		c.log.Warn("cache store failed",
+			obslog.String("key", key), obslog.String("error", err.Error()))
+		return false
+	}
+	c.stores.Inc()
+	return true
+}
+
+// quarantineEntry moves a corrupt entry aside (removing it if the move
+// itself fails — it must not be served on the next read either way).
+func (c *Cache) quarantineEntry(path, key, reason string) {
+	dst := filepath.Join(c.quarantine, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	c.quarantines.Inc()
+	c.log.Warn("cache entry quarantined",
+		obslog.String("key", key), obslog.String("reason", reason))
+}

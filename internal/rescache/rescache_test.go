@@ -1,0 +1,194 @@
+package rescache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ultrascalar/internal/atomicio"
+	"ultrascalar/internal/obs"
+)
+
+func openTest(t *testing.T) (*Cache, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	c, err := Open(t.TempDir(), Options{Metrics: reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return c, reg
+}
+
+func counter(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name).Value()
+}
+
+func TestKeyDeterministicAndDistinct(t *testing.T) {
+	a := Key([]byte(`{"kind":"sweep","window":8}`))
+	b := Key([]byte(`{"kind":"sweep","window":8}`))
+	c := Key([]byte(`{"kind":"sweep","window":16}`))
+	if a != b {
+		t.Fatalf("equal manifests produced different keys: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Fatal("different manifests collided")
+	}
+	if len(a) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, reg := openTest(t)
+	key := Key([]byte("manifest"))
+	payload := []byte("report bytes, exactly as computed")
+	if !c.Put(key, payload) {
+		t.Fatal("Put failed")
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("Get missed a stored entry")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mutated: %q", got)
+	}
+	if h := counter(t, reg, "cache.hits"); h != 1 {
+		t.Fatalf("hits = %d, want 1", h)
+	}
+	if s := counter(t, reg, "cache.stores"); s != 1 {
+		t.Fatalf("stores = %d, want 1", s)
+	}
+}
+
+func TestGetMissingIsPlainMiss(t *testing.T) {
+	c, reg := openTest(t)
+	if _, ok := c.Get(Key([]byte("never stored"))); ok {
+		t.Fatal("Get hit on a missing key")
+	}
+	if m := counter(t, reg, "cache.misses"); m != 1 {
+		t.Fatalf("misses = %d, want 1", m)
+	}
+	if q := counter(t, reg, "cache.quarantines"); q != 0 {
+		t.Fatalf("quarantines = %d, want 0 for a plain miss", q)
+	}
+}
+
+// corruptEntry applies fn to the stored entry file's bytes and writes
+// the result back in place (raw write — we are simulating damage).
+func corruptEntry(t *testing.T, c *Cache, key string, fn func([]byte) []byte) {
+	t.Helper()
+	path := c.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading entry to corrupt: %v", err)
+	}
+	if err := os.WriteFile(path, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionQuarantinedNeverServed walks the corruption modes —
+// payload bit flip, truncation, garbage header, key mismatch — and for
+// each asserts: the read is a miss (never the damaged bytes), the
+// entry lands in quarantine/, the quarantine counter moves, and a
+// recompute-and-Put makes the key serve clean bytes again.
+func TestCorruptionQuarantinedNeverServed(t *testing.T) {
+	payload := []byte("the one true report, 42 cells, all clean")
+	cases := []struct {
+		name string
+		fn   func([]byte) []byte
+	}{
+		{"bit-flip", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-3] ^= 0x40
+			return out
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"garbage-header", func(b []byte) []byte { return append([]byte("not json\n"), payload...) }},
+		{"no-delimiter", func(b []byte) []byte { return []byte("one long line with no newline at all") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, reg := openTest(t)
+			key := Key([]byte("m-" + tc.name))
+			if !c.Put(key, payload) {
+				t.Fatal("Put failed")
+			}
+			corruptEntry(t, c, key, tc.fn)
+			if got, ok := c.Get(key); ok {
+				t.Fatalf("corrupt entry was served: %q", got)
+			}
+			if q := counter(t, reg, "cache.quarantines"); q != 1 {
+				t.Fatalf("quarantines = %d, want 1", q)
+			}
+			ents, err := os.ReadDir(filepath.Join(c.Dir(), QuarantineDir))
+			if err != nil || len(ents) != 1 {
+				t.Fatalf("quarantine dir holds %d entries (err %v), want 1", len(ents), err)
+			}
+			if _, ok := c.Get(key); ok {
+				t.Fatal("second Get after quarantine still hit")
+			}
+			// Recompute-and-restore: the key must serve clean bytes again.
+			if !c.Put(key, payload) {
+				t.Fatal("re-Put failed")
+			}
+			got, ok := c.Get(key)
+			if !ok || string(got) != string(payload) {
+				t.Fatalf("after re-store: ok=%v payload=%q", ok, got)
+			}
+		})
+	}
+}
+
+// TestKeyMismatchQuarantined: an entry renamed to another key's path
+// (or a path-traversal splice) fails the self-identifying key check.
+func TestKeyMismatchQuarantined(t *testing.T) {
+	c, reg := openTest(t)
+	keyA, keyB := Key([]byte("a")), Key([]byte("b"))
+	if !c.Put(keyA, []byte("payload A")) {
+		t.Fatal("Put failed")
+	}
+	if err := os.Rename(c.entryPath(keyA), c.entryPath(keyB)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(keyB); ok {
+		t.Fatal("entry served under the wrong key")
+	}
+	if q := counter(t, reg, "cache.quarantines"); q != 1 {
+		t.Fatalf("quarantines = %d, want 1", q)
+	}
+}
+
+// TestPutBestEffortUnderDiskFaults: an injected ENOSPC during the
+// store is counted, leaves no debris and no entry, and does not panic
+// or corrupt anything; the next (healthy) Put succeeds.
+func TestPutBestEffortUnderDiskFaults(t *testing.T) {
+	c, reg := openTest(t)
+	key := Key([]byte("m"))
+	atomicio.SetFaults(atomicio.Faults{WriteENOSPCEvery: 1})
+	ok := c.Put(key, []byte("payload"))
+	atomicio.SetFaults(atomicio.Faults{})
+	if ok {
+		t.Fatal("Put under ENOSPC reported success")
+	}
+	if se := counter(t, reg, "cache.store_errors"); se != 1 {
+		t.Fatalf("store_errors = %d, want 1", se)
+	}
+	if _, hit := c.Get(key); hit {
+		t.Fatal("failed store left a servable entry")
+	}
+	ents, _ := os.ReadDir(c.Dir())
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp debris after failed store: %s", e.Name())
+		}
+	}
+	if !c.Put(key, []byte("payload")) {
+		t.Fatal("healthy Put after fault failed")
+	}
+	if got, hit := c.Get(key); !hit || string(got) != "payload" {
+		t.Fatalf("after recovery: hit=%v payload=%q", hit, got)
+	}
+}

@@ -1,0 +1,116 @@
+// Adaptive admission: a CoDel-style queue-delay controller with
+// per-job-class shedding, replacing "is the queue full?" as the only
+// overload signal. Queue *depth* is a memory bound, not a latency
+// bound: a queue of 16 one-minute campaigns is a sixteen-minute wait
+// that a fixed-depth check happily accepts. CoDel's insight (Nichols &
+// Jacobson) is that the standing queue — delay persistently above a
+// small target — is the congestion signal, while short bursts above
+// target are fine and must not shed. The controller here applies that
+// one layer up from packets: when measured queue delay stays above
+// AdmitTarget for a full AdmitInterval, the service starts shedding
+// the lowest-priority job class, and escalates one class per further
+// interval of sustained overload. Any observation back under the
+// target collapses the state to "admit everything" immediately.
+//
+// The class order encodes what the service is for: campaigns (the
+// expensive, checkpointed, fleet-coordinated work) are never
+// delay-shed — only the hard QueueCap bound refuses them; sweeps go
+// next-to-last; interactive sims are shed first. The hard QueueCap
+// check stays as the memory backstop for every class.
+package serve
+
+import "time"
+
+// Job classes in shed-priority order: lower values are shed first.
+const (
+	classSim = iota
+	classSweep
+	classCampaign
+	numClasses
+)
+
+// maxShedLevel caps escalation one short of the top class: campaigns
+// are never shed by the delay controller, only by QueueCap.
+const maxShedLevel = numClasses - 1
+
+// classPriority maps a job kind to its shed-priority class.
+func classPriority(kind string) int {
+	switch kind {
+	case "campaign":
+		return classCampaign
+	case "sweep":
+		return classSweep
+	default:
+		return classSim
+	}
+}
+
+// className is the metric-label spelling of a class.
+func className(class int) string {
+	switch class {
+	case classCampaign:
+		return "campaign"
+	case classSweep:
+		return "sweep"
+	default:
+		return "sim"
+	}
+}
+
+// admitState is the delay controller. It is owned by the Manager and
+// only touched under m.mu; observations come from two places — every
+// dequeue reports the claimed entry's full sojourn time, and every
+// Submit reports the head-of-line age, so a stalled worker pool raises
+// pressure even when nothing is being dequeued.
+type admitState struct {
+	target   time.Duration
+	interval time.Duration
+	disabled bool
+
+	// firstAbove is when delay first rose above target without coming
+	// back down (zero = currently below target).
+	firstAbove time.Time
+	// level is the current shed severity: classes below it are shed.
+	level int
+	// lastDelay is the most recent observation, for logs and errors.
+	lastDelay time.Duration
+}
+
+// observe feeds one queue-delay measurement to the controller.
+func (a *admitState) observe(d time.Duration, now time.Time) {
+	if a.disabled {
+		return
+	}
+	a.lastDelay = d
+	if d < a.target {
+		// One good observation ends the overload episode: CoDel's
+		// "leave dropping state the moment the standing queue drains".
+		a.firstAbove = time.Time{}
+		a.level = 0
+		return
+	}
+	if a.firstAbove.IsZero() {
+		// A burst above target gets a full interval of grace before any
+		// shedding starts.
+		a.firstAbove = now
+		return
+	}
+	lvl := int(now.Sub(a.firstAbove) / a.interval)
+	if lvl > maxShedLevel {
+		lvl = maxShedLevel
+	}
+	if lvl > a.level {
+		a.level = lvl
+	}
+}
+
+// sheds reports whether the controller currently sheds the class.
+func (a *admitState) sheds(class int) bool {
+	return !a.disabled && class < a.level
+}
+
+// queueDelayMsBounds buckets queue sojourn times from sub-millisecond
+// idle claims out to minute-scale waits behind queued campaigns.
+var queueDelayMsBounds = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000,
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ultrascalar/internal/obs"
+	"ultrascalar/internal/rescache"
+)
+
+// cacheTestManager builds a manager with the result cache enabled and
+// real job execution (the cache path is bypassed when testExec is set).
+func cacheTestManager(t *testing.T) (*Manager, string, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	m := newTestManager(t, Config{
+		Workers: 1, CacheDir: cacheDir, Metrics: reg,
+	})
+	return m, cacheDir, reg
+}
+
+// TestCacheHitByteIdentical: the second identical request is served
+// from the cache, marked Cached, and its report is byte-identical to
+// the computed one; a different config misses.
+func TestCacheHitByteIdentical(t *testing.T) {
+	m, _, reg := cacheTestManager(t)
+	req := JobRequest{Kind: "sim", Arch: "ultra1", Window: 8, Workload: "fib"}
+
+	first, serr := m.Submit(req)
+	if serr != nil {
+		t.Fatalf("Submit: %v", serr)
+	}
+	computed := waitState(t, m, first.ID, StateDone)
+	if computed.Cached {
+		t.Fatal("first run claims to be cached")
+	}
+	if computed.Report == "" {
+		t.Fatal("first run produced no report")
+	}
+
+	second, serr := m.Submit(req)
+	if serr != nil {
+		t.Fatalf("Submit (cached): %v", serr)
+	}
+	hit := waitState(t, m, second.ID, StateDone)
+	if !hit.Cached {
+		t.Fatal("second identical run was not served from cache")
+	}
+	if hit.Report != computed.Report {
+		t.Fatalf("cache hit not byte-identical:\n--- computed ---\n%s--- cached ---\n%s", computed.Report, hit.Report)
+	}
+	if v := reg.Counter("serve.cache.hits").Value(); v != 1 {
+		t.Fatalf("cache hits = %d, want 1", v)
+	}
+
+	other, serr := m.Submit(JobRequest{Kind: "sim", Arch: "ultra2", Window: 8, Workload: "fib"})
+	if serr != nil {
+		t.Fatalf("Submit (other config): %v", serr)
+	}
+	if j := waitState(t, m, other.ID, StateDone); j.Cached {
+		t.Fatal("different config was served from cache")
+	}
+}
+
+// TestCacheCampaignHitCarriesCells: a cached campaign job still
+// returns its structured cells (the fleet merge path reads them, not
+// the text report).
+func TestCacheCampaignHitCarriesCells(t *testing.T) {
+	m, _, _ := cacheTestManager(t)
+	req := JobRequest{
+		Kind: "campaign", Window: 4, Trials: 1, Seed: 1,
+		Archs: []string{"ultra1"}, Sites: []string{"result-bit"}, Workloads: []string{"fib"},
+	}
+	first, serr := m.Submit(req)
+	if serr != nil {
+		t.Fatalf("Submit: %v", serr)
+	}
+	computed := waitState(t, m, first.ID, StateDone)
+	if len(computed.Cells) == 0 {
+		t.Fatal("computed campaign has no cells")
+	}
+	second, serr := m.Submit(req)
+	if serr != nil {
+		t.Fatalf("Submit (cached): %v", serr)
+	}
+	hit := waitState(t, m, second.ID, StateDone)
+	if !hit.Cached {
+		t.Fatal("identical campaign was not served from cache")
+	}
+	if hit.Report != computed.Report || len(hit.Cells) != len(computed.Cells) {
+		t.Fatalf("cached campaign mismatch: report identical=%v cells %d vs %d",
+			hit.Report == computed.Report, len(hit.Cells), len(computed.Cells))
+	}
+}
+
+// TestCacheCorruptionRecomputedNeverServed: corrupt the stored entry;
+// the next identical request must quarantine it and recompute — the
+// response is byte-identical to the original computation and not
+// marked cached; the one after that hits the re-stored clean entry.
+func TestCacheCorruptionRecomputedNeverServed(t *testing.T) {
+	m, cacheDir, reg := cacheTestManager(t)
+	req := JobRequest{Kind: "sim", Arch: "hybrid", Window: 8, Workload: "fib"}
+
+	first, serr := m.Submit(req)
+	if serr != nil {
+		t.Fatalf("Submit: %v", serr)
+	}
+	computed := waitState(t, m, first.ID, StateDone)
+
+	// Flip bytes in every stored entry (there is exactly one).
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".entry") {
+			continue
+		}
+		path := filepath.Join(cacheDir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted != 1 {
+		t.Fatalf("corrupted %d entries, want 1", corrupted)
+	}
+
+	recomputed, serr := m.Submit(req)
+	if serr != nil {
+		t.Fatalf("Submit after corruption: %v", serr)
+	}
+	j := waitState(t, m, recomputed.ID, StateDone)
+	if j.Cached {
+		t.Fatal("corrupt entry was served")
+	}
+	if j.Report != computed.Report {
+		t.Fatal("recomputed report differs from original")
+	}
+	if v := reg.Counter("serve.cache.quarantines").Value(); v != 1 {
+		t.Fatalf("quarantines = %d, want 1", v)
+	}
+	qents, err := os.ReadDir(filepath.Join(cacheDir, rescache.QuarantineDir))
+	if err != nil || len(qents) != 1 {
+		t.Fatalf("quarantine dir holds %d entries (err %v), want 1", len(qents), err)
+	}
+
+	again, serr := m.Submit(req)
+	if serr != nil {
+		t.Fatalf("Submit after recompute: %v", serr)
+	}
+	if j := waitState(t, m, again.ID, StateDone); !j.Cached || j.Report != computed.Report {
+		t.Fatalf("re-stored entry: cached=%v identical=%v", j.Cached, j.Report == computed.Report)
+	}
+}

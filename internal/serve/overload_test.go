@@ -22,10 +22,15 @@ import (
 // rate estimation, and the bounds are exact rather than statistical.
 
 // overloadManager builds a manager whose jobs block until released.
+// The delay controller is disabled (AdmitTarget < 0): these tests pin
+// the hard-bound conservation arithmetic, which must hold with or
+// without CoDel on top, and the blocking executor would otherwise
+// accumulate real-clock queue delay and make shedding timing-dependent.
 func overloadManager(t *testing.T, queueCap, workers int) (*Manager, chan struct{}) {
 	t.Helper()
 	release := make(chan struct{})
-	m := newTestManager(t, Config{QueueCap: queueCap, Workers: workers, Metrics: obs.NewRegistry()})
+	m := newTestManager(t, Config{QueueCap: queueCap, Workers: workers,
+		AdmitTarget: -1, Metrics: obs.NewRegistry()})
 	m.testExec = func(ctx context.Context, job *Job) (string, error) {
 		select {
 		case <-release:
@@ -73,11 +78,29 @@ func TestOverloadShedRateAndQueueDepth(t *testing.T) {
 		t.Fatalf("shed %d + admitted %d != offered %d", shed, admitted, offered)
 	}
 
+	// Top the system up to full saturation: the burst's admitted count
+	// lands anywhere in [Q, Q+c] depending on how quickly workers
+	// claimed, and the sustained conservation arithmetic below needs
+	// exactly c running + Q queued. Keep offering until Q+c jobs have
+	// been admitted; the extra offers join the shed accounting.
+	offered2 := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for admitted < queueCap+workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("system never saturated: admitted %d, want %d", admitted, queueCap+workers)
+		}
+		offered2++
+		if _, serr := m.Submit(JobRequest{Kind: "sim", Arch: "ultra1", Window: 4, Workload: "fib"}); serr == nil {
+			admitted++
+		} else {
+			shed++
+			time.Sleep(time.Millisecond)
+		}
+	}
 	// The saturated queue must be visible to a scraper: depth gauge at
 	// capacity (workers hold c more outside the queue), shed counter
 	// matching the observed rejections. Workers drain asynchronously,
 	// so wait for the depth gauge to settle at Q.
-	deadline := time.Now().Add(5 * time.Second)
 	for {
 		if depth := m.mDepth.Value(); depth == queueCap {
 			break

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ultrascalar/internal/atomicio"
@@ -35,6 +36,7 @@ import (
 	"ultrascalar/internal/fault"
 	"ultrascalar/internal/obs"
 	obslog "ultrascalar/internal/obs/log"
+	"ultrascalar/internal/rescache"
 	"ultrascalar/internal/workload"
 )
 
@@ -43,15 +45,16 @@ import (
 // config livelocked" from "the service is busy" without parsing
 // messages.
 const (
-	KindTimeout       = "timeout"        // job exceeded its deadline
-	KindLivelock      = "livelock"       // engine watchdog proved no forward progress
-	KindInvalidConfig = "invalid-config" // request rejected at admission
-	KindShed          = "shed"           // admission queue full
-	KindDraining      = "draining"       // service is shutting down
-	KindBreakerOpen   = "breaker-open"   // config class tripped the circuit breaker
-	KindCanceled      = "canceled"       // job canceled by the client
-	KindInternal      = "internal"       // unexpected execution failure
-	KindNotFound      = "not-found"      // no such job
+	KindTimeout       = "timeout"            // job exceeded its deadline
+	KindLivelock      = "livelock"           // engine watchdog proved no forward progress
+	KindInvalidConfig = "invalid-config"     // request rejected at admission
+	KindShed          = "shed"               // admission queue full
+	KindDraining      = "draining"           // service is shutting down
+	KindBreakerOpen   = "breaker-open"       // config class tripped the circuit breaker
+	KindCanceled      = "canceled"           // job canceled by the client
+	KindInternal      = "internal"           // unexpected execution failure
+	KindNotFound      = "not-found"          // no such job
+	KindResource      = "resource-exhausted" // disk full / I/O failure persisting state; retryable
 )
 
 // Error is a structured service error: a taxonomy kind, a human
@@ -134,6 +137,14 @@ type Job struct {
 	Cells         []fault.Cell `json:"cells,omitempty"`
 	Attempts      int          `json:"attempts"`
 	ResumedShards int          `json:"resumed_shards,omitempty"`
+	// Retryable marks a failed job whose failure was environmental
+	// (resource exhaustion while persisting state), not a property of
+	// the config: resubmitting the same request is expected to succeed.
+	Retryable bool `json:"retryable,omitempty"`
+	// Cached marks a done job whose report was served from the result
+	// cache (byte-identical to recomputation by construction — the
+	// entry is integrity-checked on read).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Clock abstracts wall time so tests drive deadlines and breaker
@@ -146,8 +157,26 @@ type Config struct {
 	// campaign checkpoints in Dir/checkpoints.
 	Dir string
 	// QueueCap bounds the admission queue; submissions beyond it are
-	// shed with 503 + Retry-After (default 16).
+	// shed with 503 + Retry-After (default 16). This is the hard memory
+	// bound and applies to every job class; the delay controller below
+	// usually sheds long before it is reached.
 	QueueCap int
+	// AdmitTarget is the CoDel-style queue-delay target: delay
+	// persistently above it for AdmitInterval starts shedding the
+	// lowest-priority job class (sim first, then sweep; campaigns are
+	// never delay-shed). 0 = default 100ms; negative disables the
+	// delay controller entirely, leaving only QueueCap.
+	AdmitTarget time.Duration
+	// AdmitInterval is how long delay must stay above AdmitTarget
+	// before shedding starts, and how long between escalations
+	// (default 1s).
+	AdmitInterval time.Duration
+	// CacheDir, when set, enables the content-addressed result cache:
+	// a finished job's report is stored keyed by the SHA-256 of its
+	// normalized request + the build's commit, and an identical later
+	// request is served from the cache (integrity-checked on read)
+	// instead of re-simulating.
+	CacheDir string
 	// Workers is the number of concurrent job executors (default 2).
 	Workers int
 	// DefaultTimeout bounds jobs that do not request one (default 60s).
@@ -190,20 +219,34 @@ type Manager struct {
 	order      []string // job IDs, ascending; listings and recovery iterate this
 	cancels    map[string]context.CancelFunc
 	nextSeq    int
-	depth      int // queued-but-not-yet-claimed jobs, vs cfg.QueueCap
+	depth      int // queued-but-not-yet-claimed entries across all classes, vs cfg.QueueCap
 	draining   bool
 	progress   map[string]shardProgress // campaign shard completion, by job ID
 	queueSpans map[string]obslog.Span   // open queue-wait spans, by job ID
 	progCond   *sync.Cond               // broadcast on progress / job-state change
 
-	queue chan string
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	// queues holds the admission queue as one FIFO per job class;
+	// workers claim from the highest class first, so under pressure
+	// campaigns run ahead of sweeps ahead of sims. workCond (on m.mu)
+	// wakes waiting workers on enqueue and on drain.
+	queues   [numClasses][]queueEntry
+	workCond *sync.Cond
+	admit    admitState
+	wg       sync.WaitGroup
+
+	// cache is the content-addressed result cache (nil = off) and
+	// cacheCommit the build-identity component of its keys.
+	cache       *rescache.Cache
+	cacheCommit string
 
 	mDepth           *obs.Gauge
 	mShed, mDone     *obs.Counter
 	mFailed, mSubmit *obs.Counter
 	mBreaker         *obs.Counter
+	mQueueDelay      *obs.Histogram
+	mAdmitLevel      *obs.Gauge
+	mPersistErr      *obs.Counter
+	mShedClass       [numClasses]*obs.Counter
 	inflight         atomic.Int64 // in-flight HTTP requests, mirrored to a gauge
 
 	// testExec, when set, replaces real job execution; tests use it to
@@ -215,6 +258,13 @@ type Manager struct {
 type shardProgress struct {
 	Done  int
 	Total int
+}
+
+// queueEntry is one admission-queue slot: the job and when it was
+// enqueued, so the claim measures the true sojourn time.
+type queueEntry struct {
+	id       string
+	enqueued time.Time
 }
 
 // New builds a Manager rooted at cfg.Dir, recovers any jobs a previous
@@ -242,6 +292,12 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 30 * time.Second
 	}
+	if cfg.AdmitTarget == 0 {
+		cfg.AdmitTarget = 100 * time.Millisecond
+	}
+	if cfg.AdmitInterval <= 0 {
+		cfg.AdmitInterval = time.Second
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now //uslint:allow detorder -- wall clock is serving policy (deadlines, cooldowns, Retry-After), never experiment data
 	}
@@ -265,10 +321,15 @@ func New(cfg Config) (*Manager, error) {
 		cancels:    map[string]context.CancelFunc{},
 		progress:   map[string]shardProgress{},
 		queueSpans: map[string]obslog.Span{},
-		stop:       make(chan struct{}),
 		nextSeq:    1,
+		admit: admitState{
+			target:   cfg.AdmitTarget,
+			interval: cfg.AdmitInterval,
+			disabled: cfg.AdmitTarget < 0,
+		},
 	}
 	m.progCond = sync.NewCond(&m.mu)
+	m.workCond = sync.NewCond(&m.mu)
 	if r := cfg.Metrics; r != nil {
 		m.mDepth = r.Gauge("serve.queue_depth")
 		m.mShed = r.Counter("serve.shed")
@@ -276,6 +337,23 @@ func New(cfg Config) (*Manager, error) {
 		m.mFailed = r.Counter("serve.jobs_failed")
 		m.mSubmit = r.Counter("serve.jobs_submitted")
 		m.mBreaker = r.Counter("serve.breaker_trips")
+		m.mQueueDelay = r.Histogram("serve.queue_delay_ms", queueDelayMsBounds)
+		m.mAdmitLevel = r.Gauge("serve.admit_level")
+		m.mPersistErr = r.Counter("serve.persist_errors")
+		for cls := 0; cls < numClasses; cls++ {
+			m.mShedClass[cls] = r.Counter(obs.LabeledName("serve.shed_class",
+				obs.Label{Key: "class", Value: className(cls)}))
+		}
+	}
+	if cfg.CacheDir != "" {
+		cache, err := rescache.Open(cfg.CacheDir, rescache.Options{
+			Metrics: cfg.Metrics, Prefix: "serve.cache", Log: cfg.Log,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening result cache: %w", err)
+		}
+		m.cache = cache
+		m.cacheCommit = obs.NewManifest("usserve").GitCommit
 	}
 	// The transition hook runs under the breaker mutex: it may only
 	// touch atomics and the logger, never the manager lock or the
@@ -299,14 +377,15 @@ func New(cfg Config) (*Manager, error) {
 		m.log.Info("recovered jobs",
 			obslog.Int("jobs", len(m.order)), obslog.Int("runnable", len(runnable)))
 	}
-	// The channel never blocks a sender: capacity covers the admission
-	// bound plus everything recovery re-enqueues.
-	m.queue = make(chan string, cfg.QueueCap+len(runnable))
+	// Recovered jobs may exceed QueueCap (the queues are slices, not a
+	// bounded channel); Submit keeps shedding new work until the
+	// backlog drains below the cap.
+	m.mu.Lock()
+	now := cfg.Clock()
 	for _, id := range runnable {
-		m.queue <- id
-		m.depth++
+		m.enqueueLocked(m.jobs[id], now)
 	}
-	m.gaugeDepth()
+	m.mu.Unlock()
 
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
@@ -475,7 +554,9 @@ func kernelByName(name string) (workload.Workload, bool) {
 // rejection order is deliberate: drain first (the service is going
 // away), then validation (bad requests never consume queue space), then
 // the breaker (known-bad classes are refused while capacity remains for
-// healthy ones), then queue capacity (shed with Retry-After).
+// healthy ones), then admission (hard queue capacity for every class,
+// or the delay controller shedding this request's class — both answer
+// 503 + Retry-After).
 func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -488,15 +569,19 @@ func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
 	if serr := m.breakers.allow(configClass(req)); serr != nil {
 		return nil, serr
 	}
-	if m.depth >= m.cfg.QueueCap {
-		if m.mShed != nil {
-			m.mShed.Inc()
-		}
-		m.log.Warn("job shed", obslog.String("kind", req.Kind), obslog.Int("depth", m.depth))
-		return nil, &Error{
-			Kind: KindShed, Status: 503, RetryAfter: time.Second,
-			Msg: fmt.Sprintf("admission queue full (%d queued)", m.depth),
-		}
+	now := m.cfg.Clock()
+	cls := classPriority(req.Kind)
+	// Feed the controller the head-of-line age too: when the worker
+	// pool is stalled nothing is being dequeued, and the submit path is
+	// the only place left to notice the standing queue growing old. An
+	// empty queue is an explicit zero-delay observation — the standing
+	// queue is gone, so any overload episode ends here even if the last
+	// dequeue measured a long sojourn.
+	age, _ := m.oldestQueuedAgeLocked(now)
+	m.admit.observe(age, now)
+	m.gaugeAdmitLevel()
+	if serr := m.shedCheckLocked(cls, req.Kind); serr != nil {
+		return nil, serr
 	}
 
 	job := &Job{
@@ -515,9 +600,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
 	m.persistLocked(job)
-	m.queue <- job.ID
-	m.depth++
-	m.gaugeDepth()
+	m.enqueueLocked(job, now)
 	if m.mSubmit != nil {
 		m.mSubmit.Inc()
 	}
@@ -528,6 +611,72 @@ func (m *Manager) Submit(req JobRequest) (*Job, *Error) {
 		obslog.String("id", job.ID), obslog.String("kind", req.Kind),
 		obslog.Int("window", req.Window), obslog.Int("depth", m.depth))
 	return snapshot(job), nil
+}
+
+// shedCheckLocked is the admission decision for one request class:
+// the hard QueueCap bound first (memory backstop, every class), then
+// the delay controller's class-ordered shedding. m.mu must be held.
+func (m *Manager) shedCheckLocked(cls int, kind string) *Error {
+	var msg string
+	retryAfter := time.Second
+	switch {
+	case m.depth >= m.cfg.QueueCap:
+		msg = fmt.Sprintf("admission queue full (%d queued)", m.depth)
+	case m.admit.sheds(cls):
+		msg = fmt.Sprintf("queue delay %s over %s target (shedding %s and below, level %d)",
+			m.admit.lastDelay.Round(time.Millisecond), m.admit.target, className(m.admit.level-1), m.admit.level)
+		// Under sustained overload, asking clients back sooner than one
+		// controller interval just re-sheds them.
+		if m.admit.interval > retryAfter {
+			retryAfter = m.admit.interval
+		}
+	default:
+		return nil
+	}
+	if m.mShed != nil {
+		m.mShed.Inc()
+	}
+	if m.mShedClass[cls] != nil {
+		m.mShedClass[cls].Inc()
+	}
+	m.log.Warn("job shed", obslog.String("kind", kind), obslog.Int("depth", m.depth),
+		obslog.Int("admit_level", m.admit.level),
+		obslog.Duration("queue_delay", m.admit.lastDelay))
+	return &Error{Kind: KindShed, Status: 503, RetryAfter: retryAfter, Msg: msg}
+}
+
+// enqueueLocked appends a job to its class queue and wakes one worker;
+// m.mu must be held.
+func (m *Manager) enqueueLocked(job *Job, now time.Time) {
+	cls := classPriority(job.Request.Kind)
+	m.queues[cls] = append(m.queues[cls], queueEntry{id: job.ID, enqueued: now})
+	m.depth++
+	m.gaugeDepth()
+	m.workCond.Signal()
+}
+
+// oldestQueuedAgeLocked returns the age of the oldest queued entry
+// across all classes; m.mu must be held.
+func (m *Manager) oldestQueuedAgeLocked(now time.Time) (time.Duration, bool) {
+	var oldest time.Time
+	for cls := 0; cls < numClasses; cls++ {
+		if len(m.queues[cls]) > 0 {
+			if e := m.queues[cls][0]; oldest.IsZero() || e.enqueued.Before(oldest) {
+				oldest = e.enqueued
+			}
+		}
+	}
+	if oldest.IsZero() {
+		return 0, false
+	}
+	return now.Sub(oldest), true
+}
+
+// gaugeAdmitLevel publishes the controller's shed level; m.mu held.
+func (m *Manager) gaugeAdmitLevel() {
+	if m.mAdmitLevel != nil {
+		m.mAdmitLevel.Set(float64(m.admit.level))
+	}
 }
 
 // Get returns a copy of one job.
@@ -566,9 +715,10 @@ func (m *Manager) Cancel(id string) (*Job, *Error) {
 	switch job.State {
 	case StateQueued:
 		// The job's queue slot stays counted in depth until a worker
-		// skims its tombstone off the channel — depth must equal channel
-		// occupancy exactly, or Submit's send could block while holding
-		// the lock the workers need to finish their jobs.
+		// skims its tombstone off the class queue — depth must equal
+		// queue occupancy exactly, so the conservation bookkeeping the
+		// overload tests pin (admitted = departures + still-queued)
+		// holds through cancellations too.
 		job.State = StateCanceled
 		job.ErrorKind = KindCanceled
 		job.Error = "canceled before start"
@@ -604,7 +754,7 @@ func (m *Manager) Drain(ctx context.Context) {
 		return
 	}
 	m.draining = true
-	close(m.stop)
+	m.workCond.Broadcast() // wake idle workers so they observe the drain and exit
 	sp := m.cfg.Spans.Start(m.trace, "drain", "")
 	defer sp.End()
 	m.log.Info("drain start", obslog.Int("depth", m.depth))
@@ -639,23 +789,58 @@ func (m *Manager) Drain(ctx context.Context) {
 	<-done
 }
 
-// worker drains the admission queue until told to stop. The stop check
-// comes first so a drain never starts new work that is already queued —
-// queued jobs stay persisted and run after restart.
+// worker claims and runs jobs until drain. The drain check inside
+// claimNext comes before any claim, so a drain never starts new work
+// that is already queued — queued jobs stay persisted and run after
+// restart.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
-		select {
-		case <-m.stop:
+		id, ok := m.claimNext()
+		if !ok {
 			return
-		default:
 		}
-		select {
-		case <-m.stop:
-			return
-		case id := <-m.queue:
-			m.runJob(id)
+		m.runJob(id)
+	}
+}
+
+// claimNext blocks until a runnable job is available (highest class
+// first, FIFO within a class) or the service drains. Each popped entry
+// — tombstones included — closes its queue span, updates depth, and
+// feeds its sojourn time to the delay controller and histogram: a
+// canceled job still occupied the queue for exactly that long.
+func (m *Manager) claimNext() (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.draining {
+			return "", false
 		}
+		for cls := numClasses - 1; cls >= 0; cls-- {
+			for len(m.queues[cls]) > 0 {
+				e := m.queues[cls][0]
+				m.queues[cls] = m.queues[cls][1:]
+				m.depth--
+				m.gaugeDepth()
+				if sp, ok := m.queueSpans[e.id]; ok {
+					delete(m.queueSpans, e.id)
+					sp.End()
+				}
+				now := m.cfg.Clock()
+				delay := now.Sub(e.enqueued)
+				m.admit.observe(delay, now)
+				m.gaugeAdmitLevel()
+				if m.mQueueDelay != nil {
+					m.mQueueDelay.Observe(float64(delay) / float64(time.Millisecond))
+				}
+				job, ok := m.jobs[e.id]
+				if !ok || (job.State != StateQueued && job.State != StateInterrupted) {
+					continue // canceled while queued: skim the tombstone
+				}
+				return e.id, true
+			}
+		}
+		m.workCond.Wait()
 	}
 }
 
@@ -663,22 +848,15 @@ func (m *Manager) worker() {
 // classify, persist, inform the breaker, export the lifecycle trace.
 func (m *Manager) runJob(id string) {
 	m.mu.Lock()
-	m.depth-- // every channel entry was counted once at enqueue
-	m.gaugeDepth()
-	if sp, ok := m.queueSpans[id]; ok {
-		// Queue wait ends at claim — even for a tombstone, whose queue
-		// span closes when its slot is skimmed.
-		delete(m.queueSpans, id)
-		sp.End()
-	}
 	job, ok := m.jobs[id]
 	if !ok || (job.State != StateQueued && job.State != StateInterrupted) {
 		m.mu.Unlock()
-		return // canceled while queued, or stale entry
+		return // canceled between claim and start
 	}
 	job.State = StateRunning
 	job.Attempts++
 	job.ErrorKind, job.Error = "", ""
+	job.Retryable, job.Cached = false, false
 	m.persistLocked(job)
 	m.progCond.Broadcast()
 	timeout := m.cfg.DefaultTimeout
@@ -747,6 +925,7 @@ func (m *Manager) finishJob(id string, req JobRequest, res execResult, err error
 		job.Report = res.report
 		job.Cells = res.cells
 		job.ResumedShards = res.resumed
+		job.Cached = res.cached
 		m.breakers.report(class, true)
 		if m.mDone != nil {
 			m.mDone.Inc()
@@ -763,6 +942,13 @@ func (m *Manager) finishJob(id string, req JobRequest, res execResult, err error
 		job.State = StateFailed
 		job.ErrorKind = kind
 		job.Error = err.Error()
+		// Resource exhaustion (disk full during a checkpoint or record
+		// write) is environmental, not a property of the config: the
+		// job is marked retryable and the class breaker is NOT informed
+		// — a full disk must not brown-out healthy config classes.
+		if kind == KindResource {
+			job.Retryable = true
+		}
 		if kind == KindLivelock || kind == KindTimeout {
 			if m.breakers.report(class, false) && m.mBreaker != nil {
 				m.mBreaker.Inc()
@@ -800,15 +986,86 @@ type execResult struct {
 	report  string
 	resumed int
 	cells   []fault.Cell
+	cached  bool // served from the result cache, not recomputed
 }
 
-// execute dispatches one job to its engine entry point and renders the
-// deterministic report.
+// cacheManifest is the canonical content identity of a job: the
+// normalized request fields that determine its report, plus the commit
+// the binary was built from. Trace and TimeoutMs are deliberately
+// absent — they are identity and policy, not content. Field order is
+// fixed, so json.Marshal is a canonical encoding.
+type cacheManifest struct {
+	Tool      string   `json:"tool"`
+	Commit    string   `json:"commit"`
+	Kind      string   `json:"kind"`
+	Arch      string   `json:"arch,omitempty"`
+	Window    int      `json:"window"`
+	Cluster   int      `json:"cluster,omitempty"`
+	Workload  string   `json:"workload,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+	Trials    int      `json:"trials,omitempty"`
+	Archs     []string `json:"archs,omitempty"`
+	Sites     []string `json:"sites,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+}
+
+// cachePayload is what a cache entry stores: everything a later hit
+// needs to answer the job without recomputing. Resumed-shard counts
+// are invocation metadata, not content, and are not stored.
+type cachePayload struct {
+	Report string       `json:"report"`
+	Cells  []fault.Cell `json:"cells,omitempty"`
+}
+
+// cacheKey derives the content-address for a normalized request.
+func (m *Manager) cacheKey(req JobRequest) string {
+	man, err := json.Marshal(cacheManifest{
+		Tool: "usserve", Commit: m.cacheCommit,
+		Kind: req.Kind, Arch: req.Arch, Window: req.Window, Cluster: req.Cluster,
+		Workload: req.Workload, Seed: req.Seed, Trials: req.Trials,
+		Archs: req.Archs, Sites: req.Sites, Workloads: req.Workloads,
+	})
+	if err != nil {
+		return ""
+	}
+	return rescache.Key(man)
+}
+
+// execute dispatches one job: result-cache lookup first (integrity
+// checked — a corrupt entry is quarantined inside the cache and comes
+// back as a miss), then the engine entry point, then a best-effort
+// store of the fresh result. A store failure never fails the job.
 func (m *Manager) execute(ctx context.Context, job *Job, req JobRequest) (execResult, error) {
 	if m.testExec != nil {
 		rep, err := m.testExec(ctx, job)
 		return execResult{report: rep}, err
 	}
+	var key string
+	if m.cache != nil {
+		key = m.cacheKey(req)
+	}
+	if key != "" {
+		if data, ok := m.cache.Get(key); ok {
+			var p cachePayload
+			if err := json.Unmarshal(data, &p); err == nil {
+				m.log.With("job").WithTrace(obslog.TraceID(job.Trace)).Info("served from cache",
+					obslog.String("id", job.ID), obslog.String("key", key[:12]))
+				return execResult{report: p.Report, cells: p.Cells, cached: true}, nil
+			}
+		}
+	}
+	res, err := m.compute(ctx, job, req)
+	if err == nil && key != "" {
+		if data, merr := json.Marshal(cachePayload{Report: res.report, Cells: res.cells}); merr == nil {
+			m.cache.Put(key, data)
+		}
+	}
+	return res, err
+}
+
+// compute runs one job on its engine entry point and renders the
+// deterministic report.
+func (m *Manager) compute(ctx context.Context, job *Job, req JobRequest) (execResult, error) {
 	switch req.Kind {
 	case "sim":
 		cfg, err := exp.ArchConfig(req.Arch, req.Window, req.Cluster)
@@ -869,8 +1126,12 @@ func (m *Manager) execute(ctx context.Context, job *Job, req JobRequest) (execRe
 	return execResult{}, fmt.Errorf("unknown job kind %q", req.Kind)
 }
 
-// classifyRunError maps an execution error into the taxonomy.
+// classifyRunError maps an execution error into the taxonomy. A typed
+// atomicio failure (or anything unwrapping to ENOSPC) is resource
+// exhaustion — the simulation math was fine, the environment was not —
+// and classifies as retryable rather than internal.
 func classifyRunError(err error) string {
+	var aioErr *atomicio.Error
 	switch {
 	case err == nil:
 		return ""
@@ -880,6 +1141,8 @@ func classifyRunError(err error) string {
 		return KindCanceled
 	case errors.Is(err, core.ErrLivelock):
 		return KindLivelock
+	case errors.As(err, &aioErr), errors.Is(err, syscall.ENOSPC):
+		return KindResource
 	default:
 		return KindInternal
 	}
@@ -968,14 +1231,22 @@ func snapshot(job *Job) *Job {
 // persistLocked writes the job record crash-atomically; m.mu must be
 // held. Persistence failures are deliberately non-fatal for the job
 // itself (the in-memory state is authoritative while the process
-// lives), but they mark the record so recovery is honest.
+// lives), but they are counted and logged — a silently unpersisted
+// record is exactly the kind of state the resource-exhaustion chaos
+// run exists to notice.
 func (m *Manager) persistLocked(job *Job) {
 	data, err := json.MarshalIndent(job, "", "  ")
 	if err != nil {
 		return
 	}
 	path := filepath.Join(m.cfg.Dir, "jobs", job.ID+".json")
-	_ = atomicio.WriteFile(path, append(data, '\n'), 0o644)
+	if err := atomicio.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		if m.mPersistErr != nil {
+			m.mPersistErr.Inc()
+		}
+		m.log.Warn("job record persist failed",
+			obslog.String("id", job.ID), obslog.String("err", err.Error()))
+	}
 }
 
 // gaugeDepth publishes the queue depth; m.mu must be held.

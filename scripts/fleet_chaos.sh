@@ -64,13 +64,16 @@ start_worker() { # $1 = index (state dir + log are keyed by it)
         -log "$WORK/worker-$i.jsonl" -log-level debug \
         2>>"$WORK/worker-$i.log" &
     WORKER_PIDS[$i]=$!
+    # Gate on readiness, not liveness: /healthz answers 200 for the
+    # whole process lifetime (including drain), while /readyz only
+    # turns 200 once the worker will actually accept jobs.
     for _ in $(seq 1 100); do
-        if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+        if curl -fsS "http://127.0.0.1:$port/readyz" >/dev/null 2>&1; then
             return 0
         fi
         sleep 0.1
     done
-    fail "worker $i did not come up on port $port"
+    fail "worker $i did not become ready on port $port"
 }
 
 stop_workers() {
